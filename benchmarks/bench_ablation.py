@@ -1,0 +1,55 @@
+"""Design-choice ablations (DESIGN.md §5)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_ablation(benchmark):
+    result = regenerate(benchmark, "ablation")
+    rows = result.rows
+
+    rounding = [r for r in rows if r["study"] == "rounding"]
+    by_app = {}
+    for r in rounding:
+        by_app.setdefault(r["application"], {})[r["variant"]] = r
+    for app, variants in by_app.items():
+        up = variants["round-up (paper)"]
+        nearest = variants["round-nearest"]
+        # the paper's round-up rule protects execution time; nearest
+        # trades time for extra energy savings
+        assert up["normalized_time_pct"] <= nearest["normalized_time_pct"] + 0.5
+        assert nearest["normalized_energy_pct"] <= up["normalized_energy_pct"] + 0.5
+
+    phase = {r["variant"]: r for r in rows if r["study"] == "per-phase"}
+    oracle = phase["per-phase oracle (future work)"]
+    single = phase["single setting (paper MAX)"]
+    assert oracle["normalized_time_pct"] < single["normalized_time_pct"] - 2.0
+
+    contention = [r for r in rows if r["study"] == "contention"]
+    # normalized results are robust to network contention modelling
+    by_app = {}
+    for r in contention:
+        by_app.setdefault(r["application"], []).append(r)
+    for app, pair in by_app.items():
+        assert abs(
+            pair[0]["normalized_energy_pct"] - pair[1]["normalized_energy_pct"]
+        ) < 2.0
+
+    # ... and to the collective model (analytic vs p2p decomposition)
+    coll = [r for r in rows if r["study"] == "collective-model"]
+    by_app = {}
+    for r in coll:
+        by_app.setdefault(r["application"], []).append(r)
+    assert by_app
+    for app, pair in by_app.items():
+        assert abs(
+            pair[0]["normalized_energy_pct"] - pair[1]["normalized_energy_pct"]
+        ) < 2.0
+        assert abs(
+            pair[0]["normalized_time_pct"] - pair[1]["normalized_time_pct"]
+        ) < 3.0
+
+    # ... and to the eager/rendezvous protocol threshold
+    eager = [r for r in rows if r["study"] == "eager-threshold"]
+    assert len(eager) == 3
+    energies = [r["normalized_energy_pct"] for r in eager]
+    assert max(energies) - min(energies) < 2.0

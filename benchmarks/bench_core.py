@@ -1,0 +1,81 @@
+"""Microbenchmarks of the substrate: simulator throughput, trace I/O,
+assignment speed.
+
+These are genuine pytest-benchmark measurements (multiple rounds) of
+the building blocks every figure benchmark exercises, useful to track
+performance of the simulation infrastructure itself.
+"""
+
+import numpy as np
+
+from repro.apps import build_app, vmpi
+from repro.core.algorithms import MaxAlgorithm
+from repro.core.gears import uniform_gear_set
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.jsonio import dumps_trace, loads_trace
+
+
+def test_simulator_event_throughput(benchmark):
+    """Events/second of the DES core on a collective-heavy world."""
+    app = build_app("MG-32", iterations=6)
+
+    def run():
+        return MpiSimulator().run(app.programs())
+
+    result = benchmark(run)
+    assert result.events > 1000
+    benchmark.extra_info["events"] = result.events
+    benchmark.extra_info["events_per_sec"] = (
+        result.events / benchmark.stats["mean"] if benchmark.stats else None
+    )
+
+
+def test_simulator_p2p_throughput(benchmark):
+    """Point-to-point matching under a 2-D halo workload."""
+    nproc = 64
+
+    def programs():
+        return [
+            [
+                rec
+                for _ in range(10)
+                for rec in vmpi.halo_exchange_2d(rank, nproc, nbytes=8192)
+            ]
+            for rank in range(nproc)
+        ]
+
+    result = benchmark(lambda: MpiSimulator().run(programs()))
+    assert result.execution_time > 0
+
+
+def test_assignment_speed_128_ranks(benchmark):
+    """MAX assignment over 128 ranks is micro-work; keep it that way."""
+    rng = np.random.default_rng(1)
+    times = rng.uniform(0.5, 2.0, size=128)
+    gear_set = uniform_gear_set(6)
+    model = BetaTimeModel(fmax=2.3, beta=0.5)
+    assignment = benchmark(lambda: MaxAlgorithm().assign(times, gear_set, model))
+    assert assignment.nproc == 128
+
+
+def test_trace_serialisation_round_trip(benchmark):
+    """JSON-lines round trip of a full application trace."""
+    app = build_app("CG-64", iterations=4)
+    trace = MpiSimulator().run(app.programs(), record_trace=True).trace
+
+    def round_trip():
+        return loads_trace(dumps_trace(trace))
+
+    reloaded = benchmark(round_trip)
+    assert reloaded.total_records() == trace.total_records()
+
+
+def test_full_balance_pipeline(benchmark):
+    """End-to-end: trace + assign + rewrite + replay + energy (BT-MZ-32)."""
+    from repro.core.balancer import PowerAwareLoadBalancer
+
+    balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+    trace = balancer.trace_app(build_app("BT-MZ-32", iterations=4))
+    report = benchmark(lambda: balancer.balance_trace(trace))
+    assert report.normalized_energy < 0.7

@@ -1,0 +1,13 @@
+"""Figure 1 — BT-MZ timelines before/after MAX."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig1(benchmark):
+    result = regenerate(benchmark, "fig1")
+    before = result.rows[0]["compute_fraction_pct"]
+    after = result.rows[1]["compute_fraction_pct"]
+    # "a lot of time waiting" -> "almost all the time computing"
+    assert before < 45.0
+    assert after > 90.0
+    assert "<svg" in result.series["svg_after"]

@@ -1,0 +1,22 @@
+"""Figure 10 — MAX vs AVG head-to-head."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig10(benchmark):
+    result = regenerate(benchmark, "fig10")
+    rows = {r["application"]: r for r in result.rows}
+
+    for app, row in rows.items():
+        # MAX saves more CPU energy; AVG wins on execution time
+        assert row["energy_max_pct"] <= row["energy_avg_pct"] + 1.0
+        assert row["time_avg_pct"] <= row["time_max_pct"] + 0.5
+
+    # PEPC: AVG reduces the two-phase time penalty relative to MAX
+    pepc = rows["PEPC-128"]
+    assert pepc["time_max_pct"] > 105.0
+    assert pepc["time_avg_pct"] < pepc["time_max_pct"]
+
+    # headline numbers: ~60% savings available for the most imbalanced
+    assert rows["BT-MZ-32"]["energy_max_pct"] < 50.0
+    assert rows["IS-32"]["energy_max_pct"] < 50.0

@@ -1,0 +1,24 @@
+"""Figure 2 — normalized energy & EDP across gear-set sizes (MAX)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig2(benchmark):
+    result = regenerate(benchmark, "fig2")
+    energy = result.pivot("application", "gear_set", "normalized_energy_pct")
+
+    # unlimited < limited only where sub-0.8 GHz frequencies are wanted
+    assert energy["BT-MZ-32"]["unlimited"] < energy["BT-MZ-32"]["limited"] - 0.5
+    for app in ("CG-64", "SPECFEM3D-96", "WRF-128"):
+        assert abs(energy[app]["unlimited"] - energy[app]["limited"]) < 0.5
+
+    # six gears land close to the limited continuous reference
+    for app, row in energy.items():
+        assert row["uniform-6"] <= row["limited"] + 12.0
+
+    # execution time: <= ~2% except PEPC (up to ~20%)
+    for row in result.rows:
+        if row["application"] == "PEPC-128":
+            assert row["normalized_time_pct"] < 125.0
+        else:
+            assert row["normalized_time_pct"] < 104.0

@@ -1,0 +1,30 @@
+"""Figure 3 — energy as a function of load balance."""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig3(benchmark):
+    result = regenerate(benchmark, "fig3")
+    rows = result.rows  # sorted by LB ascending
+    lb = np.array([r["load_balance_pct"] for r in rows])
+    unlimited = np.array([r["energy_unlimited_pct"] for r in rows])
+
+    # strong positive correlation between LB and normalized energy
+    corr = np.corrcoef(lb, unlimited)[0, 1]
+    assert corr > 0.9
+
+    # two gears only help the very imbalanced
+    for r in rows:
+        if r["load_balance_pct"] > 90.0:
+            assert abs(r["energy_uniform-2_pct"] - 100.0) < 1.0
+        if r["load_balance_pct"] < 50.0:
+            assert r["energy_uniform-2_pct"] < 90.0
+
+    # the most balanced app (CG-32) saves nothing even with 6 gears
+    cg32 = next(r for r in rows if r["application"] == "CG-32")
+    assert abs(cg32["energy_uniform-6_pct"] - 100.0) < 1.0
+
+    # the headline: up to ~60% savings for the most imbalanced apps
+    assert unlimited.min() < 45.0

@@ -1,0 +1,22 @@
+"""Figure 4 — exponential gear sets (3–7 gears)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig4(benchmark):
+    result = regenerate(benchmark, "fig4")
+    energy = result.pivot("application", "gears", "normalized_energy_pct")
+
+    # WRF saves energy with 3 exponential gears (needed 4 uniform ones)
+    assert energy["WRF-32"][3] < 99.0
+    assert energy["WRF-128"][3] < 99.0
+    # MG-32 saves with 4 exponential gears (needed 6 uniform ones)
+    assert energy["MG-32"][4] < 99.0
+
+    # at 6-7 gears exponential and uniform are comparable for the
+    # imbalanced apps (both clamped at the 0.8 GHz floor)
+    assert abs(energy["BT-MZ-32"][6] - energy["BT-MZ-32"][7]) < 2.0
+
+    # more gears never hurt much
+    for app, row in energy.items():
+        assert row[7] <= row[3] + 1.0

@@ -1,0 +1,22 @@
+"""Figure 5 — impact of the β (memory-boundedness) parameter."""
+
+from benchmarks.conftest import regenerate
+
+BETAS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_fig5(benchmark):
+    result = regenerate(benchmark, "fig5")
+    rows = {r["application"]: r for r in result.rows}
+
+    # energy grows with beta wherever the gear floor doesn't bind
+    for row in result.rows:
+        series = [row[f"energy_b{b:g}_pct"] for b in BETAS]
+        assert all(b >= a - 0.5 for a, b in zip(series, series[1:]))
+
+    # sensitivity tracks imbalance: the ill-balanced (but unclamped)
+    # apps move most; BT-MZ / IS-32 sit at the floor and barely move
+    spread = lambda r: r["energy_b1_pct"] - r["energy_b0.3_pct"]
+    assert spread(rows["BT-MZ-32"]) < 6.0
+    assert spread(rows["IS-32"]) < 6.0
+    assert spread(rows["SPECFEM3D-96"]) > spread(rows["BT-MZ-32"])

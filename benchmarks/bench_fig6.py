@@ -1,0 +1,27 @@
+"""Figure 6 — energy as a function of the static-power fraction."""
+
+from benchmarks.conftest import regenerate
+
+FRACTIONS = tuple(range(0, 100, 10))
+
+
+def test_fig6(benchmark):
+    result = regenerate(benchmark, "fig6")
+    rows = {r["application"]: r for r in result.rows}
+
+    for row in result.rows:
+        series = [row[f"energy_sf{s}_pct"] for s in FRACTIONS]
+        # savings shrink monotonically as static power grows
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    # at >= 70% static, savings are roughly half of the 20% case
+    bt = rows["BT-MZ-32"]
+    savings_20 = 100.0 - bt["energy_sf20_pct"]
+    savings_70 = 100.0 - bt["energy_sf70_pct"]
+    assert savings_70 < 0.75 * savings_20
+    assert savings_70 > 0.3 * savings_20
+
+    # slope ordered by imbalance
+    slope = lambda r: r["energy_sf90_pct"] - r["energy_sf0_pct"]
+    assert slope(rows["IS-32"]) > slope(rows["MG-32"])
+    assert slope(rows["BT-MZ-32"]) > slope(rows["CG-32"])

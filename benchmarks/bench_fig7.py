@@ -1,0 +1,18 @@
+"""Figure 7 — impact of the computation/communication activity ratio."""
+
+from benchmarks.conftest import regenerate
+
+RATIOS = (1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0)
+
+
+def test_fig7(benchmark):
+    result = regenerate(benchmark, "fig7")
+    rows = {r["application"]: r for r in result.rows}
+
+    # the energy change across ratios depends on the load balance degree
+    spread = lambda r: abs(r["energy_ar3_pct"] - r["energy_ar1.5_pct"])
+    assert spread(rows["BT-MZ-32"]) > spread(rows["CG-32"])
+    assert spread(rows["IS-32"]) > spread(rows["MG-32"])
+
+    # perfectly balanced CG-32 is insensitive
+    assert spread(rows["CG-32"]) < 1.0

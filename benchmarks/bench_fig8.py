@@ -1,0 +1,27 @@
+"""Figure 8 — AVG on the continuous set with 10% / 20% over-clocking."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig8(benchmark):
+    result = regenerate(benchmark, "fig8")
+    rows = {r["application"]: r for r in result.rows}
+
+    # energy reduced for every application...
+    for row in result.rows:
+        assert row["energy_oc10_pct"] < 100.0
+    # ...by an amount ordered by load-balance degree: ~marginal for
+    # CG-32, large for BT-MZ (paper: 0.5% .. 63%)
+    assert rows["CG-32"]["energy_oc10_pct"] > 95.0
+    assert rows["BT-MZ-32"]["energy_oc10_pct"] < 55.0
+
+    # execution time decreases (except PEPC's two-phase pathology)
+    for row in result.rows:
+        if row["application"] != "PEPC-128":
+            assert row["time_oc10_pct"] < 100.5
+            assert row["time_oc20_pct"] <= row["time_oc10_pct"] + 0.5
+
+    # EDP improves for everything
+    for row in result.rows:
+        if row["application"] != "PEPC-128":
+            assert row["edp_oc10_pct"] < 100.0

@@ -1,0 +1,31 @@
+"""Figure 9 — AVG on the 6-gear set + (2.6 GHz, 1.6 V)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig9(benchmark):
+    result = regenerate(benchmark, "fig9")
+    rows = {r["application"]: r for r in result.rows}
+
+    # very imbalanced apps need very few CPUs over-clocked
+    for app in ("BT-MZ-32", "IS-32", "IS-64", "PEPC-128"):
+        assert rows[app]["overclocked_pct"] < 30.0
+
+    # well balanced apps over-clock large fractions (paper's
+    # SPECFEM3D-32 example: ~53%)
+    assert max(
+        rows[a]["overclocked_pct"]
+        for a in ("SPECFEM3D-32", "MG-32", "CG-32", "WRF-128")
+    ) > 45.0
+
+    # execution time decreases almost everywhere; PEPC increases but
+    # less than under MAX (checked cross-figure in bench_fig10)
+    decreased = sum(
+        1 for r in result.rows if r["normalized_time_pct"] < 100.0
+    )
+    assert decreased >= 10
+
+    # EDP improves for the imbalanced majority, not for CG-32/MG-32
+    assert rows["CG-32"]["normalized_edp_pct"] > 99.0
+    for app in ("BT-MZ-32", "IS-32", "SPECFEM3D-96", "PEPC-128"):
+        assert rows[app]["normalized_edp_pct"] < 100.0

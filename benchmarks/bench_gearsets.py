@@ -1,0 +1,10 @@
+"""Tables 1 & 2 — gear-set construction (and an exactness gate)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table_gears(benchmark):
+    result = regenerate(benchmark, "table_gears")
+    for row in result.rows:
+        assert abs(row["frequency_ghz"] - row["paper_frequency_ghz"]) < 0.005
+        assert abs(row["voltage_v"] - row["paper_voltage_v"]) < 0.005

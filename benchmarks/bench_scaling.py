@@ -1,0 +1,24 @@
+"""§1 claim — imbalance (and savings) grow with cluster size."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_scaling(benchmark):
+    result = regenerate(benchmark, "scaling")
+    by_family = {}
+    for row in result.rows:
+        by_family.setdefault(row["family"], []).append(row)
+
+    growing = 0
+    for family, rows in by_family.items():
+        rows.sort(key=lambda r: r["nproc"])
+        if rows[-1]["load_balance_pct"] < rows[0]["load_balance_pct"]:
+            growing += 1
+            # more imbalance at scale => more energy saved at scale
+            assert (
+                rows[-1]["energy_savings_pct"]
+                >= rows[0]["energy_savings_pct"] - 2.0
+            )
+    # most families lose balance as the world grows (WRF is the paper's
+    # own counter-example: its Table 3 LB *improves* 32 -> 128)
+    assert growing >= 5

@@ -1,0 +1,12 @@
+"""Table 3 — application characteristics at full fidelity."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table3(benchmark):
+    result = regenerate(benchmark, "table3")
+    assert len(result.rows) == 12
+    for row in result.rows:
+        assert abs(row["load_balance_pct"] - row["paper_lb_pct"]) < 0.5
+        rel = abs(row["parallel_efficiency_pct"] - row["paper_pe_pct"])
+        assert rel / row["paper_pe_pct"] < 0.08

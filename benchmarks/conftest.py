@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper table/figure through the
+experiment harness, times it with pytest-benchmark, and asserts the
+paper's shape claims on the produced rows.  ``pedantic(rounds=1)`` is
+used throughout: an experiment is seconds of work and deterministic, so
+statistical repetition buys nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunnerConfig, get_experiment
+
+#: Full-fidelity configuration used by every figure benchmark.
+BENCH_CONFIG = RunnerConfig(iterations=4)
+
+
+def regenerate(benchmark, eid: str, config: RunnerConfig | None = None):
+    """Run one experiment under the benchmark timer and return its rows."""
+    run = get_experiment(eid)
+    result = benchmark.pedantic(
+        lambda: run(config or BENCH_CONFIG), rounds=1, iterations=1
+    )
+    assert result.rows
+    return result
+
+
+@pytest.fixture()
+def bench_config() -> RunnerConfig:
+    return BENCH_CONFIG

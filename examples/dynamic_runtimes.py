@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Static vs dynamic DVFS: when is the paper's approach the right tool?
+
+The paper's MAX algorithm sets one frequency per rank for the whole run
+— "the static version of Jitter".  This example runs three power
+management strategies over three workload regimes:
+
+* static MAX (the paper),
+* the Jitter iteration loop (Kappiah et al. SC'05),
+* communication-phase scaling (Lim et al. SC'06),
+
+on a stationary imbalanced code, the same code with *drifting*
+imbalance (heavy ranks rotate each iteration; enable with the
+skeletons' ``drift_step``), and a balanced communication-bound code.
+It also prints the regularity diagnosis from
+``repro.traces.iterstats`` — the check that tells you which tool fits.
+
+Run:  python examples/dynamic_runtimes.py
+"""
+
+from repro import MpiSimulator, PowerAwareLoadBalancer, build_app, uniform_gear_set
+from repro.core.dynamic import CommPhaseScalingRuntime, JitterRuntime
+from repro.experiments.report import format_table
+from repro.traces.iterstats import is_regular, iteration_stats
+
+
+def trace_for(name, drift_step=0, iterations=6):
+    app = build_app(name, iterations=iterations, drift_step=drift_step)
+    sim = MpiSimulator()
+    return sim.run(
+        app.programs(), record_trace=True, meta={"name": app.name}
+    ).trace
+
+
+def main() -> None:
+    gear_set = uniform_gear_set(6)
+    scenarios = [
+        ("stationary imbalanced", trace_for("SPECFEM3D-32")),
+        ("drifting imbalanced", trace_for("SPECFEM3D-32", drift_step=3)),
+        ("balanced, comm-bound", trace_for("CG-64")),
+    ]
+
+    rows = []
+    for label, trace in scenarios:
+        stats = iteration_stats(trace)
+        regular = is_regular(trace)
+        static = PowerAwareLoadBalancer(gear_set=gear_set).balance_trace(trace)
+        jitter = JitterRuntime(gear_set=gear_set).run(trace)
+        comm = CommPhaseScalingRuntime(gear_set=gear_set).run(trace)
+        for runtime, energy, time in (
+            ("static MAX", static.normalized_energy, static.normalized_time),
+            ("Jitter", jitter.normalized_energy, jitter.normalized_time),
+            ("comm-scaling", comm.normalized_energy, comm.normalized_time),
+        ):
+            rows.append(
+                {
+                    "scenario": label,
+                    "regular": regular,
+                    "drift": stats.drift,
+                    "runtime": runtime,
+                    "energy_pct": 100.0 * energy,
+                    "time_pct": 100.0 * time,
+                }
+            )
+
+    print(format_table(
+        ["scenario", "regular", "drift", "runtime", "energy_pct", "time_pct"],
+        rows,
+        title="Static vs dynamic DVFS across workload regimes",
+    ))
+    print(
+        "\nreading: the paper's static MAX is optimal exactly on the "
+        "regular, compute-imbalanced regime it targets; drifting load "
+        "wants the Jitter loop; communication-bound codes want "
+        "comm-phase scaling (the approaches compose)."
+    )
+
+
+if __name__ == "__main__":
+    main()

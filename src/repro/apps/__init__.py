@@ -1,0 +1,34 @@
+"""Synthetic application skeletons.
+
+The paper traces real codes (NAS CG/MG/IS, BT-MZ, SPECFEM3D, WRF, PEPC)
+on a PowerPC/Myrinet cluster.  Without that cluster we substitute
+*skeletons*: generator-based rank programs that reproduce each code's
+communication pattern and a per-rank computational imbalance profile
+calibrated to the paper's Table 3 (load balance and parallel
+efficiency).  The DVFS algorithms only ever see per-rank computation
+times and the trace structure, so a skeleton with matching LB/PE
+exercises exactly the code path the paper's traces exercised.
+
+Use :func:`build_app` with the paper's naming convention::
+
+    app = build_app("BT-MZ-32")    # BT-MZ skeleton on 32 ranks
+    app = build_app("PEPC-128")
+"""
+
+from repro.apps.base import AppSkeleton
+from repro.apps.registry import (
+    APP_FAMILIES,
+    TABLE3_INSTANCES,
+    app_names,
+    build_app,
+    table3_targets,
+)
+
+__all__ = [
+    "APP_FAMILIES",
+    "AppSkeleton",
+    "TABLE3_INSTANCES",
+    "app_names",
+    "build_app",
+    "table3_targets",
+]

@@ -1,0 +1,171 @@
+"""Application-skeleton base class and calibration plumbing.
+
+A skeleton is defined by:
+
+* a *base shape* — which ranks are heavy (the family's structure);
+* Table 3 targets — load balance and parallel efficiency — that the
+  constructor calibrates the shape and the communication volume to;
+* a *rank program* — the family's communication pattern, yielding
+  trace records.
+
+Calibration logic:
+
+* per-rank work multipliers come from
+  :func:`repro.apps.imbalance.calibrate`, so one iteration's compute
+  times have exactly the target LB;
+* the paper's two metrics tie execution time to compute time:
+  ``PE = LB * maxComp / T_exec``, so the per-iteration communication
+  budget is ``base_compute * (LB/PE - 1)`` seconds, which the skeleton
+  spends on its characteristic collectives (sizes found by inverting
+  the platform's collective cost model).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.apps.imbalance import calibrate, seed_for
+from repro.netsim.collectives import invert_collective
+from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
+from repro.traces.records import Record
+
+__all__ = ["AppSkeleton"]
+
+
+class AppSkeleton(ABC):
+    """Base class for the paper's application skeletons.
+
+    Parameters
+    ----------
+    nproc:
+        World size (the suffix of the paper's "CG-32" naming).
+    target_lb / target_pe:
+        Table 3 calibration targets in (0, 1]; ``target_pe <= target_lb``
+        by construction of the metrics.
+    iterations:
+        Iterations of the iterative region to emit (the paper cuts one
+        representative region; more iterations only repeat it).
+    base_compute:
+        Per-iteration computation seconds of the *heaviest* rank.
+    platform:
+        Platform the communication volume is calibrated against.
+    drift_step:
+        Ranks the load pattern rotates by *per iteration* (default 0 =
+        the paper's stationary behaviour).  A non-zero drift makes the
+        heavy ranks move over time — per-iteration LB is unchanged but
+        no single static frequency assignment fits every iteration,
+        which is the regime where the dynamic Jitter runtime
+        (:mod:`repro.core.dynamic`) beats static MAX.
+    seed:
+        Overrides the deterministic per-instance seed, producing a
+        different random realisation of the same family/targets — the
+        lever behind the seed-robustness study (``repro run seeds``).
+    """
+
+    family: str = "APP"
+
+    def __init__(
+        self,
+        nproc: int,
+        target_lb: float,
+        target_pe: float,
+        iterations: int = 8,
+        base_compute: float = 0.02,
+        platform: PlatformConfig | None = None,
+        drift_step: int = 0,
+        seed: int | None = None,
+    ):
+        if nproc <= 0:
+            raise ValueError(f"nproc must be positive, got {nproc}")
+        if not (0.0 < target_lb <= 1.0):
+            raise ValueError(f"target LB must be in (0, 1], got {target_lb!r}")
+        if not (0.0 < target_pe <= target_lb + 1e-12):
+            raise ValueError(
+                f"target PE must be in (0, LB]; got PE={target_pe!r}, "
+                f"LB={target_lb!r} (PE > LB is impossible by definition)"
+            )
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        if base_compute <= 0.0:
+            raise ValueError(f"base_compute must be positive, got {base_compute!r}")
+        if drift_step < 0:
+            raise ValueError(f"drift_step must be >= 0, got {drift_step}")
+        self.nproc = nproc
+        self.target_lb = target_lb
+        self.target_pe = target_pe
+        self.iterations = iterations
+        self.base_compute = base_compute
+        self.platform = platform or MYRINET_LIKE
+        self.drift_step = drift_step
+        self.seed = seed_for(f"{self.family}-{nproc}") if seed is None else seed
+        self.weights = self._build_weights()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.family}-{self.nproc}"
+
+    def _build_weights(self) -> np.ndarray:
+        """Per-rank work multipliers (max = 1, mean = target LB)."""
+        return calibrate(self._base_shape(), self.target_lb)
+
+    @abstractmethod
+    def _base_shape(self) -> np.ndarray:
+        """The family's uncalibrated heaviness structure."""
+
+    @abstractmethod
+    def rank_program(self, rank: int) -> Iterator[Record]:
+        """The rank's record stream (a generator)."""
+
+    def programs(self) -> list[Iterator[Record]]:
+        """One program per rank, ready for :meth:`MpiSimulator.run`."""
+        return [self.rank_program(rank) for rank in range(self.nproc)]
+
+    def weight_at(self, rank: int, iteration: int,
+                  weights: np.ndarray | None = None) -> float:
+        """Work multiplier of a rank in a given iteration.
+
+        Stationary (``drift_step == 0``) this is just ``weights[rank]``;
+        with drift the pattern rotates by ``drift_step`` ranks per
+        iteration.
+        """
+        w = self.weights if weights is None else weights
+        index = (rank - self.drift_step * iteration) % self.nproc
+        return float(w[index])
+
+    # ------------------------------------------------------------------
+    # communication-budget helpers
+    # ------------------------------------------------------------------
+    def comm_budget(self) -> float:
+        """Per-iteration communication seconds implied by LB/PE targets."""
+        return self.base_compute * (self.target_lb / self.target_pe - 1.0)
+
+    def sized_collective(self, op: str, fraction: float = 1.0) -> int:
+        """Bytes making ``op`` consume ``fraction`` of the comm budget."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+        return invert_collective(
+            op, self.comm_budget() * fraction, self.nproc, self.platform
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "nproc": self.nproc,
+            "target_lb": self.target_lb,
+            "target_pe": self.target_pe,
+            "iterations": self.iterations,
+            "base_compute": self.base_compute,
+            "comm_budget": self.comm_budget(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<{type(self).__name__} {self.name} LB={self.target_lb:.2%} "
+            f"PE={self.target_pe:.2%} iters={self.iterations}>"
+        )

@@ -1,0 +1,49 @@
+"""CG — NAS Conjugate Gradient (class C) skeleton.
+
+CG iterates sparse matrix-vector products with dot-product reductions.
+It is nearly perfectly balanced (Table 3: LB 97.82% at 32 ranks — the
+most balanced code in the study, the one that "cannot achieve any energy
+savings" under MAX with coarse gear sets) but communication-intensive:
+two allreduces per iteration plus a halo exchange push PE down to
+78.55% at 32 and 63.36% at 64 ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.apps import vmpi
+from repro.apps.base import AppSkeleton
+from repro.apps.imbalance import jitter_shape
+from repro.traces.records import Record
+
+__all__ = ["CgSkeleton"]
+
+
+class CgSkeleton(AppSkeleton):
+    """Sparse solve: SpMV + halo + two dot-product allreduces."""
+
+    family = "CG"
+
+    HALO_BYTES = 8 * 1024
+
+    def _base_shape(self) -> np.ndarray:
+        # near-balanced seeded jitter: partition-quality noise
+        return jitter_shape(self.nproc, self.seed)
+
+    def rank_program(self, rank: int) -> Iterator[Record]:
+        t = self.base_compute
+        dot_bytes = self.sized_collective("allreduce", fraction=0.5)
+        for it in range(self.iterations):
+            yield vmpi.marker("iter", iteration=it)
+            w = self.weight_at(rank, it)
+            yield vmpi.compute(0.80 * w * t, phase="spmv")
+            yield from vmpi.halo_exchange_1d(
+                rank, self.nproc, nbytes=self.HALO_BYTES, periodic=True
+            )
+            yield vmpi.compute(0.12 * w * t, phase="dot")
+            yield vmpi.allreduce(dot_bytes)
+            yield vmpi.compute(0.08 * w * t, phase="axpy")
+            yield vmpi.allreduce(dot_bytes)

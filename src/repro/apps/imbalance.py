@@ -1,0 +1,227 @@
+"""Per-rank work-distribution profiles and load-balance calibration.
+
+A *profile* is a vector ``w`` of per-rank work multipliers with
+``max(w) == 1``.  Its load balance (paper Eq. 4, applied to one
+iteration) is ``mean(w)`` — so calibrating a profile to a target LB
+means shaping the vector so its mean hits the target while its maximum
+stays 1.
+
+:func:`calibrate` does this for any base *shape* by blending toward the
+balanced vector: ``w(γ) = 1 - γ (1 - shape)``; the blend preserves the
+argmax, keeps ``max = 1`` and moves the mean monotonically, so a closed
+form (or a bisection, for the multi-phase case) lands the target
+exactly.  The base shapes below give each application family its
+characteristic *structure* (which ranks are heavy), while calibration
+pins the *degree* of imbalance to Table 3.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "bimodal_shape",
+    "calibrate",
+    "calibrate_phases",
+    "decay_shape",
+    "jitter_shape",
+    "load_balance_of",
+    "ramp_shape",
+    "seed_for",
+    "wave_shape",
+    "zone_shape",
+]
+
+
+def seed_for(label: str) -> int:
+    """Stable, platform-independent seed derived from a label."""
+    return zlib.crc32(label.encode("utf-8"))
+
+
+def load_balance_of(weights: np.ndarray) -> float:
+    """LB of a work vector: ``mean / max``."""
+    weights = np.asarray(weights, dtype=float)
+    peak = weights.max()
+    if peak <= 0.0:
+        raise ValueError("work vector must have positive maximum")
+    return float(weights.mean() / peak)
+
+
+def _normalize(shape: np.ndarray) -> np.ndarray:
+    shape = np.asarray(shape, dtype=float)
+    if shape.ndim != 1 or shape.size == 0:
+        raise ValueError("shape must be a non-empty 1-D vector")
+    if (shape < 0.0).any():
+        raise ValueError("shape entries must be >= 0")
+    peak = shape.max()
+    if peak <= 0.0:
+        raise ValueError("shape must have a positive entry")
+    return shape / peak
+
+
+def calibrate(shape: Sequence[float], target_lb: float,
+              floor: float = 1e-3) -> np.ndarray:
+    """Blend a base shape to an exact load balance.
+
+    With ``s = shape/max(shape)`` the blended vector is
+    ``w = 1 - γ (1 - s)``; its mean is ``1 - γ (1 - mean(s))`` so
+    ``γ = (1 - LB) / (1 - mean(s))``.  Raises when the target is not
+    reachable without driving some rank below ``floor`` (pick a base
+    shape with a smaller minimum instead).
+    """
+    if not (0.0 < target_lb <= 1.0):
+        raise ValueError(f"target LB must be in (0, 1], got {target_lb!r}")
+    s = _normalize(shape)
+    mean = s.mean()
+    if target_lb == 1.0 or s.size == 1:
+        # a single rank is balanced by definition (LB = mean/max = 1)
+        return np.ones_like(s)
+    if mean >= 1.0 - 1e-15:
+        raise ValueError(
+            "base shape is perfectly balanced; cannot calibrate to "
+            f"LB={target_lb} — use a shape with spread"
+        )
+    gamma = (1.0 - target_lb) / (1.0 - mean)
+    w = 1.0 - gamma * (1.0 - s)
+    if w.min() < floor:
+        raise ValueError(
+            f"target LB={target_lb} needs γ={gamma:.3g}, pushing the "
+            f"lightest rank to {w.min():.3g} < floor={floor}; use a more "
+            "spread base shape"
+        )
+    return w
+
+
+def calibrate_phases(
+    shapes: Sequence[Sequence[float]],
+    durations: Sequence[float],
+    target_lb: float,
+    floor: float = 1e-3,
+    tol: float = 1e-10,
+) -> list[np.ndarray]:
+    """Calibrate several phases so the *total* work hits a target LB.
+
+    Used by multi-phase skeletons (PEPC): each phase keeps its own shape
+    (so per-phase imbalances differ), all phases are blended with one
+    common γ, and γ is found by bisection on the total's load balance.
+    ``durations`` weight the phases (seconds of the heaviest rank).
+    """
+    if len(shapes) != len(durations) or not shapes:
+        raise ValueError("need one duration per phase, at least one phase")
+    if not (0.0 < target_lb <= 1.0):
+        raise ValueError(f"target LB must be in (0, 1], got {target_lb!r}")
+    norm = [_normalize(s) for s in shapes]
+    dur = np.asarray(durations, dtype=float)
+    if (dur <= 0.0).any():
+        raise ValueError("phase durations must be positive")
+
+    def blended(gamma: float) -> list[np.ndarray]:
+        return [1.0 - gamma * (1.0 - s) for s in norm]
+
+    def total_lb(gamma: float) -> float:
+        total = sum(d * w for d, w in zip(dur, blended(gamma)))
+        return load_balance_of(total)
+
+    # γ upper bound: keep every phase's lightest rank above the floor
+    gamma_max = min(
+        (1.0 - floor) / (1.0 - s.min()) for s in norm if s.min() < 1.0
+    )
+    lo, hi = 0.0, gamma_max
+    if total_lb(hi) > target_lb:
+        raise ValueError(
+            f"target LB={target_lb} unreachable: even γ={gamma_max:.3g} "
+            f"only reaches LB={total_lb(hi):.4f}; use more spread shapes"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if total_lb(mid) > target_lb:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return blended(hi)
+
+
+# ----------------------------------------------------------------------
+# base shapes
+# ----------------------------------------------------------------------
+
+def ramp_shape(nproc: int, ascending: bool = False) -> np.ndarray:
+    """Linear ramp from ~0 to 1 (domain-slice imbalance)."""
+    if nproc <= 0:
+        raise ValueError("nproc must be positive")
+    if nproc == 1:
+        return np.ones(1)
+    ramp = np.linspace(0.02, 1.0, nproc)
+    return ramp if ascending else ramp[::-1].copy()
+
+
+def decay_shape(nproc: int, rate: float = 3.0) -> np.ndarray:
+    """Exponential decay: a few heavy ranks, long light tail (BT-MZ zones)."""
+    if nproc <= 0:
+        raise ValueError("nproc must be positive")
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    k = np.arange(nproc)
+    return np.exp(-rate * k / max(nproc - 1, 1))
+
+
+def jitter_shape(nproc: int, seed: int, spread: float = 1.0) -> np.ndarray:
+    """Near-balanced with seeded uniform jitter (CG/MG style)."""
+    if nproc <= 0:
+        raise ValueError("nproc must be positive")
+    rng = np.random.default_rng(seed)
+    return 1.0 - spread * rng.uniform(0.0, 0.9, size=nproc)
+
+
+def bimodal_shape(nproc: int, seed: int, heavy_fraction: float = 0.25,
+                  light_level: float = 0.15) -> np.ndarray:
+    """Two populations: a heavy minority and a light majority (IS buckets)."""
+    if not (0.0 < heavy_fraction <= 1.0):
+        raise ValueError(f"heavy fraction must be in (0, 1], got {heavy_fraction!r}")
+    rng = np.random.default_rng(seed)
+    n_heavy = max(1, int(round(heavy_fraction * nproc)))
+    shape = np.full(nproc, light_level)
+    heavy = rng.choice(nproc, size=n_heavy, replace=False)
+    shape[heavy] = rng.uniform(0.8, 1.0, size=n_heavy)
+    shape[heavy[0]] = 1.0
+    return shape
+
+
+def wave_shape(nproc: int, seed: int, waves: float = 2.0,
+               amplitude: float = 0.75, jitter: float = 0.02) -> np.ndarray:
+    """Saturated spatial wave plus jitter (WRF terrain/physics load).
+
+    The amplitude pushes the sine past [0, 1] and clips, producing
+    plateaus of uniformly heavy (storm) and uniformly light (calm)
+    ranks — the flat-bottomed profile keeps the spread ratio
+    ``(1 - min) / (1 - mean)`` at ≈2 across world sizes, which is what
+    makes WRF save nothing with 3 uniform gears yet save with 4 (and
+    with 3 exponential gears), as the paper reports.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.arange(nproc) / max(nproc - 1, 1)
+    wave = 0.5 + amplitude * np.sin(2.0 * np.pi * waves * x)
+    shape = np.clip(wave + rng.uniform(-jitter, jitter, size=nproc), 0.0, 1.0)
+    return shape / shape.max()
+
+
+def zone_shape(nproc: int, zones: int = 4, growth: float = 2.5) -> np.ndarray:
+    """Blocks of ranks with geometrically growing per-zone load (BT-MZ).
+
+    The multizone NAS meshes have zone sizes that differ by large
+    factors; ranks within a zone share its load.
+    """
+    if zones <= 0 or nproc <= 0:
+        raise ValueError("zones and nproc must be positive")
+    zones = min(zones, nproc)
+    levels = growth ** np.arange(zones)
+    shape = np.empty(nproc)
+    bounds = np.linspace(0, nproc, zones + 1).astype(int)
+    for z in range(zones):
+        shape[bounds[z]:bounds[z + 1]] = levels[z]
+    return shape / shape.max()

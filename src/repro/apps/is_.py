@@ -1,0 +1,50 @@
+"""IS — NAS Integer Sort (class C) skeleton.
+
+IS is bucket sort: count keys locally, exchange bucket boundaries, then
+a world-wide all-to-all redistribution of the keys.  It is the
+communication monster of the suite — Table 3 shows PE of just 8.21% at
+32 ranks (17.00% at 64) — and, with skewed key distributions, also very
+imbalanced (LB 43.77% / 49.59%).  Together with BT-MZ it is one of the
+applications that "need frequencies lower than 0.8 GHz", where the
+unlimited continuous set beats the limited one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.apps import vmpi
+from repro.apps.base import AppSkeleton
+from repro.apps.imbalance import bimodal_shape
+from repro.traces.records import Record
+
+__all__ = ["IsSkeleton"]
+
+
+class IsSkeleton(AppSkeleton):
+    """Bucket sort: count, small allreduce, huge alltoall, local rank."""
+
+    family = "IS"
+
+    def _base_shape(self) -> np.ndarray:
+        # skewed key distribution: a heavy minority of ranks owns most keys
+        return bimodal_shape(self.nproc, self.seed)
+
+    def rank_program(self, rank: int) -> Iterator[Record]:
+        t = self.base_compute
+        sizes_bytes = self.sized_collective("allreduce", fraction=0.04)
+        keys_bytes = self.sized_collective("alltoall", fraction=0.92)
+        verify_bytes = self.sized_collective("allgather", fraction=0.04)
+        for it in range(self.iterations):
+            yield vmpi.marker("iter", iteration=it)
+            w = self.weight_at(rank, it)
+            yield vmpi.compute(0.70 * w * t, phase="count")
+            yield vmpi.allreduce(sizes_bytes)
+            # each rank contributes keys in proportion to how many it
+            # owns; the exchange is paced by the heaviest contributor
+            # (the simulator's per-instance max — alltoallv semantics)
+            yield vmpi.alltoall(max(1, int(keys_bytes * w)))
+            yield vmpi.compute(0.30 * w * t, phase="rank-local")
+            yield vmpi.allgather(verify_bytes)

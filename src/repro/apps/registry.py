@@ -1,0 +1,191 @@
+"""Application catalogue: Table 3 targets and the ``"CG-32"`` builder.
+
+``TABLE3_INSTANCES`` holds the paper's Table 3 exactly (load balance and
+parallel efficiency, in percent).  :func:`build_app` instantiates a
+skeleton calibrated to those targets; for world sizes the paper did not
+measure, targets are extrapolated with the paper's own observation that
+imbalance grows with cluster size (§1): the imbalance ``1 - LB`` scales
+as a power of the world size, with the exponent fitted from the
+family's measured pair when two sizes are available.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Type
+
+from repro.apps.base import AppSkeleton
+from repro.apps.btmz import BtMzSkeleton
+from repro.apps.cg import CgSkeleton
+from repro.apps.is_ import IsSkeleton
+from repro.apps.mg import MgSkeleton
+from repro.apps.pepc import PepcSkeleton
+from repro.apps.specfem3d import Specfem3dSkeleton
+from repro.apps.wrf import WrfSkeleton
+
+__all__ = [
+    "APP_FAMILIES",
+    "TABLE3_INSTANCES",
+    "app_names",
+    "build_app",
+    "table3_targets",
+]
+
+APP_FAMILIES: dict[str, Type[AppSkeleton]] = {
+    "BT-MZ": BtMzSkeleton,
+    "CG": CgSkeleton,
+    "MG": MgSkeleton,
+    "IS": IsSkeleton,
+    "SPECFEM3D": Specfem3dSkeleton,
+    "WRF": WrfSkeleton,
+    "PEPC": PepcSkeleton,
+}
+
+#: Paper Table 3: application → {nproc: (load balance %, parallel eff. %)}.
+TABLE3: dict[str, dict[int, tuple[float, float]]] = {
+    "BT-MZ": {32: (35.21, 35.07)},
+    "CG": {32: (97.82, 78.55), 64: (93.46, 63.36)},
+    "MG": {32: (94.55, 87.28), 64: (91.50, 85.60)},
+    "IS": {32: (43.77, 8.21), 64: (49.59, 17.00)},
+    "SPECFEM3D": {32: (92.80, 92.61), 96: (79.07, 78.65)},
+    "WRF": {32: (90.60, 89.53), 128: (93.65, 85.27)},
+    "PEPC": {128: (76.12, 67.78)},
+}
+
+#: The 12 instances evaluated throughout the paper's §5, in Table 3 order.
+TABLE3_INSTANCES: tuple[str, ...] = (
+    "BT-MZ-32",
+    "CG-32",
+    "MG-32",
+    "IS-32",
+    "SPECFEM3D-32",
+    "WRF-32",
+    "CG-64",
+    "MG-64",
+    "IS-64",
+    "SPECFEM3D-96",
+    "PEPC-128",
+    "WRF-128",
+)
+
+_NAME_RE = re.compile(r"^(?P<family>.+)-(?P<nproc>\d+)$")
+
+#: NAS problem-class compute scaling relative to class C (the paper's
+#: benchmarks are class C).  Only the absolute per-iteration compute
+#: volume changes — every normalized metric is scale-invariant, which
+#: the test suite asserts.
+NAS_CLASS_FACTORS = {
+    "S": 1 / 64,
+    "W": 1 / 16,
+    "A": 1 / 4,
+    "B": 1 / 2,
+    "C": 1.0,
+    "D": 4.0,
+}
+_DEFAULT_BASE_COMPUTE = 0.02
+
+_LB_CLAMP = (8.0, 99.5)  # percent
+_PE_FLOOR = 1.0  # percent
+
+
+def parse_name(name: str) -> tuple[str, int]:
+    """Split ``"BT-MZ-32"`` into ``("BT-MZ", 32)``."""
+    m = _NAME_RE.match(name.strip())
+    if not m:
+        raise ValueError(
+            f"bad application name {name!r}; expected '<FAMILY>-<NPROC>' "
+            f"like 'CG-32'"
+        )
+    family = m.group("family").upper()
+    if family not in APP_FAMILIES:
+        raise ValueError(
+            f"unknown application family {family!r}; known: "
+            f"{sorted(APP_FAMILIES)}"
+        )
+    return family, int(m.group("nproc"))
+
+
+def _power_extrapolate(
+    points: dict[int, float], nproc: int, default_exponent: float
+) -> float:
+    """Extrapolate a positive quantity with a power law in world size.
+
+    ``points`` maps measured sizes to values; a single point uses the
+    default exponent, two or more fit it from the extreme pair.  Values
+    interpolate geometrically between measured sizes.
+    """
+    sizes = sorted(points)
+    if nproc in points:
+        return points[nproc]
+    if len(sizes) >= 2:
+        lo, hi = sizes[0], sizes[-1]
+        vlo, vhi = points[lo], points[hi]
+        if vlo > 0 and vhi > 0:
+            exponent = math.log(vhi / vlo) / math.log(hi / lo)
+        else:
+            exponent = default_exponent
+    else:
+        exponent = default_exponent
+    # anchor on the nearest measured size
+    anchor = min(sizes, key=lambda s: abs(math.log(nproc / s)))
+    v = points[anchor]
+    if v <= 0:
+        return v
+    return v * (nproc / anchor) ** exponent
+
+
+def table3_targets(family: str, nproc: int) -> tuple[float, float]:
+    """(LB, PE) targets in [0, 1] for any world size of a family.
+
+    Exact Table 3 values at measured sizes; elsewhere the imbalance
+    ``1 - LB`` follows a power law in ``nproc`` (exponent fitted per
+    family, default 0.5 — imbalance grows with scale) and the
+    communication overhead ratio ``LB/PE - 1`` likewise (default 0.8 —
+    collectives get relatively more expensive).
+    """
+    if family not in TABLE3:
+        raise ValueError(f"unknown family {family!r}")
+    measured = TABLE3[family]
+    if nproc in measured:
+        lb_pct, pe_pct = measured[nproc]
+        return lb_pct / 100.0, pe_pct / 100.0
+
+    imbalance_points = {n: 100.0 - lb for n, (lb, _) in measured.items()}
+    overhead_points = {n: lb / pe - 1.0 for n, (lb, pe) in measured.items()}
+    imbalance = _power_extrapolate(imbalance_points, nproc, default_exponent=0.5)
+    overhead = _power_extrapolate(overhead_points, nproc, default_exponent=0.8)
+
+    lb_pct = min(max(100.0 - imbalance, _LB_CLAMP[0]), _LB_CLAMP[1])
+    pe_pct = max(lb_pct / (1.0 + max(overhead, 0.0)), _PE_FLOOR)
+    return lb_pct / 100.0, pe_pct / 100.0
+
+
+def build_app(name: str, nas_class: str = "C", **kwargs: Any) -> AppSkeleton:
+    """Instantiate a calibrated skeleton from a paper-style name.
+
+    ``nas_class`` scales the computation volume like the NAS problem
+    classes (paper: class C).  Extra keyword arguments (``iterations``,
+    ``base_compute``, ``platform``, ``drift_step``, ``seed``, or
+    explicit ``target_lb``/``target_pe`` overrides) pass through to the
+    skeleton constructor; an explicit ``base_compute`` wins over the
+    class scaling.
+    """
+    if nas_class not in NAS_CLASS_FACTORS:
+        raise ValueError(
+            f"unknown NAS class {nas_class!r}; known: "
+            f"{sorted(NAS_CLASS_FACTORS)}"
+        )
+    family, nproc = parse_name(name)
+    lb, pe = table3_targets(family, nproc)
+    kwargs.setdefault("target_lb", lb)
+    kwargs.setdefault("target_pe", pe)
+    kwargs.setdefault(
+        "base_compute", _DEFAULT_BASE_COMPUTE * NAS_CLASS_FACTORS[nas_class]
+    )
+    return APP_FAMILIES[family](nproc=nproc, **kwargs)
+
+
+def app_names() -> tuple[str, ...]:
+    """The paper's 12 evaluated instances (Table 3 order)."""
+    return TABLE3_INSTANCES

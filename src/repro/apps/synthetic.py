@@ -1,0 +1,159 @@
+"""Configurable synthetic application builder.
+
+The seven named skeletons are calibrated stand-ins for the paper's
+workloads; this module exposes the same machinery as a *kit*, so users
+(and the property-based tests) can compose arbitrary study subjects:
+
+* pick an imbalance **shape** by name (``ramp``, ``decay``, ``jitter``,
+  ``bimodal``, ``wave``, ``zone``) and a target load balance;
+* pick a **communication pattern** (``allreduce``, ``alltoall``,
+  ``halo1d``, ``halo2d``, ``mixed``) and a target parallel efficiency;
+* optionally split computation into several named **phases** with
+  rotated per-phase profiles (PEPC-style multi-phase behaviour).
+
+Example::
+
+    app = build_synthetic(
+        nproc=64, target_lb=0.7, target_pe=0.5,
+        shape="decay", pattern="alltoall", name="my-sort",
+    )
+    report = PowerAwareLoadBalancer(uniform_gear_set(6)).balance_app(app)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.apps import vmpi
+from repro.apps.base import AppSkeleton
+from repro.apps.imbalance import (
+    bimodal_shape,
+    decay_shape,
+    jitter_shape,
+    ramp_shape,
+    wave_shape,
+    zone_shape,
+)
+from repro.traces.records import Record
+
+__all__ = ["SHAPES", "PATTERNS", "SyntheticSkeleton", "build_synthetic"]
+
+SHAPES: dict[str, Callable[[int, int], np.ndarray]] = {
+    "ramp": lambda n, seed: ramp_shape(n),
+    "decay": lambda n, seed: decay_shape(n),
+    "jitter": lambda n, seed: jitter_shape(n, seed),
+    "bimodal": lambda n, seed: bimodal_shape(n, seed),
+    "wave": lambda n, seed: wave_shape(n, seed),
+    "zone": lambda n, seed: zone_shape(n),
+}
+
+PATTERNS = ("allreduce", "alltoall", "halo1d", "halo2d", "mixed")
+
+
+class SyntheticSkeleton(AppSkeleton):
+    """User-composed skeleton; see the module docstring."""
+
+    family = "SYNTH"
+
+    def __init__(
+        self,
+        nproc: int,
+        target_lb: float,
+        target_pe: float,
+        shape: str = "jitter",
+        pattern: str = "allreduce",
+        phases: int = 1,
+        halo_bytes: int = 8 * 1024,
+        name: str | None = None,
+        **kwargs,
+    ):
+        if shape not in SHAPES:
+            raise ValueError(f"unknown shape {shape!r}; known: {sorted(SHAPES)}")
+        if pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown pattern {pattern!r}; known: {sorted(PATTERNS)}"
+            )
+        if phases < 1:
+            raise ValueError(f"phases must be >= 1, got {phases}")
+        if halo_bytes < 0:
+            raise ValueError(f"halo_bytes must be >= 0, got {halo_bytes}")
+        self.shape = shape
+        self.pattern = pattern
+        self.phases = phases
+        self.halo_bytes = halo_bytes
+        self._name_override = name
+        super().__init__(
+            nproc=nproc, target_lb=target_lb, target_pe=target_pe, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        if self._name_override:
+            return self._name_override
+        return f"SYNTH[{self.shape}/{self.pattern}]-{self.nproc}"
+
+    def _base_shape(self) -> np.ndarray:
+        return SHAPES[self.shape](self.nproc, self.seed)
+
+    # ------------------------------------------------------------------
+    def _comm(self, rank: int, it: int) -> Iterator[Record]:
+        """One iteration's communication, consuming the comm budget."""
+        if self.pattern == "allreduce":
+            yield vmpi.allreduce(self.sized_collective("allreduce"))
+        elif self.pattern == "alltoall":
+            yield vmpi.alltoall(self.sized_collective("alltoall"))
+        elif self.pattern == "halo1d":
+            yield from vmpi.halo_exchange_1d(
+                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16,
+                periodic=True,
+            )
+            yield vmpi.allreduce(self.sized_collective("allreduce"))
+        elif self.pattern == "halo2d":
+            yield from vmpi.halo_exchange_2d(
+                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16
+            )
+            yield vmpi.allreduce(self.sized_collective("allreduce"))
+        else:  # mixed
+            yield from vmpi.halo_exchange_1d(
+                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16,
+                periodic=True,
+            )
+            yield vmpi.allreduce(self.sized_collective("allreduce", 0.5))
+            yield vmpi.alltoall(self.sized_collective("alltoall", 0.5))
+
+    def rank_program(self, rank: int) -> Iterator[Record]:
+        t = self.base_compute
+        share = 1.0 / self.phases
+        for it in range(self.iterations):
+            yield vmpi.marker("iter", iteration=it)
+            for phase in range(self.phases):
+                # later phases rotate the profile a quarter turn each,
+                # giving PEPC-style distinct per-phase imbalance
+                shifted = (rank + phase * (self.nproc // 4)) % self.nproc
+                w = self.weight_at(shifted, it)
+                yield vmpi.compute(share * w * t, phase=f"phase{phase}")
+                if phase + 1 < self.phases:
+                    yield vmpi.barrier()
+            yield from self._comm(rank, it)
+
+
+def build_synthetic(
+    nproc: int,
+    target_lb: float,
+    target_pe: float,
+    shape: str = "jitter",
+    pattern: str = "allreduce",
+    **kwargs,
+) -> SyntheticSkeleton:
+    """Factory mirroring :func:`repro.apps.build_app` for custom apps."""
+    return SyntheticSkeleton(
+        nproc=nproc,
+        target_lb=target_lb,
+        target_pe=target_pe,
+        shape=shape,
+        pattern=pattern,
+        **kwargs,
+    )

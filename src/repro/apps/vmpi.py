@@ -1,0 +1,186 @@
+"""Virtual-MPI authoring API for rank programs.
+
+A rank program is a generator that yields trace records
+(:mod:`repro.traces.records`).  This module provides mpi4py-flavoured
+constructors and composite patterns so skeletons read like MPI code::
+
+    def program(rank):
+        yield compute(0.01 * weights[rank], phase="solve")
+        yield from halo_exchange_1d(rank, nproc, nbytes=8192)
+        yield allreduce(8)
+
+Composite patterns are deadlock-free by construction: they post all
+irecvs, then all isends, then a waitall.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.traces.records import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CollectiveRecord,
+    ComputeBurst,
+    IrecvRecord,
+    IsendRecord,
+    MarkerRecord,
+    Record,
+    RecvRecord,
+    SendRecord,
+    WaitallRecord,
+    WaitRecord,
+)
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "compute",
+    "exchange",
+    "gather",
+    "halo_exchange_1d",
+    "halo_exchange_2d",
+    "irecv",
+    "isend",
+    "marker",
+    "recv",
+    "reduce",
+    "scatter",
+    "send",
+    "wait",
+    "waitall",
+]
+
+
+# -- primitive constructors (aliases with keyword ergonomics) -----------
+
+def compute(duration: float, phase: str = "", beta: float | None = None) -> ComputeBurst:
+    return ComputeBurst(duration, phase=phase, beta=beta)
+
+
+def send(dst: int, nbytes: int, tag: int = 0) -> SendRecord:
+    return SendRecord(dst, nbytes, tag)
+
+
+def recv(src: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRecord:
+    return RecvRecord(src, tag)
+
+
+def isend(dst: int, nbytes: int, tag: int = 0, request: int = 0) -> IsendRecord:
+    return IsendRecord(dst, nbytes, tag, request)
+
+
+def irecv(src: int = ANY_SOURCE, tag: int = ANY_TAG, request: int = 0) -> IrecvRecord:
+    return IrecvRecord(src, tag, request)
+
+
+def wait(request: int) -> WaitRecord:
+    return WaitRecord(request)
+
+
+def waitall(requests: Sequence[int]) -> WaitallRecord:
+    return WaitallRecord(tuple(requests))
+
+
+def marker(label: str, iteration: int = -1) -> MarkerRecord:
+    return MarkerRecord(label, iteration)
+
+
+def barrier() -> CollectiveRecord:
+    return CollectiveRecord("barrier")
+
+
+def bcast(nbytes: int, root: int = 0) -> CollectiveRecord:
+    return CollectiveRecord("bcast", nbytes, root)
+
+
+def reduce(nbytes: int, root: int = 0) -> CollectiveRecord:
+    return CollectiveRecord("reduce", nbytes, root)
+
+
+def allreduce(nbytes: int) -> CollectiveRecord:
+    return CollectiveRecord("allreduce", nbytes)
+
+
+def gather(nbytes: int, root: int = 0) -> CollectiveRecord:
+    return CollectiveRecord("gather", nbytes, root)
+
+
+def scatter(nbytes: int, root: int = 0) -> CollectiveRecord:
+    return CollectiveRecord("scatter", nbytes, root)
+
+
+def allgather(nbytes: int) -> CollectiveRecord:
+    return CollectiveRecord("allgather", nbytes)
+
+
+def alltoall(nbytes: int) -> CollectiveRecord:
+    return CollectiveRecord("alltoall", nbytes)
+
+
+# -- composite, deadlock-free exchange patterns --------------------------
+
+def exchange(rank: int, partners: Sequence[int], nbytes: int,
+             tag: int = 0) -> Iterator[Record]:
+    """Symmetric non-blocking exchange with a set of partner ranks.
+
+    Every rank must call this with a *consistent* partner relation
+    (``a`` lists ``b`` iff ``b`` lists ``a``).  Posts irecvs, then
+    isends, then waits on everything — the canonical safe halo pattern.
+    """
+    partners = [p for p in partners if p != rank]
+    requests = []
+    req = 0
+    for p in partners:
+        yield IrecvRecord(src=p, tag=tag, request=req)
+        requests.append(req)
+        req += 1
+    for p in partners:
+        yield IsendRecord(dst=p, nbytes=nbytes, tag=tag, request=req)
+        requests.append(req)
+        req += 1
+    if requests:
+        yield WaitallRecord(tuple(requests))
+
+
+def halo_exchange_1d(rank: int, nproc: int, nbytes: int, tag: int = 0,
+                     periodic: bool = False) -> Iterator[Record]:
+    """Left/right neighbour exchange on a 1-D decomposition."""
+    partners = []
+    for delta in (-1, +1):
+        p = rank + delta
+        if periodic:
+            p %= nproc
+        if 0 <= p < nproc and p != rank:
+            partners.append(p)
+    yield from exchange(rank, sorted(set(partners)), nbytes, tag)
+
+
+def _grid_dims(nproc: int) -> tuple[int, int]:
+    """Most-square 2-D factorisation of the world size."""
+    best = (1, nproc)
+    for rows in range(1, int(nproc**0.5) + 1):
+        if nproc % rows == 0:
+            best = (rows, nproc // rows)
+    return best
+
+
+def halo_exchange_2d(rank: int, nproc: int, nbytes: int, tag: int = 0,
+                     periodic: bool = False) -> Iterator[Record]:
+    """North/south/east/west exchange on the most-square 2-D grid."""
+    rows, cols = _grid_dims(nproc)
+    r, c = divmod(rank, cols)
+    partners = set()
+    for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        rr, cc = r + dr, c + dc
+        if periodic:
+            rr %= rows
+            cc %= cols
+        if 0 <= rr < rows and 0 <= cc < cols:
+            p = rr * cols + cc
+            if p != rank:
+                partners.add(p)
+    yield from exchange(rank, sorted(partners), nbytes, tag)

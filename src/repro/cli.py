@@ -1,0 +1,383 @@
+"""Command-line interface.
+
+::
+
+    repro list                          # available experiments
+    repro run fig2 [--csv f.csv]        # regenerate a table/figure
+    repro balance BT-MZ-32 --gears uniform:6 --algorithm max
+    repro trace CG-32 -o cg32.jsonl     # record a skeleton trace
+    repro timeline BT-MZ-32             # ASCII Fig.1-style timeline
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_gear_set"]
+
+
+def build_gear_set(spec: str):
+    """Parse a gear-set spec: ``uniform:N``, ``exponential:N``,
+    ``unlimited``, ``limited``, ``limited+ocP`` or ``avg-discrete``."""
+    from repro.core.gears import (
+        exponential_gear_set,
+        limited_continuous_set,
+        overclocked,
+        uniform_gear_set,
+        unlimited_continuous_set,
+    )
+
+    spec = spec.strip().lower()
+    if spec == "unlimited":
+        return unlimited_continuous_set()
+    if spec == "limited":
+        return limited_continuous_set()
+    if spec == "avg-discrete":
+        from repro.experiments.fig9 import avg_discrete_set
+
+        return avg_discrete_set()
+    if spec.startswith("limited+oc"):
+        return overclocked(limited_continuous_set(), float(spec[len("limited+oc"):]))
+    for prefix, factory in (("uniform:", uniform_gear_set),
+                            ("exponential:", exponential_gear_set)):
+        if spec.startswith(prefix):
+            return factory(int(spec[len(prefix):]))
+    raise argparse.ArgumentTypeError(
+        f"bad gear set {spec!r}; try uniform:6, exponential:5, unlimited, "
+        "limited, limited+oc10, avg-discrete"
+    )
+
+
+def _config_from(args: argparse.Namespace):
+    from repro.experiments.runner import RunnerConfig
+
+    kwargs = {}
+    if getattr(args, "iterations", None):
+        kwargs["iterations"] = args.iterations
+    if getattr(args, "beta", None) is not None:
+        kwargs["beta"] = args.beta
+    if getattr(args, "apps", None):
+        kwargs["apps"] = tuple(a.strip() for a in args.apps.split(","))
+    if getattr(args, "platform", None):
+        from repro.netsim.config import load_platform
+
+        kwargs["platform"] = load_platform(args.platform)
+    return RunnerConfig(**kwargs)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENT_IDS
+
+    for eid in EXPERIMENT_IDS:
+        print(eid)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import get_experiment
+
+    result = get_experiment(args.experiment)(_config_from(args))
+    if args.md:
+        from repro.experiments.report import format_markdown
+
+        print(format_markdown(result.columns, result.rows, decimals=args.decimals))
+    else:
+        print(result.to_ascii(decimals=args.decimals))
+    if args.experiment == "fig1":
+        print("\n--- original ---")
+        print(result.series["ascii_original"])
+        print("\n--- after MAX ---")
+        print(result.series["ascii_after"])
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.svg:
+        numeric = [
+            c for c in result.columns
+            if result.rows and isinstance(result.rows[0].get(c), (int, float))
+        ]
+        if args.experiment == "fig1":
+            svg = result.series["svg_after"]
+        else:
+            svg = result.to_svg(result.columns[0], numeric[:6])
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(f"wrote {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _cmd_platform(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.netsim.config import platform_to_dict
+    from repro.netsim.platform import MYRINET_LIKE
+
+    text = json.dumps(platform_to_dict(MYRINET_LIKE), indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.apps import build_app
+    from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+    from repro.core.balancer import PowerAwareLoadBalancer
+    from repro.core.timemodel import BetaTimeModel
+
+    algorithm = {"max": MaxAlgorithm, "avg": AvgAlgorithm}[args.algorithm]()
+    balancer = PowerAwareLoadBalancer(
+        gear_set=build_gear_set(args.gears),
+        algorithm=algorithm,
+        time_model=BetaTimeModel(fmax=2.3, beta=args.beta),
+    )
+    app = build_app(args.app, iterations=args.iterations)
+    report = balancer.balance_app(app)
+    print(report)
+    for key, value in sorted(report.row().items()):
+        print(f"  {key:28s} {value}")
+    if args.save_assignment:
+        import json
+
+        with open(args.save_assignment, "w", encoding="utf-8") as fh:
+            json.dump(report.assignment.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.save_assignment}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Side-by-side: every strategy this library implements, one app."""
+    from repro.apps import build_app
+    from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+    from repro.core.balancer import PowerAwareLoadBalancer
+    from repro.core.dynamic import CommPhaseScalingRuntime, JitterRuntime
+    from repro.core.gears import uniform_gear_set
+    from repro.core.phasebalancer import PhaseAwareLoadBalancer
+    from repro.experiments.fig9 import avg_discrete_set
+    from repro.experiments.report import format_table
+    from repro.netsim.simulator import MpiSimulator
+
+    gear_set = build_gear_set(args.gears)
+    app = build_app(args.app, iterations=max(args.iterations, 2))
+    trace = MpiSimulator().run(
+        app.programs(), record_trace=True, meta={"name": app.name}
+    ).trace
+
+    rows = []
+
+    def add(label, energy, time):
+        rows.append(
+            {
+                "strategy": label,
+                "normalized_energy_pct": 100.0 * energy,
+                "normalized_time_pct": 100.0 * time,
+                "normalized_edp_pct": 100.0 * energy * time,
+            }
+        )
+
+    r = PowerAwareLoadBalancer(gear_set=gear_set).balance_trace(
+        trace, algorithm=MaxAlgorithm()
+    )
+    add("MAX (paper, static)", r.normalized_energy, r.normalized_time)
+    r = PowerAwareLoadBalancer(gear_set=avg_discrete_set()).balance_trace(
+        trace, algorithm=AvgAlgorithm()
+    )
+    add("AVG (paper, +2.6 GHz gear)", r.normalized_energy, r.normalized_time)
+    p = PhaseAwareLoadBalancer(gear_set=gear_set).balance_trace(trace)
+    add("per-phase MAX (future work)", p.normalized_energy, p.normalized_time)
+    j = JitterRuntime(gear_set=gear_set).run(trace)
+    add("Jitter (dynamic)", j.normalized_energy, j.normalized_time)
+    c = CommPhaseScalingRuntime(gear_set=uniform_gear_set(6)).run(trace)
+    add("comm-phase scaling", c.normalized_energy, c.normalized_time)
+
+    print(format_table(
+        ["strategy", "normalized_energy_pct", "normalized_time_pct",
+         "normalized_edp_pct"],
+        rows,
+        title=f"DVFS strategies on {app.name} "
+              f"(LB {r.load_balance:.1%}, gears {gear_set.name})",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps import build_app
+    from repro.core.balancer import PowerAwareLoadBalancer
+    from repro.core.gears import uniform_gear_set
+    from repro.traces.jsonio import write_trace
+
+    app = build_app(args.app, iterations=args.iterations)
+    balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+    trace = balancer.trace_app(app)
+    write_trace(trace, args.output)
+    print(f"wrote {args.output} ({trace.total_records()} records, "
+          f"{trace.nproc} ranks)")
+    return 0
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import reproduce_all
+
+    experiments = None
+    if args.experiments:
+        experiments = tuple(e.strip() for e in args.experiments.split(","))
+    reproduce_all(args.out, _config_from(args), experiments=experiments)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.netsim.simulator import MpiSimulator
+    from repro.traces.analysis import trace_stats
+    from repro.traces.iterstats import iteration_stats
+    from repro.traces.jsonio import read_trace
+
+    trace = read_trace(args.trace)
+    trace.validate()
+    print(f"{args.trace}: structurally valid")
+    result = MpiSimulator().run_trace(trace)
+    stats = trace_stats(trace, result.execution_time)
+    print(f"  name:                {stats.name}")
+    print(f"  ranks:               {stats.nproc}")
+    print(f"  records:             {stats.total_records}")
+    print(f"  iterations:          {stats.iterations}")
+    print(f"  load balance:        {stats.load_balance:.2%}")
+    print(f"  parallel efficiency: {stats.parallel_efficiency:.2%}")
+    print(f"  replay time:         {result.execution_time:.6g} s")
+    print(f"  bytes sent:          {stats.bytes_sent}")
+    if stats.collective_counts:
+        ops = ", ".join(
+            f"{op}x{n}" for op, n in sorted(stats.collective_counts.items())
+        )
+        print(f"  collectives:         {ops}")
+    if stats.iterations >= 2:
+        it = iteration_stats(trace)
+        print(f"  per-iteration LB:    {it.mean_lb:.2%} (mean)")
+        print(f"  drift:               {it.drift:.3f}  "
+              f"max rank CV: {it.max_rank_cv:.3f}")
+    from repro.traces.analysis import top_communicators
+
+    pairs = top_communicators(trace, k=5)
+    if pairs:
+        print("  heaviest p2p pairs:  " + ", ".join(
+            f"r{src}->r{dst} {int(nbytes)}B" for src, dst, nbytes in pairs
+        ))
+    from repro.traces.lint import lint_trace
+
+    findings = lint_trace(trace)
+    if findings:
+        print(f"  lint ({len(findings)} finding(s)):")
+        for warning in findings[:10]:
+            print(f"    {warning}")
+        if len(findings) > 10:
+            print(f"    ... and {len(findings) - 10} more")
+    else:
+        print("  lint:                clean")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.apps import build_app
+    from repro.netsim.simulator import MpiSimulator
+    from repro.traces.timeline import ascii_timeline
+
+    app = build_app(args.app, iterations=args.iterations)
+    result = MpiSimulator().run(app.programs(), record_intervals=True)
+    print(ascii_timeline(result, width=args.width, detailed=args.detailed))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware DVFS load balancing of MPI applications "
+        "(IPDPS'09 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate a paper table/figure")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--csv", help="also write rows as CSV")
+    p_run.add_argument("--svg", help="also write a bar-chart/timeline SVG")
+    p_run.add_argument("--iterations", type=int, default=None)
+    p_run.add_argument("--beta", type=float, default=None)
+    p_run.add_argument("--apps", help="comma-separated instance subset")
+    p_run.add_argument("--platform", help="platform JSON file (see 'platform')")
+    p_run.add_argument("--decimals", type=int, default=2)
+    p_run.add_argument("--md", action="store_true", help="markdown table output")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser(
+        "reproduce-all", help="regenerate every table/figure into a directory"
+    )
+    p_all.add_argument("--out", default="results")
+    p_all.add_argument("--iterations", type=int, default=None)
+    p_all.add_argument("--beta", type=float, default=None)
+    p_all.add_argument("--apps", help="comma-separated instance subset")
+    p_all.add_argument("--platform", help="platform JSON file")
+    p_all.add_argument(
+        "--experiments", help="comma-separated experiment-id subset"
+    )
+    p_all.set_defaults(fn=_cmd_reproduce_all)
+
+    p_info = sub.add_parser(
+        "info", help="validate a trace file and print its statistics"
+    )
+    p_info.add_argument("trace", help="JSON-lines trace file (.jsonl / .jsonl.gz)")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_plat = sub.add_parser(
+        "platform", help="dump the reference platform as JSON (edit + pass "
+        "back with --platform)"
+    )
+    p_plat.add_argument("-o", "--output", default="-")
+    p_plat.set_defaults(fn=_cmd_platform)
+
+    p_bal = sub.add_parser("balance", help="balance one application")
+    p_bal.add_argument("app", help="e.g. BT-MZ-32")
+    p_bal.add_argument("--gears", default="uniform:6")
+    p_bal.add_argument("--algorithm", choices=("max", "avg"), default="max")
+    p_bal.add_argument("--beta", type=float, default=0.5)
+    p_bal.add_argument("--iterations", type=int, default=6)
+    p_bal.add_argument(
+        "--save-assignment",
+        help="write the per-rank frequency assignment as JSON",
+    )
+    p_bal.set_defaults(fn=_cmd_balance)
+
+    p_cmp = sub.add_parser(
+        "compare", help="side-by-side DVFS strategies for one application"
+    )
+    p_cmp.add_argument("app")
+    p_cmp.add_argument("--gears", default="uniform:6")
+    p_cmp.add_argument("--iterations", type=int, default=6)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_tr = sub.add_parser("trace", help="record a skeleton trace to JSON-lines")
+    p_tr.add_argument("app")
+    p_tr.add_argument("-o", "--output", default="trace.jsonl")
+    p_tr.add_argument("--iterations", type=int, default=6)
+    p_tr.set_defaults(fn=_cmd_trace)
+
+    p_tl = sub.add_parser("timeline", help="ASCII timeline of one run")
+    p_tl.add_argument("app")
+    p_tl.add_argument("--iterations", type=int, default=4)
+    p_tl.add_argument("--width", type=int, default=100)
+    p_tl.add_argument("--detailed", action="store_true")
+    p_tl.set_defaults(fn=_cmd_timeline)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

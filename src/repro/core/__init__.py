@@ -1,0 +1,94 @@
+"""The paper's contribution: DVFS gear sets, power/time models and the
+MAX / AVG frequency-assignment algorithms.
+
+Typical flow (mirrors the paper's §4 simulation methodology)::
+
+    from repro.apps import build_app
+    from repro.core import (
+        PowerAwareLoadBalancer, MaxAlgorithm, AvgAlgorithm, uniform_gear_set,
+    )
+
+    app = build_app("BT-MZ-32")
+    balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+    report = balancer.balance_app(app, algorithm=MaxAlgorithm())
+    print(report.normalized_energy, report.normalized_edp)
+"""
+
+from repro.core.gears import (
+    NOMINAL_FMAX,
+    NOMINAL_FMIN,
+    ContinuousGearSet,
+    DiscreteGearSet,
+    Gear,
+    GearSet,
+    LinearVoltageLaw,
+    exponential_gear_set,
+    limited_continuous_set,
+    overclocked,
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+from repro.core.timemodel import (
+    BetaTimeModel,
+    required_frequency,
+    scaled_time,
+    time_ratio,
+)
+from repro.core.power import CpuPowerModel
+from repro.core.energy import EnergyAccountant, EnergyBreakdown
+from repro.core.metrics import edp, normalized, savings_pct
+from repro.core.algorithms import (
+    AvgAlgorithm,
+    FrequencyAssignment,
+    MaxAlgorithm,
+    NoDvfsAlgorithm,
+)
+from repro.core.baselines import LpBoundAlgorithm, PerPhaseOracleAlgorithm
+from repro.core.balancer import BalanceReport, PowerAwareLoadBalancer
+from repro.core.dynamic import (
+    CommPhaseScalingRuntime,
+    DynamicReport,
+    JitterRuntime,
+)
+from repro.core.phasebalancer import PhaseAwareLoadBalancer, PhaseBalanceReport
+from repro.core.system import SystemEnergyView, SystemPowerModel
+
+__all__ = [
+    "AvgAlgorithm",
+    "BalanceReport",
+    "BetaTimeModel",
+    "CommPhaseScalingRuntime",
+    "ContinuousGearSet",
+    "CpuPowerModel",
+    "DiscreteGearSet",
+    "DynamicReport",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "FrequencyAssignment",
+    "Gear",
+    "GearSet",
+    "JitterRuntime",
+    "LinearVoltageLaw",
+    "LpBoundAlgorithm",
+    "MaxAlgorithm",
+    "NOMINAL_FMAX",
+    "NOMINAL_FMIN",
+    "NoDvfsAlgorithm",
+    "PerPhaseOracleAlgorithm",
+    "PhaseAwareLoadBalancer",
+    "PhaseBalanceReport",
+    "PowerAwareLoadBalancer",
+    "SystemEnergyView",
+    "SystemPowerModel",
+    "edp",
+    "exponential_gear_set",
+    "limited_continuous_set",
+    "normalized",
+    "overclocked",
+    "required_frequency",
+    "savings_pct",
+    "scaled_time",
+    "time_ratio",
+    "uniform_gear_set",
+    "unlimited_continuous_set",
+]

@@ -1,0 +1,263 @@
+"""Frequency-assignment algorithms (paper §3.1).
+
+Both algorithms take the per-rank computation times of one iterative
+region (measured at the nominal top frequency) and produce one gear per
+rank, fixed for the whole execution:
+
+* :class:`MaxAlgorithm` — the prior-art baseline (static Jitter/Slack):
+  stretch every rank's computation to the *maximum* original per-rank
+  computation time.  Never exceeds the nominal top frequency.
+* :class:`AvgAlgorithm` — the paper's contribution: pull every rank's
+  computation toward the *average* original computation time,
+  over-clocking the most loaded ranks.  When the imbalance is too high
+  for the available ceiling, the target degrades gracefully to "the
+  closest attainable time to the average".
+* :class:`NoDvfsAlgorithm` — every rank at the top gear (the
+  normalisation baseline).
+
+Gear rounding follows §3.1: the selected frequency is the closest gear
+*above* the required frequency, so computation never finishes later
+than the target (modulo an unattainable target, which is flagged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.gears import Gear, GearSet
+from repro.core.timemodel import BetaTimeModel
+
+__all__ = [
+    "AvgAlgorithm",
+    "FrequencyAssignment",
+    "FrequencyAlgorithm",
+    "MaxAlgorithm",
+    "NoDvfsAlgorithm",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyAssignment:
+    """One gear per rank, plus provenance.
+
+    Attributes
+    ----------
+    gears:
+        The per-rank operating points.
+    target_time:
+        The computation time the algorithm balanced toward.
+    overclocked:
+        Per-rank flags: gear frequency above the nominal maximum.
+    attained:
+        Per-rank flags: False where even the fastest/slowest available
+        gear could not meet the target (time then exceeds the target).
+    algorithm:
+        Name of the producing algorithm (reports).
+    """
+
+    gears: tuple[Gear, ...]
+    target_time: float
+    overclocked: tuple[bool, ...]
+    attained: tuple[bool, ...]
+    algorithm: str
+
+    @property
+    def nproc(self) -> int:
+        return len(self.gears)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        return np.array([g.frequency for g in self.gears])
+
+    @property
+    def overclocked_fraction(self) -> float:
+        """Fraction of CPUs running above the nominal maximum (Fig. 9)."""
+        if not self.overclocked:
+            return 0.0
+        return sum(self.overclocked) / len(self.overclocked)
+
+    def predicted_compute_times(
+        self, compute_times: Sequence[float], model: BetaTimeModel
+    ) -> np.ndarray:
+        """Per-rank computation time after scaling (model prediction)."""
+        compute_times = np.asarray(compute_times, dtype=float)
+        return np.array(
+            [
+                model.scale(t, g.frequency)
+                for t, g in zip(compute_times, self.gears)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``repro balance --save-assignment``)."""
+        return {
+            "algorithm": self.algorithm,
+            "target_time": float(self.target_time),
+            "gears": [[float(g.frequency), float(g.voltage)] for g in self.gears],
+            "overclocked": [bool(x) for x in self.overclocked],
+            "attained": [bool(x) for x in self.attained],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrequencyAssignment":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        try:
+            gears = tuple(Gear(f, v) for f, v in data["gears"])
+            return cls(
+                gears=gears,
+                target_time=float(data["target_time"]),
+                overclocked=tuple(bool(x) for x in data["overclocked"]),
+                attained=tuple(bool(x) for x in data["attained"]),
+                algorithm=str(data["algorithm"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed assignment dict: {exc}") from exc
+
+
+class FrequencyAlgorithm:
+    """Interface for frequency-assignment strategies."""
+
+    name: str = "algorithm"
+
+    def assign(
+        self,
+        compute_times: Sequence[float],
+        gear_set: GearSet,
+        model: BetaTimeModel,
+    ) -> FrequencyAssignment:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _assign_to_target(
+        self,
+        compute_times: np.ndarray,
+        target: float,
+        gear_set: GearSet,
+        model: BetaTimeModel,
+        nominal_fmax: float,
+    ) -> FrequencyAssignment:
+        """Shared core: pick, per rank, the slowest gear meeting ``target``."""
+        gears: list[Gear] = []
+        over: list[bool] = []
+        attained: list[bool] = []
+        for t in compute_times:
+            f_req = model.frequency_for(t, target)
+            sel = gear_set.select(f_req)
+            gears.append(sel.gear)
+            over.append(sel.gear.frequency > nominal_fmax * (1.0 + 1e-12))
+            attained.append(sel.attained)
+        return FrequencyAssignment(
+            gears=tuple(gears),
+            target_time=float(target),
+            overclocked=tuple(over),
+            attained=tuple(attained),
+            algorithm=self.name,
+        )
+
+    @staticmethod
+    def _validate(compute_times: Sequence[float]) -> np.ndarray:
+        times = np.asarray(compute_times, dtype=float)
+        if times.size == 0:
+            raise ValueError("need at least one rank")
+        if (times < 0.0).any():
+            raise ValueError("computation times must be >= 0")
+        if times.max() <= 0.0:
+            raise ValueError("at least one rank must compute")
+        return times
+
+
+class MaxAlgorithm(FrequencyAlgorithm):
+    """Balance every rank to the *maximum* computation time (prior art).
+
+    The most loaded rank keeps the top frequency; everyone else slows
+    down just enough to finish with it.  Execution time is (to first
+    order) unchanged; CPU energy drops.
+    """
+
+    name = "MAX"
+
+    def assign(
+        self,
+        compute_times: Sequence[float],
+        gear_set: GearSet,
+        model: BetaTimeModel,
+    ) -> FrequencyAssignment:
+        times = self._validate(compute_times)
+        target = float(times.max())
+        return self._assign_to_target(
+            times, target, gear_set, model, nominal_fmax=model.fmax
+        )
+
+
+class AvgAlgorithm(FrequencyAlgorithm):
+    """Balance every rank toward the *average* computation time (paper).
+
+    Ranks above the average need frequencies above nominal; the gear set
+    passed in must therefore include the over-clock headroom (a raised
+    continuous ceiling via :func:`repro.core.gears.overclocked`, or a
+    discrete set extended with the (2.6 GHz, 1.6 V) gear).
+
+    When even the ceiling cannot bring the most loaded rank down to the
+    average, the target becomes the *closest attainable* time to the
+    average: ``max(average, min-time-of-every-rank-at-ceiling)``.
+    """
+
+    name = "AVG"
+
+    def __init__(self, target: str = "mean"):
+        if target not in ("mean", "median", "p90"):
+            raise ValueError(
+                f"target must be 'mean', 'median' or 'p90', got {target!r}"
+            )
+        self.target = target
+        self.name = "AVG" if target == "mean" else f"AVG[{target}]"
+
+    def _target_time(self, times: np.ndarray) -> float:
+        if self.target == "mean":
+            return float(times.mean())
+        if self.target == "median":
+            return float(np.median(times))
+        return float(np.percentile(times, 90))
+
+    def assign(
+        self,
+        compute_times: Sequence[float],
+        gear_set: GearSet,
+        model: BetaTimeModel,
+    ) -> FrequencyAssignment:
+        times = self._validate(compute_times)
+        wanted = self._target_time(times)
+        # Fastest completion attainable for each rank given the ceiling:
+        ceiling = gear_set.fmax
+        floor_time = max(model.scale(t, ceiling) for t in times)
+        target = max(wanted, floor_time)
+        return self._assign_to_target(
+            times, target, gear_set, model, nominal_fmax=model.fmax
+        )
+
+
+class NoDvfsAlgorithm(FrequencyAlgorithm):
+    """Every rank at the nominal top gear — the normalisation baseline."""
+
+    name = "no-DVFS"
+
+    def assign(
+        self,
+        compute_times: Sequence[float],
+        gear_set: GearSet,
+        model: BetaTimeModel,
+    ) -> FrequencyAssignment:
+        times = self._validate(compute_times)
+        sel = gear_set.select(model.fmax)
+        gears = tuple(sel.gear for _ in range(times.size))
+        return FrequencyAssignment(
+            gears=gears,
+            target_time=float(times.max()),
+            overclocked=tuple(False for _ in gears),
+            attained=tuple(sel.attained for _ in gears),
+            algorithm=self.name,
+        )

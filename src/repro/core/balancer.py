@@ -1,0 +1,258 @@
+"""End-to-end orchestration of the paper's simulation methodology (§4).
+
+For one application (or recorded trace) the
+:class:`PowerAwareLoadBalancer`:
+
+1. replays the original trace at nominal speed → original execution
+   time and energy (the normalization baseline);
+2. extracts per-rank computation times and runs a frequency-assignment
+   algorithm against a gear set;
+3. rewrites the trace's compute bursts for the assigned frequencies
+   (the Dimemas tracefile modification);
+4. replays the modified trace → new execution time;
+5. integrates CPU energy for both runs and reports normalized
+   energy / time / EDP plus LB, PE and the over-clocked CPU fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.core.algorithms import (
+    FrequencyAlgorithm,
+    FrequencyAssignment,
+    MaxAlgorithm,
+)
+from repro.core.energy import EnergyAccountant, EnergyBreakdown
+from repro.core.gears import NOMINAL_FMAX, GearSet
+from repro.core.metrics import normalized
+from repro.core.power import CpuPowerModel
+from repro.core.timemodel import BetaTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.record import RunResult
+    from repro.traces.trace import Trace
+
+__all__ = ["BalanceReport", "PowerAwareLoadBalancer"]
+
+
+@dataclass
+class BalanceReport:
+    """Everything the paper reports for one (app, algorithm, gear set) cell."""
+
+    app: str
+    nproc: int
+    algorithm: str
+    gear_set: str
+    load_balance: float
+    parallel_efficiency: float
+    original_time: float
+    new_time: float
+    original_energy: EnergyBreakdown
+    new_energy: EnergyBreakdown
+    assignment: FrequencyAssignment
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def normalized_energy(self) -> float:
+        return normalized(self.new_energy.total, self.original_energy.total)
+
+    @property
+    def normalized_time(self) -> float:
+        return normalized(self.new_time, self.original_time)
+
+    @property
+    def normalized_edp(self) -> float:
+        return normalized(self.new_energy.edp(), self.original_energy.edp())
+
+    @property
+    def energy_savings_pct(self) -> float:
+        return 100.0 * (1.0 - self.normalized_energy)
+
+    @property
+    def overclocked_pct(self) -> float:
+        return 100.0 * self.assignment.overclocked_fraction
+
+    def row(self) -> dict[str, Any]:
+        """Flat dict for tabular/CSV reporting."""
+        return {
+            "application": self.app,
+            "nproc": self.nproc,
+            "algorithm": self.algorithm,
+            "gear_set": self.gear_set,
+            "load_balance_pct": 100.0 * self.load_balance,
+            "parallel_efficiency_pct": 100.0 * self.parallel_efficiency,
+            "normalized_energy": self.normalized_energy,
+            "normalized_time": self.normalized_time,
+            "normalized_edp": self.normalized_edp,
+            "overclocked_pct": self.overclocked_pct,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.app} [{self.algorithm} / {self.gear_set}] "
+            f"energy={self.normalized_energy:.1%} time={self.normalized_time:.1%} "
+            f"EDP={self.normalized_edp:.1%} overclocked={self.overclocked_pct:.1f}%"
+        )
+
+
+class PowerAwareLoadBalancer:
+    """The paper's power-analysis module + Dimemas loop in one object.
+
+    Parameters
+    ----------
+    gear_set:
+        The DVFS gear set to assign from.
+    algorithm:
+        Default frequency-assignment algorithm (MAX if omitted);
+        ``balance_*`` calls may override per invocation.
+    power_model / time_model:
+        The β time model and the CPU power model (paper defaults).
+    platform:
+        Replay platform; ``None`` uses the Myrinet-like reference.
+    """
+
+    def __init__(
+        self,
+        gear_set: GearSet,
+        algorithm: FrequencyAlgorithm | None = None,
+        power_model: CpuPowerModel | None = None,
+        time_model: BetaTimeModel | None = None,
+        platform: "Any | None" = None,
+    ):
+        from repro.netsim.simulator import MpiSimulator
+
+        self.gear_set = gear_set
+        self.algorithm = algorithm or MaxAlgorithm()
+        self.power_model = power_model or CpuPowerModel()
+        self.time_model = time_model or BetaTimeModel(fmax=NOMINAL_FMAX)
+        self.simulator = MpiSimulator(platform=platform, time_model=self.time_model)
+        self.accountant = EnergyAccountant(self.power_model)
+
+    # ------------------------------------------------------------------
+    def trace_app(self, app: "Any") -> "Trace":
+        """Run an application skeleton once at nominal speed, recording."""
+        result = self.simulator.run(
+            app.programs(), record_trace=True, meta={"name": app.name}
+        )
+        trace = result.trace
+        trace.meta.setdefault("nproc", trace.nproc)
+        return trace
+
+    def balance_app(
+        self, app: "Any", algorithm: FrequencyAlgorithm | None = None
+    ) -> BalanceReport:
+        """Trace an application skeleton, then balance the trace."""
+        return self.balance_trace(self.trace_app(app), algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    def balance_trace(
+        self, trace: "Trace", algorithm: FrequencyAlgorithm | None = None
+    ) -> BalanceReport:
+        """The full §4 pipeline on a recorded trace."""
+        from repro.traces.analysis import compute_times, load_balance_from_times
+        from repro.traces.transform import scale_compute
+
+        algorithm = algorithm or self.algorithm
+        nominal_gear = self.power_model.law.gear(self.time_model.fmax)
+
+        # 1. original replay (everything at nominal top frequency)
+        original = self.simulator.run_trace(trace)
+        comp = compute_times(trace)
+        lb = load_balance_from_times(comp)
+        pe = float(comp.sum() / (comp.size * original.execution_time))
+
+        # 2. frequency assignment
+        assignment = algorithm.assign(comp, self.gear_set, self.time_model)
+
+        # 3. tracefile rewrite + 4. replay of the modified trace
+        scaled = scale_compute(trace, assignment.frequencies, self.time_model)
+        modified = self.simulator.run_trace(scaled)
+
+        # 5. energy integration
+        original_energy = self.accountant.run_energy(
+            original.compute_times,
+            original.execution_time,
+            [nominal_gear] * trace.nproc,
+        )
+        new_energy = self.accountant.run_energy(
+            modified.compute_times,
+            modified.execution_time,
+            list(assignment.gears),
+        )
+
+        return BalanceReport(
+            app=trace.name,
+            nproc=trace.nproc,
+            algorithm=assignment.algorithm,
+            gear_set=self.gear_set.name,
+            load_balance=lb,
+            parallel_efficiency=pe,
+            original_time=original.execution_time,
+            new_time=modified.execution_time,
+            original_energy=original_energy,
+            new_energy=new_energy,
+            assignment=assignment,
+            meta={
+                "trace_meta": dict(trace.meta),
+                # raw replay data, so power-model sweeps (static fraction,
+                # activity factor) can re-account energy without re-simulating
+                "original_compute_times": original.compute_times,
+                "new_compute_times": modified.compute_times,
+                "nominal_gear": nominal_gear,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def reaccount(
+        self, report: BalanceReport, power_model: CpuPowerModel
+    ) -> BalanceReport:
+        """Re-integrate a report's energy under a different power model.
+
+        Times and the frequency assignment are power-model independent,
+        so sweeps over static fraction (§5.3.4) or activity factor
+        (§5.3.5) only need new energy integrals, not new replays.
+        """
+        accountant = EnergyAccountant(power_model)
+        nominal_gear = report.meta["nominal_gear"]
+        original_energy = accountant.run_energy(
+            report.meta["original_compute_times"],
+            report.original_time,
+            [nominal_gear] * report.nproc,
+        )
+        new_energy = accountant.run_energy(
+            report.meta["new_compute_times"],
+            report.new_time,
+            list(report.assignment.gears),
+        )
+        return BalanceReport(
+            app=report.app,
+            nproc=report.nproc,
+            algorithm=report.algorithm,
+            gear_set=report.gear_set,
+            load_balance=report.load_balance,
+            parallel_efficiency=report.parallel_efficiency,
+            original_time=report.original_time,
+            new_time=report.new_time,
+            original_energy=original_energy,
+            new_energy=new_energy,
+            assignment=report.assignment,
+            meta=dict(report.meta),
+        )
+
+    # ------------------------------------------------------------------
+    def replay_pair(self, trace: "Trace", assignment: FrequencyAssignment
+                    ) -> "tuple[RunResult, RunResult]":
+        """Original + modified replays for a given assignment (Fig. 1).
+
+        Both runs record state intervals so they can be rendered with
+        :mod:`repro.traces.timeline`.
+        """
+        from repro.traces.transform import scale_compute
+
+        original = self.simulator.run_trace(trace, record_intervals=True)
+        scaled = scale_compute(trace, assignment.frequencies, self.time_model)
+        modified = self.simulator.run_trace(scaled, record_intervals=True)
+        return original, modified

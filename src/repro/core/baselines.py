@@ -1,0 +1,174 @@
+"""Comparison baselines beyond MAX.
+
+* :class:`LpBoundAlgorithm` — a linear-programming *bound* on CPU energy
+  in the spirit of Rountree et al., "Bounding energy consumption in
+  large-scale MPI programs" (SC'07), the paper's reference [21].  Each
+  rank may split its work across gears (fractional schedule); the LP
+  minimises energy subject to finishing within a slack factor of the
+  original critical path.  This is a lower bound no single-gear static
+  assignment can beat, so it is the natural yardstick for MAX/AVG.
+
+* :class:`PerPhaseOracleAlgorithm` — the paper's future-work fix for
+  PEPC: assign a frequency per *computation phase* instead of one per
+  run, removing the penalty caused by phases with different imbalance
+  ("two major computation phases with different load imbalance in one
+  iteration, while only a single DVFS setting is used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.algorithms import FrequencyAlgorithm, FrequencyAssignment
+from repro.core.gears import DiscreteGearSet, GearSet
+from repro.core.power import CpuPowerModel, CpuState
+from repro.core.timemodel import BetaTimeModel
+
+__all__ = ["LpBoundAlgorithm", "LpSchedule", "PerPhaseOracleAlgorithm"]
+
+
+@dataclass(frozen=True)
+class LpSchedule:
+    """Result of the LP bound.
+
+    ``fractions[k, g]`` is the fraction of rank *k*'s work (in
+    nominal-frequency seconds) executed at gear *g*; rows sum to 1.
+    ``compute_energy`` covers computation only — communication/wait
+    energy depends on the replayed schedule and is added by the caller
+    when comparing against full-run numbers.
+    """
+
+    fractions: np.ndarray
+    compute_times: np.ndarray  # per-rank compute seconds under the schedule
+    compute_energy: float
+    target_time: float
+
+    @property
+    def nproc(self) -> int:
+        return self.fractions.shape[0]
+
+
+class LpBoundAlgorithm:
+    """Per-rank fractional gear schedule minimising compute energy.
+
+    Because ranks are independent once the completion deadline is fixed,
+    the LP decouples into one tiny LP per rank:
+
+        minimise    sum_g  x_g * ratio(g) * P_compute(g)
+        subject to  sum_g  x_g * ratio(g) <= target / w_k
+                    sum_g  x_g == 1,   x >= 0
+
+    where ``x_g`` is the fraction of the rank's work run at gear ``g``
+    and ``ratio(g)`` the β time stretch.  Uses :mod:`scipy.optimize`;
+    install the ``lp`` extra.
+    """
+
+    name = "LP-bound"
+
+    def __init__(self, slack: float = 0.0):
+        """``slack``: allowed completion-time extension (0.05 = +5%)."""
+        if slack < 0.0:
+            raise ValueError(f"slack must be >= 0, got {slack!r}")
+        self.slack = slack
+
+    def schedule(
+        self,
+        compute_times: Sequence[float],
+        gear_set: DiscreteGearSet,
+        model: BetaTimeModel,
+        power_model: CpuPowerModel | None = None,
+    ) -> LpSchedule:
+        try:
+            from scipy.optimize import linprog
+        except ImportError as exc:  # pragma: no cover - env without scipy
+            raise ImportError(
+                "LpBoundAlgorithm requires scipy (pip install repro[lp])"
+            ) from exc
+
+        if not isinstance(gear_set, DiscreteGearSet):
+            raise TypeError("the LP bound operates on discrete gear sets")
+        power_model = power_model or CpuPowerModel()
+        times = np.asarray(compute_times, dtype=float)
+        if times.size == 0 or (times < 0).any() or times.max() <= 0:
+            raise ValueError("invalid computation-time vector")
+
+        target = float(times.max()) * (1.0 + self.slack)
+        gears = gear_set.gears
+        ratios = np.array([model.ratio(g.frequency) for g in gears])
+        powers = np.array(
+            [power_model.power(g, CpuState.COMPUTE) for g in gears]
+        )
+
+        nproc, ngears = times.size, len(gears)
+        fractions = np.zeros((nproc, ngears))
+        sched_times = np.zeros(nproc)
+        total_energy = 0.0
+        for k, w in enumerate(times):
+            if w == 0.0:
+                fractions[k, 0] = 1.0  # idle rank: park at the lowest gear
+                continue
+            cost = w * ratios * powers
+            res = linprog(
+                c=cost,
+                A_ub=np.atleast_2d(w * ratios),
+                b_ub=np.array([target]),
+                A_eq=np.ones((1, ngears)),
+                b_eq=np.array([1.0]),
+                bounds=[(0.0, 1.0)] * ngears,
+                method="highs",
+            )
+            if not res.success:
+                raise RuntimeError(
+                    f"LP infeasible for rank {k}: even the top gear misses "
+                    f"the deadline ({res.message})"
+                )
+            fractions[k] = res.x
+            sched_times[k] = float(w * ratios @ res.x)
+            total_energy += float(cost @ res.x)
+        return LpSchedule(
+            fractions=fractions,
+            compute_times=sched_times,
+            compute_energy=total_energy,
+            target_time=target,
+        )
+
+
+class PerPhaseOracleAlgorithm:
+    """Per-phase MAX: one gear per (rank, phase) instead of per rank.
+
+    Input is the per-phase, per-rank computation-time matrix (from
+    :func:`repro.traces.analysis.compute_times_by_phase`); each phase is
+    balanced independently to its own maximum.  This removes the
+    single-setting penalty the paper observed on PEPC.
+    """
+
+    name = "per-phase-MAX"
+
+    def __init__(self, base: FrequencyAlgorithm | None = None):
+        from repro.core.algorithms import MaxAlgorithm
+
+        self.base = base or MaxAlgorithm()
+        self.name = f"per-phase-{self.base.name}"
+
+    def assign_phases(
+        self,
+        phase_times: Mapping[str, Sequence[float]],
+        gear_set: GearSet,
+        model: BetaTimeModel,
+    ) -> dict[str, FrequencyAssignment]:
+        """One :class:`FrequencyAssignment` per phase label.
+
+        Phases in which no rank computes are skipped (nothing to scale).
+        """
+        if not phase_times:
+            raise ValueError("no phases supplied")
+        out: dict[str, FrequencyAssignment] = {}
+        for label, times in phase_times.items():
+            times = np.asarray(times, dtype=float)
+            if times.max() <= 0.0:
+                continue
+            out[label] = self.base.assign(times, gear_set, model)
+        return out

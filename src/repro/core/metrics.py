@@ -1,0 +1,31 @@
+"""Result metrics: normalized energy, EDP, savings (paper §5.1)."""
+
+from __future__ import annotations
+
+__all__ = ["edp", "normalized", "savings_pct"]
+
+
+def edp(energy: float, execution_time: float) -> float:
+    """Energy-delay product."""
+    if energy < 0.0 or execution_time < 0.0:
+        raise ValueError("energy and time must be >= 0")
+    return energy * execution_time
+
+
+def normalized(value: float, baseline: float) -> float:
+    """``value / baseline`` with a loud error on a degenerate baseline.
+
+    The paper reports energy and EDP normalized to the original
+    all-CPUs-at-top-speed run; 1.0 means "no change", 0.4 means "60%
+    saved".
+    """
+    if baseline <= 0.0:
+        raise ValueError(f"baseline must be positive, got {baseline!r}")
+    if value < 0.0:
+        raise ValueError(f"value must be >= 0, got {value!r}")
+    return value / baseline
+
+
+def savings_pct(value: float, baseline: float) -> float:
+    """Percentage saved relative to the baseline (can be negative)."""
+    return 100.0 * (1.0 - normalized(value, baseline))

@@ -1,0 +1,103 @@
+"""Whole-system energy model (the paper's closing argument).
+
+§3.2 notes that the CPU is only ~45–55% of total system power; the
+conclusion argues that AVG "has a higher potential to save overall
+system energy because it reduces the execution time" — the rest of the
+node (memory, disk, NIC, fans, PSU losses) burns power for as long as
+the application runs, regardless of DVFS.
+
+:class:`SystemPowerModel` composes the CPU model with a constant
+rest-of-node power calibrated from the CPU fraction: if the CPU at full
+compute load is a fraction ``cpu_fraction`` of node power, then::
+
+    P_rest = P_cpu_ref * (1 - cpu_fraction) / cpu_fraction
+
+System energy of a run is then ``E_cpu + P_rest * T_exec * nproc``,
+which penalises any execution-time increase and rewards AVG's speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.balancer import BalanceReport
+from repro.core.power import CpuPowerModel
+
+__all__ = ["SystemEnergyView", "SystemPowerModel"]
+
+
+@dataclass(frozen=True)
+class SystemPowerModel:
+    """CPU model + constant rest-of-node power.
+
+    ``cpu_fraction`` is the CPU's share of node power at full compute
+    load and top frequency (paper: 45–55%, default 0.5).
+    """
+
+    cpu_model: CpuPowerModel = field(default_factory=CpuPowerModel)
+    cpu_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.cpu_fraction <= 1.0):
+            raise ValueError(
+                f"cpu fraction must be in (0, 1], got {self.cpu_fraction!r}"
+            )
+
+    @property
+    def rest_of_node_power(self) -> float:
+        """Constant non-CPU power per node (model watts)."""
+        ref = self.cpu_model.reference_power()
+        return ref * (1.0 - self.cpu_fraction) / self.cpu_fraction
+
+    def system_energy(self, cpu_energy: float, execution_time: float,
+                      nproc: int) -> float:
+        """Total energy: CPU + rest-of-node burning for the whole run."""
+        if cpu_energy < 0.0 or execution_time < 0.0 or nproc <= 0:
+            raise ValueError("invalid energy/time/nproc")
+        return cpu_energy + self.rest_of_node_power * execution_time * nproc
+
+    # ------------------------------------------------------------------
+    def view(self, report: BalanceReport) -> "SystemEnergyView":
+        """System-level reading of a CPU-level balance report."""
+        original = self.system_energy(
+            report.original_energy.total, report.original_time, report.nproc
+        )
+        new = self.system_energy(
+            report.new_energy.total, report.new_time, report.nproc
+        )
+        return SystemEnergyView(
+            report=report,
+            original_system_energy=original,
+            new_system_energy=new,
+        )
+
+
+@dataclass(frozen=True)
+class SystemEnergyView:
+    """System-energy normalization of one balance report."""
+
+    report: BalanceReport
+    original_system_energy: float
+    new_system_energy: float
+
+    @property
+    def normalized_system_energy(self) -> float:
+        return self.new_system_energy / self.original_system_energy
+
+    @property
+    def normalized_system_edp(self) -> float:
+        return (
+            self.new_system_energy
+            * self.report.new_time
+            / (self.original_system_energy * self.report.original_time)
+        )
+
+    def row(self) -> dict[str, object]:
+        return {
+            "application": self.report.app,
+            "algorithm": self.report.algorithm,
+            "normalized_cpu_energy": self.report.normalized_energy,
+            "normalized_system_energy": self.normalized_system_energy,
+            "normalized_time": self.report.normalized_time,
+            "normalized_system_edp": self.normalized_system_edp,
+        }

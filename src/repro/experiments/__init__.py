@@ -1,0 +1,42 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes ``run(config=None) -> ExperimentResult``
+and registers itself in :data:`EXPERIMENTS`, so the CLI (and the
+benchmark suite) can regenerate any paper artifact by id::
+
+    repro run fig2            # or: python -m repro run fig2
+    repro run table3 --csv table3.csv
+
+Experiment ids: ``table_gears`` (Tables 1–2), ``table3``, ``fig1`` …
+``fig10``, ``scaling`` (the §1 cluster-size claim) and ``ablation``
+(design-choice studies listed in DESIGN.md §5).
+"""
+
+from repro.experiments.runner import ExperimentResult, RunnerConfig, get_experiment
+
+#: id → module path; populated lazily by :func:`get_experiment`.
+EXPERIMENT_IDS = (
+    "table_gears",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "scaling",
+    "ablation",
+    "system_energy",
+    "dynamic",
+    "sensitivity",
+    "gearopt",
+    "seeds",
+    "oc_sweep",
+    "summary",
+)
+
+__all__ = ["EXPERIMENT_IDS", "ExperimentResult", "RunnerConfig", "get_experiment"]

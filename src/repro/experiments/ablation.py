@@ -1,0 +1,205 @@
+"""Design-choice ablations (DESIGN.md §5).
+
+Not a paper figure — these quantify the sensitivity of the reproduction
+to choices the paper leaves implicit:
+
+* **gear rounding** — round the required frequency *up* (the paper's
+  rule; never misses the target) vs *nearest* (saves more energy but
+  can stretch execution time);
+* **AVG target statistic** — mean (the paper) vs median vs p90;
+* **per-phase assignment** — the paper's future-work fix for PEPC:
+  one gear per computation phase removes the two-phase penalty;
+* **platform contention** — limited network buses vs the default
+  contention-free network (normalized results should be robust).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.algorithms import AvgAlgorithm
+from repro.core.gears import DiscreteGearSet, GearSet, SelectionResult, uniform_gear_set
+from repro.core.timemodel import BetaTimeModel
+from repro.experiments.fig9 import avg_discrete_set
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run", "NearestGearSet"]
+
+
+class NearestGearSet(GearSet):
+    """Wrap a discrete set, selecting the *nearest* gear instead of
+    rounding up — the ablation's alternative rounding rule."""
+
+    def __init__(self, base: DiscreteGearSet):
+        self.base = base
+        self.name = f"{base.name}(nearest)"
+
+    @property
+    def fmin(self) -> float:
+        return self.base.fmin
+
+    @property
+    def fmax(self) -> float:
+        return self.base.fmax
+
+    def select(self, required_frequency: float) -> SelectionResult:
+        if required_frequency > self.fmax:
+            return SelectionResult(self.base.gears[-1], attained=False)
+        f = max(required_frequency, self.fmin)
+        gear = min(self.base.gears, key=lambda g: abs(g.frequency - f))
+        return SelectionResult(gear, attained=gear.frequency >= required_frequency)
+
+
+def _per_phase_report(runner: Runner, app: str, config: RunnerConfig):
+    """Balance PEPC per phase (the productized future-work fix)."""
+    from repro.core.phasebalancer import PhaseAwareLoadBalancer
+
+    trace = runner.trace(app)
+    balancer = PhaseAwareLoadBalancer(
+        gear_set=uniform_gear_set(6),
+        time_model=BetaTimeModel(fmax=2.3, beta=config.beta),
+        platform=config.platform,
+    )
+    report = balancer.balance_trace(trace)
+    return {
+        "normalized_energy_pct": 100.0 * report.normalized_energy,
+        "normalized_time_pct": 100.0 * report.normalized_time,
+    }
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    rows = []
+
+    # 1. rounding rule (MAX, 6 gears) on a spread of imbalance levels
+    for app in ("BT-MZ-32", "MG-64", "WRF-128"):
+        up = runner.balance(app, uniform_gear_set(6))
+        nearest = runner.balance(app, NearestGearSet(uniform_gear_set(6)))
+        rows.append(
+            {
+                "study": "rounding",
+                "application": app,
+                "variant": "round-up (paper)",
+                "normalized_energy_pct": 100.0 * up.normalized_energy,
+                "normalized_time_pct": 100.0 * up.normalized_time,
+            }
+        )
+        rows.append(
+            {
+                "study": "rounding",
+                "application": app,
+                "variant": "round-nearest",
+                "normalized_energy_pct": 100.0 * nearest.normalized_energy,
+                "normalized_time_pct": 100.0 * nearest.normalized_time,
+            }
+        )
+
+    # 2. AVG target statistic on the discrete AVG set
+    for target in ("mean", "median", "p90"):
+        report = runner.balance(
+            "SPECFEM3D-96", avg_discrete_set(), algorithm=AvgAlgorithm(target)
+        )
+        rows.append(
+            {
+                "study": "avg-target",
+                "application": "SPECFEM3D-96",
+                "variant": target,
+                "normalized_energy_pct": 100.0 * report.normalized_energy,
+                "normalized_time_pct": 100.0 * report.normalized_time,
+            }
+        )
+
+    # 3. per-phase oracle vs single-setting MAX on PEPC
+    single = runner.balance("PEPC-128", uniform_gear_set(6))
+    rows.append(
+        {
+            "study": "per-phase",
+            "application": "PEPC-128",
+            "variant": "single setting (paper MAX)",
+            "normalized_energy_pct": 100.0 * single.normalized_energy,
+            "normalized_time_pct": 100.0 * single.normalized_time,
+        }
+    )
+    oracle_row = _per_phase_report(runner, "PEPC-128", config)
+    rows.append(
+        {
+            "study": "per-phase",
+            "application": "PEPC-128",
+            "variant": "per-phase oracle (future work)",
+            **oracle_row,
+        }
+    )
+
+    # 4. network contention robustness
+    contended = replace(config, platform=replace(config.platform, buses=8))
+    contended_runner = Runner(contended)
+    for app in ("CG-64", "IS-32"):
+        free = runner.balance(app, uniform_gear_set(6))
+        busy = contended_runner.balance(app, uniform_gear_set(6))
+        for variant, rep in (("unlimited buses", free), ("8 buses", busy)):
+            rows.append(
+                {
+                    "study": "contention",
+                    "application": app,
+                    "variant": variant,
+                    "normalized_energy_pct": 100.0 * rep.normalized_energy,
+                    "normalized_time_pct": 100.0 * rep.normalized_time,
+                }
+            )
+
+    # 5. collective model: analytic (Dimemas/paper) vs point-to-point
+    # decomposition - the normalized results must not hinge on it
+    decomposed = replace(
+        config, platform=replace(config.platform, decompose_collectives=True)
+    )
+    decomposed_runner = Runner(decomposed)
+    for app in ("CG-64", "MG-32"):
+        analytic = runner.balance(app, uniform_gear_set(6))
+        decomp = decomposed_runner.balance(app, uniform_gear_set(6))
+        for variant, rep in (
+            ("analytic collectives (paper)", analytic),
+            ("decomposed collectives", decomp),
+        ):
+            rows.append(
+                {
+                    "study": "collective-model",
+                    "application": app,
+                    "variant": variant,
+                    "normalized_energy_pct": 100.0 * rep.normalized_energy,
+                    "normalized_time_pct": 100.0 * rep.normalized_time,
+                }
+            )
+
+    # 6. eager/rendezvous threshold: all-rendezvous vs default vs all-eager
+    for label, threshold in (
+        ("all-rendezvous", 0),
+        ("default threshold", config.platform.eager_threshold),
+        ("all-eager", 1 << 30),
+    ):
+        tuned = replace(
+            config, platform=replace(config.platform, eager_threshold=threshold)
+        )
+        rep = Runner(tuned).balance("WRF-32", uniform_gear_set(6))
+        rows.append(
+            {
+                "study": "eager-threshold",
+                "application": "WRF-32",
+                "variant": label,
+                "normalized_energy_pct": 100.0 * rep.normalized_energy,
+                "normalized_time_pct": 100.0 * rep.normalized_time,
+            }
+        )
+
+    return ExperimentResult(
+        eid="ablation",
+        title="Design-choice ablations (DESIGN.md §5)",
+        columns=[
+            "study",
+            "application",
+            "variant",
+            "normalized_energy_pct",
+            "normalized_time_pct",
+        ],
+        rows=rows,
+    )

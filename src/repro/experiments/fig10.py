@@ -1,0 +1,56 @@
+"""Figure 10 — MAX vs AVG comparison.
+
+Energy, time and EDP of both algorithms side by side (discrete sets:
+MAX on the uniform 6-gear set, AVG on the same set plus the 2.6 GHz
+gear, matching §5.3.6).  Paper claims:
+
+* MAX saves more CPU energy;
+* AVG wins on execution time (and therefore tends to win on whole-
+  system energy, the paper's closing argument);
+* EDP is competitive between the two.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+from repro.core.gears import uniform_gear_set
+from repro.experiments.fig9 import avg_discrete_set
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run"]
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    max_set = uniform_gear_set(6)
+    avg_set = avg_discrete_set()
+    rows = []
+    for app in config.app_list():
+        rmax = runner.balance(app, max_set, algorithm=MaxAlgorithm())
+        ravg = runner.balance(app, avg_set, algorithm=AvgAlgorithm())
+        rows.append(
+            {
+                "application": app,
+                "energy_max_pct": 100.0 * rmax.normalized_energy,
+                "energy_avg_pct": 100.0 * ravg.normalized_energy,
+                "time_max_pct": 100.0 * rmax.normalized_time,
+                "time_avg_pct": 100.0 * ravg.normalized_time,
+                "edp_max_pct": 100.0 * rmax.normalized_edp,
+                "edp_avg_pct": 100.0 * ravg.normalized_edp,
+            }
+        )
+    return ExperimentResult(
+        eid="fig10",
+        title="MAX vs AVG (Figure 10)",
+        columns=[
+            "application",
+            "energy_max_pct",
+            "energy_avg_pct",
+            "time_max_pct",
+            "time_avg_pct",
+            "edp_max_pct",
+            "edp_avg_pct",
+        ],
+        rows=rows,
+    )

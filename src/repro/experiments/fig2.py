@@ -1,0 +1,73 @@
+"""Figure 2 — normalized energy & EDP for different gear-set sizes.
+
+For five applications (the paper shows five "due to space limitation":
+BT-MZ-32, CG-64, SPECFEM3D-96, PEPC-128, WRF-128), the MAX algorithm is
+evaluated on: the unlimited continuous set, the limited continuous set,
+and evenly distributed discrete sets with 2–15 gears.
+
+Paper shape claims encoded in the benchmark suite:
+
+* unlimited beats limited only for BT-MZ (and IS, Fig. 3's data) —
+  the apps needing frequencies below 0.8 GHz;
+* six/seven uniform gears come close to the continuous sets;
+* execution time typically grows ≤ 2%, except PEPC (up to 20%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.gears import (
+    GearSet,
+    limited_continuous_set,
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+from repro.experiments.runner import (
+    FIG2_APPS,
+    ExperimentResult,
+    Runner,
+    RunnerConfig,
+)
+
+__all__ = ["run", "gear_sets_under_study"]
+
+DISCRETE_SIZES = tuple(range(2, 16))
+
+
+def gear_sets_under_study() -> list[GearSet]:
+    sets: list[GearSet] = [unlimited_continuous_set(), limited_continuous_set()]
+    sets.extend(uniform_gear_set(n) for n in DISCRETE_SIZES)
+    return sets
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    if config.apps is None:
+        config = replace(config, apps=FIG2_APPS)
+    runner = Runner(config)
+    rows = []
+    for app in config.app_list():
+        for gear_set in gear_sets_under_study():
+            report = runner.balance(app, gear_set)
+            rows.append(
+                {
+                    "application": app,
+                    "gear_set": gear_set.name,
+                    "normalized_energy_pct": 100.0 * report.normalized_energy,
+                    "normalized_edp_pct": 100.0 * report.normalized_edp,
+                    "normalized_time_pct": 100.0 * report.normalized_time,
+                }
+            )
+    return ExperimentResult(
+        eid="fig2",
+        title="Normalized energy and EDP per gear set, MAX algorithm (Figure 2)",
+        columns=[
+            "application",
+            "gear_set",
+            "normalized_energy_pct",
+            "normalized_edp_pct",
+            "normalized_time_pct",
+        ],
+        rows=rows,
+    )

@@ -1,0 +1,40 @@
+"""Figure 5 — impact of the β (memory-boundedness) parameter.
+
+β swept 0.3–1.0 on the uniform 6-gear set, MAX algorithm.  Paper
+claims:
+
+* lower β (more memory bound) allows lower frequencies, hence more
+  savings — energy rises monotonically with β where the gear floor
+  doesn't bind;
+* sensitivity tracks imbalance: IS-64, SPECFEM3D-96 and PEPC-128 vary
+  most; BT-MZ and IS-32 barely vary because they sit clamped at the
+  0.8 GHz floor for every β in the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.gears import uniform_gear_set
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run", "BETAS"]
+
+BETAS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    gear_set = uniform_gear_set(6)
+    rows = []
+    for app in config.app_list():
+        row: dict[str, object] = {"application": app}
+        for beta in BETAS:
+            report = runner.balance(app, gear_set, beta=beta)
+            row[f"energy_b{beta:g}_pct"] = 100.0 * report.normalized_energy
+        rows.append(row)
+    return ExperimentResult(
+        eid="fig5",
+        title="Impact of β, uniform 6-gear set, MAX (Figure 5)",
+        columns=["application"] + [f"energy_b{b:g}_pct" for b in BETAS],
+        rows=rows,
+    )

@@ -1,0 +1,59 @@
+"""Figure 9 — the AVG algorithm on the discrete 6-gear set plus the
+(2.6 GHz, 1.6 V) over-clock gear.
+
+Reports normalized time, energy, EDP and the percentage of CPUs that
+run over-clocked.  Paper claims:
+
+* EDP improves for every application except the best-balanced CG-32
+  and MG-32;
+* almost all execution times decrease (PEPC still increases, but less
+  than under MAX);
+* very imbalanced applications over-clock very few CPUs (BT-MZ, IS,
+  PEPC), while SPECFEM3D-32 over-clocks ~53% of its CPUs.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import AvgAlgorithm
+from repro.core.gears import Gear, uniform_gear_set
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run", "OVERCLOCK_GEAR", "avg_discrete_set"]
+
+#: The paper's extra gear for the discrete AVG study.
+OVERCLOCK_GEAR = Gear(2.6, 1.6)
+
+
+def avg_discrete_set():
+    """Uniform 6-gear set extended with the (2.6 GHz, 1.6 V) gear."""
+    return uniform_gear_set(6).with_extra_gear(OVERCLOCK_GEAR, name="uniform-6+2.6")
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    gear_set = avg_discrete_set()
+    rows = []
+    for app in config.app_list():
+        report = runner.balance(app, gear_set, algorithm=AvgAlgorithm())
+        rows.append(
+            {
+                "application": app,
+                "normalized_time_pct": 100.0 * report.normalized_time,
+                "normalized_energy_pct": 100.0 * report.normalized_energy,
+                "normalized_edp_pct": 100.0 * report.normalized_edp,
+                "overclocked_pct": report.overclocked_pct,
+            }
+        )
+    return ExperimentResult(
+        eid="fig9",
+        title="AVG algorithm, 6-gear set + (2.6 GHz, 1.6 V) (Figure 9)",
+        columns=[
+            "application",
+            "normalized_time_pct",
+            "normalized_energy_pct",
+            "normalized_edp_pct",
+            "overclocked_pct",
+        ],
+        rows=rows,
+    )

@@ -1,0 +1,225 @@
+"""Tabular and SVG rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import IO, Any, Mapping, Sequence, Union
+
+__all__ = [
+    "bar_chart_svg",
+    "format_markdown",
+    "format_table",
+    "heatmap_svg",
+    "write_csv",
+]
+
+
+def _fmt(value: Any, decimals: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, Any]],
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Render rows as an aligned ASCII table (the paper's row layout)."""
+    header = list(columns)
+    body = [[_fmt(row.get(c), decimals) for c in header] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(header)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, Any]],
+    decimals: int = 2,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_fmt(row.get(c), decimals) for c in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def write_csv(
+    path_or_file: Union[str, os.PathLike, IO[str]],
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, Any]],
+) -> None:
+    """Write rows to CSV with the given column order."""
+    own = False
+    if hasattr(path_or_file, "write"):
+        stream = path_or_file  # type: ignore[assignment]
+    else:
+        stream = open(os.fspath(path_or_file), "w", newline="", encoding="utf-8")
+        own = True
+    try:
+        writer = csv.DictWriter(stream, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c) for c in columns})
+    finally:
+        if own:
+            stream.close()
+
+
+def heatmap_svg(
+    matrix: Sequence[Sequence[float]],
+    title: str = "",
+    cell: int = 8,
+    margin: int = 50,
+) -> str:
+    """Matrix heatmap (e.g. a communication matrix) as a standalone SVG.
+
+    Zero cells are white; positive values shade from light to dark blue
+    on a linear scale.
+    """
+    rows = [list(r) for r in matrix]
+    if not rows or any(len(r) != len(rows[0]) for r in rows):
+        raise ValueError("matrix must be rectangular and non-empty")
+    n, m = len(rows), len(rows[0])
+    peak = max((v for r in rows for v in r), default=0.0)
+    width = margin + m * cell + 10
+    height = margin + n * cell + 10
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="10">'
+    ]
+    if title:
+        parts.append(f'<text x="{margin}" y="16">{title}</text>')
+    for i, row in enumerate(rows):
+        for j, value in enumerate(row):
+            if value < 0:
+                raise ValueError("heatmap values must be >= 0")
+            if peak > 0 and value > 0:
+                shade = 0.15 + 0.85 * (value / peak)
+                color = f"rgb({int(255 * (1 - shade) * 0.7 + 40)}," \
+                        f"{int(255 * (1 - shade) * 0.8 + 50)},208)"
+            else:
+                color = "#ffffff"
+            parts.append(
+                f'<rect x="{margin + j * cell}" y="{margin + i * cell}" '
+                f'width="{cell}" height="{cell}" fill="{color}" '
+                'stroke="#eeeeee" stroke-width="0.25"/>'
+            )
+    parts.append(
+        f'<text x="4" y="{margin + 10}">src↓</text>'
+    )
+    parts.append(
+        f'<text x="{margin}" y="{margin - 6}">dst→</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+_SERIES_COLORS = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+    "#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+)
+
+
+def bar_chart_svg(
+    title: str,
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    y_label: str = "",
+    width: int = 960,
+    height: int = 360,
+) -> str:
+    """Grouped bar chart as a standalone SVG string (paper-figure style).
+
+    ``series`` maps a legend label to one value per category.  Values are
+    typically normalized percentages (0–120%).
+    """
+    if not categories:
+        raise ValueError("need at least one category")
+    for label, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    margin_l, margin_r, margin_t, margin_b = 60, 10, 40, 80
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    vmax = max(
+        (max(vals) for vals in series.values() if len(vals)), default=1.0
+    )
+    vmax = max(vmax * 1.1, 1e-9)
+
+    nset = max(len(series), 1)
+    group_w = plot_w / len(categories)
+    bar_w = max(group_w * 0.8 / nset, 0.5)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{margin_l}" y="18" font-size="14">{title}</text>',
+    ]
+    # y axis with 5 gridlines
+    for i in range(6):
+        frac = i / 5
+        y = margin_t + plot_h * (1 - frac)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f"{vmax * frac:.2g}</text>"
+        )
+    if y_label:
+        parts.append(
+            f'<text x="12" y="{margin_t - 8}" font-size="10">{y_label}</text>'
+        )
+    # bars
+    for si, (label, values) in enumerate(series.items()):
+        color = _SERIES_COLORS[si % len(_SERIES_COLORS)]
+        for ci, v in enumerate(values):
+            x = margin_l + ci * group_w + group_w * 0.1 + si * bar_w
+            h = max(v / vmax * plot_h, 0.0)
+            y = margin_t + plot_h - h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}"/>'
+            )
+        # legend
+        lx = margin_l + si * 140
+        ly = height - 14
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(f'<text x="{lx + 14}" y="{ly}">{label}</text>')
+    # category labels (rotated)
+    for ci, cat in enumerate(categories):
+        x = margin_l + (ci + 0.5) * group_w
+        y = margin_t + plot_h + 12
+        parts.append(
+            f'<text x="{x:.1f}" y="{y}" text-anchor="end" '
+            f'transform="rotate(-35 {x:.1f} {y})">{cat}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

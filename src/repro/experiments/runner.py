@@ -1,0 +1,181 @@
+"""Shared machinery for the experiment modules.
+
+:class:`Runner` evaluates (application × gear set × algorithm × β)
+cells of the paper's study, caching application traces and their
+baseline replays so sweeps don't re-simulate what cannot change:
+
+* a trace depends on (app, iterations, platform) only;
+* replays depend additionally on the assignment and β;
+* energy integration alone depends on the power model — sweeps over
+  static fraction / activity factor reuse replays via
+  :meth:`repro.core.balancer.PowerAwareLoadBalancer.reaccount`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.apps.registry import TABLE3_INSTANCES, build_app
+from repro.core.algorithms import FrequencyAlgorithm, MaxAlgorithm
+from repro.core.balancer import BalanceReport, PowerAwareLoadBalancer
+from repro.core.gears import NOMINAL_FMAX, GearSet
+from repro.core.power import CpuPowerModel
+from repro.core.timemodel import BetaTimeModel
+from repro.experiments import report as _report
+from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
+
+__all__ = ["ExperimentResult", "Runner", "RunnerConfig", "get_experiment"]
+
+#: The five applications Fig. 2 shows ("results for five applications
+#: due to space limitation").
+FIG2_APPS = ("BT-MZ-32", "CG-64", "SPECFEM3D-96", "PEPC-128", "WRF-128")
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs shared by all experiments.
+
+    ``iterations``/``base_compute`` trade fidelity against runtime; the
+    defaults regenerate every figure in seconds.  ``apps`` restricts the
+    instance list (None = the paper's twelve).
+    """
+
+    iterations: int = 6
+    base_compute: float = 0.02
+    beta: float = 0.5
+    apps: tuple[str, ...] | None = None
+    platform: PlatformConfig = MYRINET_LIKE
+
+    def app_list(self) -> tuple[str, ...]:
+        return self.apps if self.apps is not None else TABLE3_INSTANCES
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendering for one regenerated table/figure."""
+
+    eid: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+    series: dict[str, Any] = field(default_factory=dict)
+
+    def to_ascii(self, decimals: int = 2) -> str:
+        text = _report.format_table(
+            self.columns, self.rows, title=f"[{self.eid}] {self.title}",
+            decimals=decimals,
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def to_csv(self, path: Any) -> None:
+        _report.write_csv(path, self.columns, self.rows)
+
+    def to_svg(self, category_key: str, value_keys: Sequence[str],
+               title: str | None = None) -> str:
+        categories = [str(r[category_key]) for r in self.rows]
+        series = {k: [float(r[k]) for r in self.rows] for k in value_keys}
+        return _report.bar_chart_svg(title or self.title, categories, series)
+
+    def column(self, key: str) -> list[Any]:
+        return [r[key] for r in self.rows]
+
+    def pivot(self, row_key: str, col_key: str, value_key: str
+              ) -> dict[Any, dict[Any, Any]]:
+        out: dict[Any, dict[Any, Any]] = {}
+        for r in self.rows:
+            out.setdefault(r[row_key], {})[r[col_key]] = r[value_key]
+        return out
+
+
+class Runner:
+    """Caching evaluator of study cells."""
+
+    def __init__(self, config: RunnerConfig | None = None):
+        self.config = config or RunnerConfig()
+        self._traces: dict[tuple[str, float], Any] = {}
+        self._reports: dict[tuple, BalanceReport] = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, app_name: str, beta: float | None = None):
+        """The app's recorded trace (cached; β only matters for replays)."""
+        cfg = self.config
+        key = (app_name, cfg.iterations)
+        trace = self._traces.get(key)
+        if trace is None:
+            app = build_app(
+                app_name,
+                iterations=cfg.iterations,
+                base_compute=cfg.base_compute,
+                platform=cfg.platform,
+            )
+            balancer = self._balancer(
+                gear_set=None, algorithm=None, beta=beta
+            )
+            trace = balancer.trace_app(app)
+            self._traces[key] = trace
+        return trace
+
+    def _balancer(
+        self,
+        gear_set: GearSet | None,
+        algorithm: FrequencyAlgorithm | None,
+        beta: float | None,
+        power_model: CpuPowerModel | None = None,
+    ) -> PowerAwareLoadBalancer:
+        from repro.core.gears import uniform_gear_set
+
+        return PowerAwareLoadBalancer(
+            gear_set=gear_set or uniform_gear_set(6),
+            algorithm=algorithm or MaxAlgorithm(),
+            power_model=power_model,
+            time_model=BetaTimeModel(
+                fmax=NOMINAL_FMAX,
+                beta=self.config.beta if beta is None else beta,
+            ),
+            platform=self.config.platform,
+        )
+
+    def balance(
+        self,
+        app_name: str,
+        gear_set: GearSet,
+        algorithm: FrequencyAlgorithm | None = None,
+        beta: float | None = None,
+        power_model: CpuPowerModel | None = None,
+    ) -> BalanceReport:
+        """One cell: balance an app on a gear set (cached on all inputs)."""
+        algorithm = algorithm or MaxAlgorithm()
+        eff_beta = self.config.beta if beta is None else beta
+        key = (
+            app_name,
+            self.config.iterations,
+            gear_set.name,
+            algorithm.name,
+            eff_beta,
+        )
+        cached = self._reports.get(key)
+        if cached is None:
+            # cache entries always use the default power model; callers
+            # with a custom model get a reaccounted copy below
+            balancer = self._balancer(gear_set, algorithm, eff_beta, None)
+            cached = balancer.balance_trace(self.trace(app_name), algorithm)
+            self._reports[key] = cached
+        if power_model is not None:
+            balancer = self._balancer(gear_set, algorithm, eff_beta, power_model)
+            return balancer.reaccount(cached, power_model)
+        return cached
+
+
+def get_experiment(eid: str) -> Callable[[RunnerConfig | None], ExperimentResult]:
+    """Resolve an experiment id to its ``run`` callable."""
+    from repro.experiments import EXPERIMENT_IDS
+
+    if eid not in EXPERIMENT_IDS:
+        raise ValueError(f"unknown experiment {eid!r}; known: {EXPERIMENT_IDS}")
+    module = importlib.import_module(f"repro.experiments.{eid}")
+    return module.run

@@ -1,0 +1,53 @@
+"""Cluster-size scaling — the paper's §1 motivation.
+
+"Larger systems are likely to have a more unbalanced execution … thus
+larger scale applications may have a greater load imbalance and
+therefore allow greater relative savings than the small clusters."
+
+Sweeps each family over 32–128 ranks, reporting load balance and the
+MAX/6-gear energy savings, to exhibit the LB↓ ⇒ savings↑ correlation at
+scale.  (Families are extrapolated between their measured Table 3 sizes
+with the fitted power law; see :mod:`repro.apps.registry`.)
+"""
+
+from __future__ import annotations
+
+from repro.core.gears import uniform_gear_set
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run", "SIZES", "FAMILIES"]
+
+SIZES = (32, 48, 64, 96, 128)
+FAMILIES = ("CG", "MG", "IS", "SPECFEM3D", "WRF", "PEPC", "BT-MZ")
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    gear_set = uniform_gear_set(6)
+    rows = []
+    for family in FAMILIES:
+        for nproc in SIZES:
+            app = f"{family}-{nproc}"
+            report = runner.balance(app, gear_set)
+            rows.append(
+                {
+                    "family": family,
+                    "nproc": nproc,
+                    "load_balance_pct": 100.0 * report.load_balance,
+                    "normalized_energy_pct": 100.0 * report.normalized_energy,
+                    "energy_savings_pct": report.energy_savings_pct,
+                }
+            )
+    return ExperimentResult(
+        eid="scaling",
+        title="Load balance and savings vs cluster size (§1 claim)",
+        columns=[
+            "family",
+            "nproc",
+            "load_balance_pct",
+            "normalized_energy_pct",
+            "energy_savings_pct",
+        ],
+        rows=rows,
+    )

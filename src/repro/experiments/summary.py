@@ -1,0 +1,204 @@
+"""One-page verification summary: every headline claim, PASS/FAIL.
+
+``repro run summary`` replays the paper's headline claims (the same
+checks the benchmark suite enforces) and prints a verdict per claim —
+the quickest way to confirm an installation reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.runner import ExperimentResult, RunnerConfig, get_experiment
+
+__all__ = ["run", "CLAIMS"]
+
+
+def _fig3(result) -> dict[str, float]:
+    return {r["application"]: r for r in result.rows}
+
+
+#: claim id -> (source experiment, description, check(result) -> bool)
+CLAIMS: list[tuple[str, str, str, Callable]] = [
+    (
+        "gear-tables",
+        "table_gears",
+        "Tables 1-2 reproduced exactly by the linear DVFS law",
+        lambda res: all(
+            abs(r["frequency_ghz"] - r["paper_frequency_ghz"]) < 0.005
+            and abs(r["voltage_v"] - r["paper_voltage_v"]) < 0.005
+            for r in res.rows
+        ),
+    ),
+    (
+        "table3-lb",
+        "table3",
+        "all 12 instances calibrated to Table 3 load balance (+-0.5)",
+        lambda res: all(
+            abs(r["load_balance_pct"] - r["paper_lb_pct"]) < 0.5 for r in res.rows
+        ),
+    ),
+    (
+        "headline-60pct",
+        "fig3",
+        "up to ~60% CPU energy saved on the most imbalanced apps",
+        lambda res: min(r["energy_unlimited_pct"] for r in res.rows) < 45.0,
+    ),
+    (
+        "cg32-nothing",
+        "fig3",
+        "the most balanced app (CG-32) saves nothing with 6 gears",
+        lambda res: abs(
+            _fig3(res)["CG-32"]["energy_uniform-6_pct"] - 100.0
+        ) < 1.0,
+    ),
+    (
+        "lb-correlation",
+        "fig3",
+        "energy savings grow as load balance falls",
+        lambda res: (
+            res.rows[0]["energy_unlimited_pct"]
+            < res.rows[-1]["energy_unlimited_pct"] - 20.0
+        ),
+    ),
+    (
+        "six-gears-enough",
+        "fig2",
+        "6 uniform gears land close to the continuous set",
+        lambda res: all(
+            row["uniform-6"] <= row["limited"] + 12.0
+            for row in res.pivot(
+                "application", "gear_set", "normalized_energy_pct"
+            ).values()
+        ),
+    ),
+    (
+        "unlimited-vs-limited",
+        "fig2",
+        "unlimited set only helps the sub-0.8 GHz apps (BT-MZ)",
+        lambda res: (
+            res.pivot("application", "gear_set", "normalized_energy_pct")[
+                "BT-MZ-32"
+            ]["unlimited"]
+            < res.pivot("application", "gear_set", "normalized_energy_pct")[
+                "BT-MZ-32"
+            ]["limited"]
+            - 0.5
+        ),
+    ),
+    (
+        "exponential-earlier",
+        "fig4",
+        "exponential sets reach savings with fewer gears (WRF at 3)",
+        lambda res: res.pivot("application", "gears", "normalized_energy_pct")[
+            "WRF-128"
+        ][3]
+        < 99.0,
+    ),
+    (
+        "beta-monotone",
+        "fig5",
+        "lower beta (more memory bound) = more savings, monotone",
+        lambda res: all(
+            res.rows[i][f"energy_b{a:g}_pct"]
+            <= res.rows[i][f"energy_b{b:g}_pct"] + 0.5
+            for i in range(len(res.rows))
+            for a, b in zip((0.3, 0.5, 0.8), (0.5, 0.8, 1.0))
+        ),
+    ),
+    (
+        "static-dilutes",
+        "fig6",
+        "savings shrink monotonically as static power grows",
+        lambda res: all(
+            res.rows[i][f"energy_sf{a}_pct"] <= res.rows[i][f"energy_sf{b}_pct"] + 1e-9
+            for i in range(len(res.rows))
+            for a, b in zip((0, 30, 60), (30, 60, 90))
+        ),
+    ),
+    (
+        "avg-time-cut",
+        "fig10",
+        "AVG cuts execution time below MAX for every app",
+        lambda res: all(
+            r["time_avg_pct"] <= r["time_max_pct"] + 0.5 for r in res.rows
+        ),
+    ),
+    (
+        "max-energy-win",
+        "fig10",
+        "MAX saves more CPU energy than AVG for every app",
+        lambda res: all(
+            r["energy_max_pct"] <= r["energy_avg_pct"] + 1.0 for r in res.rows
+        ),
+    ),
+    (
+        "few-overclocked",
+        "fig9",
+        "very imbalanced apps over-clock few CPUs under AVG",
+        lambda res: all(
+            r["overclocked_pct"] < 30.0
+            for r in res.rows
+            if r["application"] in ("BT-MZ-32", "IS-32", "IS-64", "PEPC-128")
+        ),
+    ),
+    (
+        "pepc-pathology",
+        "fig2",
+        "PEPC's two-phase iteration defeats a single DVFS setting",
+        lambda res: max(
+            r["normalized_time_pct"]
+            for r in res.rows
+            if r["application"] == "PEPC-128"
+        )
+        > 105.0,
+    ),
+    (
+        "scaling",
+        "scaling",
+        "imbalance (and savings) grow with cluster size",
+        lambda res: sum(
+            1
+            for family in {r["family"] for r in res.rows}
+            if min(
+                r["load_balance_pct"] for r in res.rows if r["family"] == family
+            )
+            < next(
+                r["load_balance_pct"]
+                for r in sorted(res.rows, key=lambda x: x["nproc"])
+                if r["family"] == family
+            )
+        )
+        >= 5,
+    ),
+]
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    cache: dict[str, ExperimentResult] = {}
+    rows = []
+    for claim_id, source, description, check in CLAIMS:
+        if source not in cache:
+            cache[source] = get_experiment(source)(config)
+        try:
+            ok = bool(check(cache[source]))
+        except Exception as exc:  # a broken check is a FAIL, not a crash
+            ok = False
+            description += f" (check error: {exc})"
+        rows.append(
+            {
+                "claim": claim_id,
+                "source": source,
+                "verdict": "PASS" if ok else "FAIL",
+                "description": description,
+            }
+        )
+    passed = sum(1 for r in rows if r["verdict"] == "PASS")
+    return ExperimentResult(
+        eid="summary",
+        title="Headline-claim verification",
+        columns=["claim", "source", "verdict", "description"],
+        rows=rows,
+        notes=[f"{passed}/{len(rows)} claims PASS"],
+    )

@@ -1,0 +1,53 @@
+"""Table 3 — application characteristics (load balance, parallel eff.).
+
+Traces every skeleton instance, replays it on the reference platform and
+reports LB (Eq. 4) and PE (Eq. 5) next to the paper's measured values.
+The skeletons are *calibrated* to these targets, so this experiment is
+the calibration audit: LB should match to a fraction of a percent; PE
+within a few percent (it additionally depends on replay details such as
+synchronisation waits inside iterations).
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import TABLE3, parse_name
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.analysis import trace_stats
+
+__all__ = ["run"]
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    sim = MpiSimulator(platform=config.platform)
+    rows = []
+    for name in config.app_list():
+        family, nproc = parse_name(name)
+        trace = runner.trace(name)
+        result = sim.run_trace(trace)
+        stats = trace_stats(trace, result.execution_time)
+        paper_lb, paper_pe = TABLE3.get(family, {}).get(nproc, (None, None))
+        rows.append(
+            {
+                "application": name,
+                "load_balance_pct": 100.0 * stats.load_balance,
+                "paper_lb_pct": paper_lb,
+                "parallel_efficiency_pct": 100.0 * stats.parallel_efficiency,
+                "paper_pe_pct": paper_pe,
+            }
+        )
+    return ExperimentResult(
+        eid="table3",
+        title="Application characteristics (Table 3): measured vs paper",
+        columns=[
+            "application",
+            "load_balance_pct",
+            "paper_lb_pct",
+            "parallel_efficiency_pct",
+            "paper_pe_pct",
+        ],
+        rows=rows,
+        notes=["values are for the iterative region, as in the paper"],
+    )

@@ -1,0 +1,54 @@
+"""Tables 1 & 2 — the six-gear uniform and exponential sets.
+
+Regenerates the frequency/voltage rows of both published gear tables
+from the linear DVFS law; the values must match the paper to the printed
+precision (the law V(f) = 1 + (f - 0.8)/3 reproduces both tables and
+the AVG extension gear (2.6 GHz, 1.6 V) exactly).
+"""
+
+from __future__ import annotations
+
+from repro.core.gears import exponential_gear_set, uniform_gear_set
+from repro.experiments.runner import ExperimentResult, RunnerConfig
+
+__all__ = ["run", "PAPER_TABLE1", "PAPER_TABLE2"]
+
+#: Paper Table 1: (frequency GHz, voltage V) of the uniform 6-gear set.
+PAPER_TABLE1 = (
+    (0.8, 1.0), (1.1, 1.1), (1.4, 1.2), (1.7, 1.3), (2.0, 1.4), (2.3, 1.5),
+)
+#: Paper Table 2: the exponential 6-gear set.
+PAPER_TABLE2 = (
+    (0.8, 1.0), (1.57, 1.26), (1.96, 1.39), (2.15, 1.45),
+    (2.25, 1.48), (2.3, 1.5),
+)
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    rows = []
+    for name, gear_set, paper in (
+        ("uniform-6 (Table 1)", uniform_gear_set(6), PAPER_TABLE1),
+        ("exponential-6 (Table 2)", exponential_gear_set(6), PAPER_TABLE2),
+    ):
+        for gear, (pf, pv) in zip(gear_set, paper):
+            rows.append(
+                {
+                    "set": name,
+                    "frequency_ghz": round(gear.frequency, 3),
+                    "voltage_v": round(gear.voltage, 3),
+                    "paper_frequency_ghz": pf,
+                    "paper_voltage_v": pv,
+                }
+            )
+    return ExperimentResult(
+        eid="table_gears",
+        title="Gear sets (Tables 1 and 2): model vs paper",
+        columns=[
+            "set",
+            "frequency_ghz",
+            "voltage_v",
+            "paper_frequency_ghz",
+            "paper_voltage_v",
+        ],
+        rows=rows,
+    )

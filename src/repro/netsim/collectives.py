@@ -1,0 +1,207 @@
+"""Analytic collective cost models, with selectable algorithms.
+
+Dimemas models each collective with a closed-form cost as a function of
+message size, process count and the platform's latency/bandwidth; we do
+the same.  Each operation has a **default** model (the one the paper's
+reproduction is calibrated against) plus optional algorithm variants a
+platform may select (``PlatformConfig.collective_algorithms``), modelled
+after the classic MPI implementations:
+
+=================  ==================  ==========================================
+operation          algorithm           cost (lat = latency, w = nbytes/bandwidth)
+=================  ==================  ==========================================
+barrier            dissemination*      ``lat · ⌈log₂P⌉``
+bcast / reduce     binomial*           ``(lat + w) · ⌈log₂P⌉``
+bcast              scatter-allgather   ``(⌈log₂P⌉ + P−1)·lat + 2·(P−1)/P·w``
+allreduce          reduce-bcast*       ``2 · (lat + w) · ⌈log₂P⌉``
+allreduce          recursive-doubling  ``(lat + w) · ⌈log₂P⌉``
+allreduce          ring                ``2·(P−1)·lat + 2·(P−1)/P·w``
+gather/scatter     linear*             ``lat·⌈log₂P⌉ + (P−1)·w``
+allgather          recursive-doubling* ``lat·⌈log₂P⌉ + (P−1)·w``
+allgather          ring                ``(P−1)·(lat + w)``
+reduce_scatter     pairwise*           ``lat·⌈log₂P⌉ + (P−1)·w``
+alltoall           pairwise*           ``(P−1) · (lat + w)``
+alltoall           bruck               ``⌈log₂P⌉ · (lat + (P/2)·w)``
+=================  ==================  ==========================================
+
+(* = default.)  ``nbytes`` is the *per-rank contribution* (per-pair
+bytes for alltoall).  ``"auto"`` selects the cheapest variant at the
+given size — an ideally tuned library.  A per-operation multiplier from
+the platform config scales the result.
+
+All participants are modelled as entering a synchronising phase: the
+collective starts when the last rank arrives and everyone leaves
+``cost`` seconds later — Dimemas's default behaviour, and the semantics
+the paper's energy argument relies on (early ranks *wait*).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.netsim.platform import PlatformConfig
+from repro.traces.records import COLLECTIVE_OPS
+
+__all__ = ["COLLECTIVE_ALGORITHMS", "collective_time", "invert_collective"]
+
+
+def _log2ceil(nproc: int) -> int:
+    return max(1, math.ceil(math.log2(nproc)))
+
+
+# ----------------------------------------------------------------------
+# per-(op, algorithm) cost functions: (lat, wire, nproc) -> seconds
+# ----------------------------------------------------------------------
+
+def _binomial(lat: float, w: float, p: int) -> float:
+    return (lat + w) * _log2ceil(p)
+
+
+def _barrier(lat: float, w: float, p: int) -> float:
+    return lat * _log2ceil(p)
+
+
+def _scatter_allgather(lat: float, w: float, p: int) -> float:
+    return (_log2ceil(p) + (p - 1)) * lat + 2.0 * (p - 1) / p * w
+
+
+def _reduce_bcast(lat: float, w: float, p: int) -> float:
+    return 2.0 * (lat + w) * _log2ceil(p)
+
+
+def _recursive_doubling_allreduce(lat: float, w: float, p: int) -> float:
+    return (lat + w) * _log2ceil(p)
+
+
+def _ring_allreduce(lat: float, w: float, p: int) -> float:
+    return 2.0 * (p - 1) * lat + 2.0 * (p - 1) / p * w
+
+
+def _rooted_linear(lat: float, w: float, p: int) -> float:
+    return lat * _log2ceil(p) + (p - 1) * w
+
+
+def _ring_allgather(lat: float, w: float, p: int) -> float:
+    return (p - 1) * (lat + w)
+
+
+def _pairwise(lat: float, w: float, p: int) -> float:
+    return (p - 1) * (lat + w)
+
+
+def _bruck(lat: float, w: float, p: int) -> float:
+    return _log2ceil(p) * (lat + (p / 2.0) * w)
+
+
+#: op -> {algorithm name: cost fn}; the first entry is the default.
+COLLECTIVE_ALGORITHMS: dict[str, dict[str, Callable[[float, float, int], float]]] = {
+    "barrier": {"dissemination": _barrier},
+    "bcast": {"binomial": _binomial, "scatter-allgather": _scatter_allgather},
+    "reduce": {"binomial": _binomial},
+    "allreduce": {
+        "reduce-bcast": _reduce_bcast,
+        "recursive-doubling": _recursive_doubling_allreduce,
+        "ring": _ring_allreduce,
+    },
+    "gather": {"linear": _rooted_linear},
+    "scatter": {"linear": _rooted_linear},
+    "allgather": {"recursive-doubling": _rooted_linear, "ring": _ring_allgather},
+    "reduce_scatter": {"pairwise": _rooted_linear},
+    "alltoall": {"pairwise": _pairwise, "bruck": _bruck},
+}
+
+
+def _resolve(op: str, platform: PlatformConfig) -> list[Callable]:
+    algorithms = COLLECTIVE_ALGORITHMS[op]
+    choice = platform.collective_algorithm(op)
+    if choice == "default":
+        return [next(iter(algorithms.values()))]
+    if choice == "auto":
+        return list(algorithms.values())
+    fn = algorithms.get(choice)
+    if fn is None:
+        raise ValueError(
+            f"unknown algorithm {choice!r} for {op}; known: "
+            f"{sorted(algorithms)} (+ 'default', 'auto')"
+        )
+    return [fn]
+
+
+def collective_time(
+    op: str, nbytes: int, nproc: int, platform: PlatformConfig
+) -> float:
+    """Duration of a collective once all ranks have entered."""
+    if op not in COLLECTIVE_OPS:
+        raise ValueError(f"unknown collective {op!r}")
+    if nproc <= 0:
+        raise ValueError(f"nproc must be positive, got {nproc!r}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+    if nproc == 1:
+        return 0.0
+
+    lat = platform.latency
+    wire = nbytes / platform.bandwidth
+    cost = min(fn(lat, wire, nproc) for fn in _resolve(op, platform))
+    return cost * platform.collective_factor(op)
+
+
+def invert_collective(
+    op: str, duration: int | float, nproc: int, platform: PlatformConfig
+) -> int:
+    """Message size (bytes) that makes a collective last ``duration``.
+
+    The inverse of :func:`collective_time` in ``nbytes``; used by the
+    application skeletons to calibrate communication volume to a target
+    parallel efficiency.  Closed form for the default algorithms;
+    bisection (cost is monotone in size) otherwise.  Returns 0 when
+    even an empty message exceeds the requested duration.
+    """
+    if op not in COLLECTIVE_OPS:
+        raise ValueError(f"unknown collective {op!r}")
+    if duration < 0.0:
+        raise ValueError(f"duration must be >= 0, got {duration!r}")
+    if nproc <= 1:
+        return 0
+
+    if platform.collective_algorithm(op) != "default":
+        return _invert_bisect(op, duration, nproc, platform)
+
+    lat = platform.latency
+    bw = platform.bandwidth
+    steps = _log2ceil(nproc)
+    budget = duration / platform.collective_factor(op)
+
+    if op == "barrier":
+        return 0  # size-independent
+    if op in ("bcast", "reduce"):
+        wire = budget / steps - lat
+    elif op == "allreduce":
+        wire = budget / (2.0 * steps) - lat
+    elif op in ("gather", "scatter", "allgather", "reduce_scatter"):
+        wire = (budget - lat * steps) / (nproc - 1)
+    elif op == "alltoall":
+        wire = budget / (nproc - 1) - lat
+    else:  # pragma: no cover - COLLECTIVE_OPS guard above
+        raise AssertionError(op)
+    return max(0, int(round(wire * bw)))
+
+
+def _invert_bisect(
+    op: str, duration: float, nproc: int, platform: PlatformConfig
+) -> int:
+    if collective_time(op, 0, nproc, platform) >= duration:
+        return 0
+    lo, hi = 0, 1024
+    while collective_time(op, hi, nproc, platform) < duration:
+        hi *= 4
+        if hi > 2**60:  # size-independent op (e.g. barrier selected)
+            return 0
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if collective_time(op, mid, nproc, platform) < duration:
+            lo = mid
+        else:
+            hi = mid
+    return hi

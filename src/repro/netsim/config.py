@@ -1,0 +1,115 @@
+"""Platform configuration files (the Dimemas ``.cfg`` equivalent).
+
+Dimemas drives its machine model from a configuration file; we use a
+small JSON document so platforms are shareable and CLI-selectable::
+
+    {
+      "name": "myrinet-like",
+      "latency": 8e-6,
+      "bandwidth": 250e6,
+      "eager_threshold": 32768,
+      "buses": 0,
+      "cpus_per_node": 4,
+      "collective_factors": {"alltoall": 1.2},
+      "topology": {"kind": "torus2d", "nodes": 32}
+    }
+
+Unknown keys are rejected (typos in a machine file should fail, not
+silently fall back to defaults).  The optional ``topology`` block wraps
+the platform with :mod:`repro.netsim.topology`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import IO, Any, Union
+
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.topology import (
+    FatTree,
+    FlatTopology,
+    Mesh2D,
+    Torus2D,
+    with_topology,
+)
+
+__all__ = ["load_platform", "save_platform", "platform_from_dict", "platform_to_dict"]
+
+_TOPOLOGY_KINDS = {
+    "flat": lambda spec: FlatTopology(),
+    "mesh2d": lambda spec: Mesh2D(int(spec["nodes"])),
+    "torus2d": lambda spec: Torus2D(int(spec["nodes"])),
+    "fattree": lambda spec: FatTree(int(spec.get("leaf_size", 8))),
+}
+
+_FIELD_NAMES = {f.name for f in dataclasses.fields(PlatformConfig)}
+
+
+def platform_from_dict(data: dict[str, Any]) -> PlatformConfig:
+    """Build a platform (optionally topology-wrapped) from a dict."""
+    data = dict(data)
+    topo_spec = data.pop("topology", None)
+    unknown = set(data) - _FIELD_NAMES
+    if unknown:
+        raise ValueError(
+            f"unknown platform keys {sorted(unknown)}; known: "
+            f"{sorted(_FIELD_NAMES)} (+ 'topology')"
+        )
+    base = PlatformConfig(**data)
+    if topo_spec is None:
+        return base
+    kind = topo_spec.get("kind")
+    factory = _TOPOLOGY_KINDS.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; known: {sorted(_TOPOLOGY_KINDS)}"
+        )
+    return with_topology(base, factory(topo_spec))
+
+
+def platform_to_dict(platform: PlatformConfig) -> dict[str, Any]:
+    """Serialise a platform to a plain dict (topology wrappers included)."""
+    out: dict[str, Any] = {
+        f.name: getattr(platform, f.name)
+        for f in dataclasses.fields(PlatformConfig)
+    }
+    out["collective_factors"] = dict(out["collective_factors"])
+    out["collective_algorithms"] = dict(out["collective_algorithms"])
+    topology = getattr(platform, "topology", None)
+    if topology is not None:
+        spec: dict[str, Any] = {"kind": topology.name}
+        if isinstance(topology, (Mesh2D, Torus2D)):
+            spec["nodes"] = topology.nodes
+        elif isinstance(topology, FatTree):
+            spec["leaf_size"] = topology.leaf_size
+        out["topology"] = spec
+        # the composed name is derived; store the base name
+        out["name"] = out["name"].rsplit("+", 1)[0]
+    return out
+
+
+def load_platform(path_or_file: Union[str, os.PathLike, IO[str]]) -> PlatformConfig:
+    """Load a platform from a JSON file."""
+    if hasattr(path_or_file, "read"):
+        data = json.load(path_or_file)  # type: ignore[arg-type]
+    else:
+        with open(os.fspath(path_or_file), encoding="utf-8") as fh:
+            data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError("platform file must contain a JSON object")
+    return platform_from_dict(data)
+
+
+def save_platform(
+    platform: PlatformConfig, path_or_file: Union[str, os.PathLike, IO[str]]
+) -> None:
+    """Write a platform to a JSON file (round-trips with load)."""
+    data = platform_to_dict(platform)
+    if hasattr(path_or_file, "write"):
+        json.dump(data, path_or_file, indent=2)  # type: ignore[arg-type]
+    else:
+        with open(os.fspath(path_or_file), "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+            fh.write("\n")

@@ -1,0 +1,187 @@
+"""Point-to-point message matching.
+
+Implements MPI's envelope matching for the replay simulator:
+
+* receives match on ``(source, tag)`` with ``ANY_SOURCE`` / ``ANY_TAG``
+  wildcards;
+* unexpected messages (eager arrivals with no posted receive) queue at
+  the destination;
+* rendezvous senders queue a *ready-send* envelope until a matching
+  receive posts, at which point the transfer can start.
+
+Matching order is globally FIFO by post time (a monotone sequence
+number), which realises MPI's non-overtaking rule for same
+``(src, dst, tag)`` pairs in program order.  (One approximation: an
+eager message "exists" for matching only once it *arrives*, so a
+long-latency eager message can be overtaken by a later rendezvous
+ready-send; Dimemas's model has the same property.)
+
+The matcher is pure bookkeeping: it never touches the clock.  Posters
+pass callbacks; the simulator decides what a match *means* in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Callable, Optional
+
+from repro.traces.records import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Matcher", "EagerMsg", "ReadySend", "PostedRecv"]
+
+
+@dataclass
+class EagerMsg:
+    """An eager message that has arrived at its destination."""
+
+    seq: int
+    src: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class ReadySend:
+    """A rendezvous sender waiting for its matching receive."""
+
+    seq: int
+    src: int
+    tag: int
+    nbytes: int
+    on_matched: Callable[[], None] = field(repr=False, default=lambda: None)
+
+
+@dataclass
+class PostedRecv:
+    """A posted receive waiting for a message.
+
+    ``on_eager(msg)`` fires when an eager message satisfies the receive;
+    ``on_rendezvous(send)`` fires when a rendezvous sender matches (the
+    simulator then starts the wire transfer).
+    """
+
+    seq: int
+    src: int
+    tag: int
+    on_eager: Callable[[EagerMsg], None] = field(repr=False, default=lambda m: None)
+    on_rendezvous: Callable[[ReadySend], None] = field(
+        repr=False, default=lambda s: None
+    )
+
+    def matches(self, src: int, tag: int) -> bool:
+        if self.src != ANY_SOURCE and self.src != src:
+            return False
+        if self.tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+class Matcher:
+    """Per-destination matching queues for one simulated world."""
+
+    def __init__(self, nproc: int):
+        if nproc <= 0:
+            raise ValueError(f"nproc must be positive, got {nproc}")
+        self.nproc = nproc
+        self._seq = count()
+        self._recvs: list[list[PostedRecv]] = [[] for _ in range(nproc)]
+        self._eager: list[list[EagerMsg]] = [[] for _ in range(nproc)]
+        self._ready: list[list[ReadySend]] = [[] for _ in range(nproc)]
+
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.nproc):
+            raise ValueError(f"{what} rank {rank} out of range [0, {self.nproc})")
+
+    # ------------------------------------------------------------------
+    def post_recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        on_eager: Callable[[EagerMsg], None],
+        on_rendezvous: Callable[[ReadySend], None],
+    ) -> None:
+        """Post a receive at ``dst``; fires a callback immediately on match."""
+        self._check_rank(dst, "recv destination")
+        recv = PostedRecv(self.next_seq(), src, tag, on_eager, on_rendezvous)
+        candidate = self._earliest_message(dst, recv)
+        if candidate is None:
+            self._recvs[dst].append(recv)
+        elif isinstance(candidate, EagerMsg):
+            self._eager[dst].remove(candidate)
+            recv.on_eager(candidate)
+        else:
+            self._ready[dst].remove(candidate)
+            recv.on_rendezvous(candidate)
+
+    def deliver_eager(self, dst: int, src: int, tag: int, nbytes: int) -> None:
+        """An eager message arrived at ``dst``."""
+        self._check_rank(dst, "eager destination")
+        self._check_rank(src, "eager source")
+        msg = EagerMsg(self.next_seq(), src, tag, nbytes)
+        recv = self._earliest_recv(dst, src, tag)
+        if recv is None:
+            self._eager[dst].append(msg)
+        else:
+            self._recvs[dst].remove(recv)
+            recv.on_eager(msg)
+
+    def post_ready_send(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        nbytes: int,
+        on_matched: Callable[[], None],
+    ) -> Optional[ReadySend]:
+        """A rendezvous sender announces itself at ``dst``.
+
+        Returns the queued :class:`ReadySend` when no receive matched
+        (the transfer waits), or ``None`` when a receive matched right
+        away (its ``on_rendezvous`` has already fired; ``on_matched`` is
+        the *sender-side* hook the simulator wires into the transfer).
+        """
+        self._check_rank(dst, "send destination")
+        self._check_rank(src, "send source")
+        send = ReadySend(self.next_seq(), src, tag, nbytes, on_matched)
+        recv = self._earliest_recv(dst, src, tag)
+        if recv is None:
+            self._ready[dst].append(send)
+            return send
+        self._recvs[dst].remove(recv)
+        recv.on_rendezvous(send)
+        return None
+
+    # ------------------------------------------------------------------
+    def _earliest_recv(self, dst: int, src: int, tag: int) -> Optional[PostedRecv]:
+        best: Optional[PostedRecv] = None
+        for recv in self._recvs[dst]:
+            if recv.matches(src, tag) and (best is None or recv.seq < best.seq):
+                best = recv
+        return best
+
+    def _earliest_message(self, dst: int, recv: PostedRecv):
+        best = None
+        for msg in self._eager[dst]:
+            if recv.matches(msg.src, msg.tag) and (best is None or msg.seq < best.seq):
+                best = msg
+        for send in self._ready[dst]:
+            if recv.matches(send.src, send.tag) and (
+                best is None or send.seq < best.seq
+            ):
+                best = send
+        return best
+
+    # ------------------------------------------------------------------
+    def outstanding(self) -> dict[str, int]:
+        """Counts of unmatched entries (deadlock diagnostics)."""
+        return {
+            "posted_recvs": sum(len(q) for q in self._recvs),
+            "unexpected_eager": sum(len(q) for q in self._eager),
+            "ready_sends": sum(len(q) for q in self._ready),
+        }

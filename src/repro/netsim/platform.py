@@ -1,0 +1,115 @@
+"""Platform (machine) model: the Dimemas configuration file equivalent.
+
+The defaults approximate the paper's testbed class — a PowerPC cluster
+with a Myrinet interconnect: single-digit-microsecond latency and
+~250 MB/s per-link bandwidth.  Absolute values only shift absolute
+times; every paper metric is normalized, so the *ratios* (which the
+protocol and collective models set) are what matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["PlatformConfig", "MYRINET_LIKE"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Network + node parameters for the replay simulator.
+
+    Parameters
+    ----------
+    latency:
+        End-to-end message latency in seconds (per transfer).
+    bandwidth:
+        Link bandwidth in bytes/second.
+    eager_threshold:
+        Messages of at most this many bytes use the eager protocol
+        (sender does not block); larger messages rendezvous.
+    buses:
+        Number of concurrent point-to-point transfers the network
+        sustains (Dimemas's "buses").  ``0`` means unlimited.
+    send_overhead / recv_overhead:
+        CPU-side cost of posting a send/receive, in seconds.
+    cpus_per_node:
+        Informational (rank→node mapping is round-robin); intra-node
+        messages use ``intra_node_speedup`` × bandwidth and
+        ``latency / intra_node_speedup``.
+    collective_factors:
+        Per-operation multipliers on the analytic collective costs —
+        the tuning knobs Dimemas exposes per collective.
+    collective_algorithms:
+        Per-operation algorithm selection (see
+        :data:`repro.netsim.collectives.COLLECTIVE_ALGORITHMS`).  Each
+        value is an algorithm name, or ``"auto"`` for the cheapest
+        algorithm at the given size (an ideally tuned MPI library).
+        Unlisted operations use the paper-era default models.
+    """
+
+    name: str = "myrinet-like"
+    latency: float = 8e-6
+    bandwidth: float = 250e6
+    eager_threshold: int = 32 * 1024
+    buses: int = 0
+    send_overhead: float = 1e-6
+    recv_overhead: float = 1e-6
+    cpus_per_node: int = 4
+    intra_node_speedup: float = 4.0
+    collective_factors: Mapping[str, float] = field(default_factory=dict)
+    collective_algorithms: Mapping[str, str] = field(default_factory=dict)
+    #: Execute collectives as real point-to-point rounds (respecting
+    #: contention/topology, no global barrier) instead of the analytic
+    #: synchronised model.  See :mod:`repro.netsim.decomposed`.
+    decompose_collectives: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0:
+            raise ValueError(f"latency must be >= 0, got {self.latency!r}")
+        if self.bandwidth <= 0.0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth!r}")
+        if self.eager_threshold < 0:
+            raise ValueError(
+                f"eager threshold must be >= 0, got {self.eager_threshold!r}"
+            )
+        if self.buses < 0:
+            raise ValueError(f"buses must be >= 0 (0 = unlimited), got {self.buses!r}")
+        if self.send_overhead < 0.0 or self.recv_overhead < 0.0:
+            raise ValueError("overheads must be >= 0")
+        if self.cpus_per_node <= 0:
+            raise ValueError(f"cpus_per_node must be positive, got {self.cpus_per_node!r}")
+        if self.intra_node_speedup < 1.0:
+            raise ValueError(
+                f"intra-node speedup must be >= 1, got {self.intra_node_speedup!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Round-robin block mapping of ranks onto nodes."""
+        return rank // self.cpus_per_node
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        """Pure wire time of one point-to-point transfer (no contention)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        if self.node_of(src) == self.node_of(dst):
+            return self.latency / self.intra_node_speedup + nbytes / (
+                self.bandwidth * self.intra_node_speedup
+            )
+        return self.latency + nbytes / self.bandwidth
+
+    def occupancy_time(self, nbytes: int) -> float:
+        """Time a transfer occupies a shared bus (bandwidth term only)."""
+        return nbytes / self.bandwidth
+
+    def collective_factor(self, op: str) -> float:
+        return float(self.collective_factors.get(op, 1.0))
+
+    def collective_algorithm(self, op: str) -> str:
+        """Selected algorithm for a collective ('default' if unset)."""
+        return str(self.collective_algorithms.get(op, "default"))
+
+
+#: Default platform used throughout the reproduction.
+MYRINET_LIKE = PlatformConfig()

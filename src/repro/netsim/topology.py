@@ -1,0 +1,165 @@
+"""Network topologies: hop-distance-aware latency.
+
+The base :class:`~repro.netsim.platform.PlatformConfig` models a flat
+network (one latency for every pair, as Dimemas's default does).  For
+larger machines the paper's class of clusters routes through multi-hop
+fabrics; this module provides pluggable topologies that turn a rank
+pair into a hop count, and a platform wrapper that charges a per-hop
+latency.
+
+Topologies:
+
+* :class:`FlatTopology` — every pair one hop (the default behaviour);
+* :class:`Mesh2D` / :class:`Torus2D` — most-square 2-D grid of nodes,
+  Manhattan distance (with wraparound for the torus);
+* :class:`FatTree` — two-level switch hierarchy: 1 hop within a leaf
+  switch, 3 hops (up-root-down) across leaves.
+
+Use :func:`with_topology` to derive a topology-aware platform from an
+existing config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.platform import PlatformConfig
+
+__all__ = [
+    "FatTree",
+    "FlatTopology",
+    "Mesh2D",
+    "Torus2D",
+    "TopologyPlatform",
+    "with_topology",
+]
+
+
+class Topology:
+    """Interface: hop count between two *nodes*."""
+
+    name = "topology"
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        raise NotImplementedError
+
+
+class FlatTopology(Topology):
+    """Single-switch network: one hop between distinct nodes."""
+
+    name = "flat"
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        return 0 if node_a == node_b else 1
+
+
+def _grid_dims(nodes: int) -> tuple[int, int]:
+    best = (1, nodes)
+    for rows in range(1, int(nodes**0.5) + 1):
+        if nodes % rows == 0:
+            best = (rows, nodes // rows)
+    return best
+
+
+@dataclass(frozen=True)
+class Mesh2D(Topology):
+    """Most-square 2-D mesh of ``nodes``; Manhattan hop distance."""
+
+    nodes: int
+    name: str = "mesh2d"
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {self.nodes}")
+
+    def _coords(self, node: int) -> tuple[int, int]:
+        rows, cols = _grid_dims(self.nodes)
+        if not (0 <= node < self.nodes):
+            raise ValueError(f"node {node} outside mesh of {self.nodes}")
+        return divmod(node, cols)
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        ra, ca = self._coords(node_a)
+        rb, cb = self._coords(node_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+
+@dataclass(frozen=True)
+class Torus2D(Mesh2D):
+    """2-D mesh with wraparound links."""
+
+    name: str = "torus2d"
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        rows, cols = _grid_dims(self.nodes)
+        ra, ca = self._coords(node_a)
+        rb, cb = self._coords(node_b)
+        dr = abs(ra - rb)
+        dc = abs(ca - cb)
+        return min(dr, rows - dr) + min(dc, cols - dc)
+
+
+@dataclass(frozen=True)
+class FatTree(Topology):
+    """Two-level fat tree: ``leaf_size`` nodes per leaf switch."""
+
+    leaf_size: int = 8
+    name: str = "fattree"
+
+    def __post_init__(self) -> None:
+        if self.leaf_size <= 0:
+            raise ValueError(f"leaf size must be positive, got {self.leaf_size}")
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        if node_a == node_b:
+            return 0
+        if node_a // self.leaf_size == node_b // self.leaf_size:
+            return 1
+        return 3  # up to the root and back down
+
+
+class TopologyPlatform(PlatformConfig):
+    """Platform whose point-to-point latency grows with hop distance.
+
+    Transfer latency becomes ``latency * max(hops, 1)`` for inter-node
+    messages; intra-node messages keep the base intra-node behaviour.
+    Bandwidth is unchanged (wormhole-routed fabrics are latency-, not
+    bandwidth-, distance-sensitive to first order).
+    """
+
+    # PlatformConfig is a frozen dataclass; carry the topology outside
+    # the dataclass fields.
+    def __init__(self, base: PlatformConfig, topology: Topology):
+        object.__setattr__(self, "_topology", topology)
+        super().__init__(
+            name=f"{base.name}+{topology.name}",
+            latency=base.latency,
+            bandwidth=base.bandwidth,
+            eager_threshold=base.eager_threshold,
+            buses=base.buses,
+            send_overhead=base.send_overhead,
+            recv_overhead=base.recv_overhead,
+            cpus_per_node=base.cpus_per_node,
+            intra_node_speedup=base.intra_node_speedup,
+            collective_factors=dict(base.collective_factors),
+            collective_algorithms=dict(base.collective_algorithms),
+            decompose_collectives=base.decompose_collectives,
+        )
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        node_src, node_dst = self.node_of(src), self.node_of(dst)
+        if node_src == node_dst:
+            return super().transfer_time(nbytes, src, dst)
+        hops = max(self._topology.hops(node_src, node_dst), 1)
+        return self.latency * hops + nbytes / self.bandwidth
+
+
+def with_topology(base: PlatformConfig, topology: Topology) -> TopologyPlatform:
+    """Derive a topology-aware platform from an existing config."""
+    return TopologyPlatform(base, topology)

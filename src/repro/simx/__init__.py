@@ -1,0 +1,33 @@
+"""Generic discrete-event simulation core.
+
+``simx`` is the substrate under :mod:`repro.netsim`: a minimal,
+deterministic discrete-event engine with generator-based processes.
+It deliberately models *virtual* time only — nothing in this package
+reads wall-clock time, so simulations are exactly reproducible.
+
+Public surface:
+
+* :class:`~repro.simx.engine.Engine` — the event loop and virtual clock.
+* :class:`~repro.simx.process.Process` — a running generator-based process.
+* :class:`~repro.simx.process.Signal` — a triggerable wait condition.
+* ``Hold`` / ``WaitSignal`` — the commands a process generator may yield.
+* The exception hierarchy in :mod:`repro.simx.errors`.
+"""
+
+from repro.simx.engine import Engine, Timer
+from repro.simx.errors import DeadlockError, ProcessFailure, SimulationError
+from repro.simx.process import Hold, Process, Signal, WaitSignal
+from repro.simx.resources import Resource
+
+__all__ = [
+    "DeadlockError",
+    "Engine",
+    "Hold",
+    "Process",
+    "ProcessFailure",
+    "Resource",
+    "Signal",
+    "SimulationError",
+    "Timer",
+    "WaitSignal",
+]

@@ -1,0 +1,147 @@
+"""The discrete-event engine: a virtual clock plus an ordered event queue.
+
+The engine is intentionally tiny.  Everything else in the simulator —
+processes, signals, message matching, network contention — is built on
+two primitives:
+
+* ``schedule(delay, fn, *args)``: run ``fn`` at ``now + delay``;
+* ``run()``: pop events in (time, insertion-order) order until drained.
+
+Determinism: ties in time are broken by insertion order (a monotonically
+increasing sequence number), never by object identity, so two runs of the
+same simulation produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from typing import Any, Callable
+
+from repro.simx.errors import ScheduleError
+
+__all__ = ["Engine", "Timer"]
+
+
+class Timer:
+    """Handle to a scheduled callback; supports cancellation.
+
+    Cancelling is O(1): the entry stays in the heap but is skipped when
+    popped.  ``active`` is True until the callback fires or is cancelled.
+    """
+
+    __slots__ = ("time", "fn", "args", "active")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.active = True
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self.active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "active" if self.active else "dead"
+        return f"<Timer t={self.time:.9g} {state} fn={getattr(self.fn, '__name__', self.fn)!r}>"
+
+
+class Engine:
+    """Virtual-time event loop.
+
+    >>> eng = Engine()
+    >>> seen = []
+    >>> _ = eng.schedule(2.0, seen.append, "b")
+    >>> _ = eng.schedule(1.0, seen.append, "a")
+    >>> eng.run()
+    >>> seen, eng.now
+    (['a', 'b'], 2.0)
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = count()
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for _, _, t in self._heap if t.active)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if not (delay >= 0.0) or math.isinf(delay) or math.isnan(delay):
+            raise ScheduleError(f"delay must be finite and >= 0, got {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if math.isnan(time) or math.isinf(time):
+            raise ScheduleError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise ScheduleError(
+                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
+            )
+        timer = Timer(time, fn, args)
+        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        return timer
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when drained."""
+        while self._heap:
+            time, _, timer = heapq.heappop(self._heap)
+            if not timer.active:
+                continue
+            timer.active = False
+            self._now = time
+            self._events_processed += 1
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the budget ends.
+
+        ``max_events`` is a safety valve for runaway simulations (e.g. a
+        rank program that loops forever); exceeding it raises
+        :class:`RuntimeError` rather than hanging the caller.
+        """
+        executed = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(now={self._now:.9g}); likely a runaway process"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Engine now={self._now:.9g} pending={self.pending}>"

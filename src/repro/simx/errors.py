@@ -1,0 +1,41 @@
+"""Exception hierarchy for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation core."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    This is the discrete-event analogue of an MPI deadlock: some process
+    is waiting on a signal that nothing left in the simulation can ever
+    trigger.  The offending processes are listed in :attr:`blocked`.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        names = ", ".join(self.blocked) or "<unknown>"
+        super().__init__(
+            f"simulation deadlock: event queue empty but {len(self.blocked)} "
+            f"process(es) still blocked: {names}"
+        )
+
+
+class ProcessFailure(SimulationError):
+    """A process generator raised an exception during the simulation.
+
+    The original exception is preserved as ``__cause__`` so tracebacks
+    point at the failing rank program.
+    """
+
+    def __init__(self, process_name: str, cause: BaseException):
+        self.process_name = process_name
+        super().__init__(f"process {process_name!r} failed: {cause!r}")
+        self.__cause__ = cause
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or with a non-finite delay."""

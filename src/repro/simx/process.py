@@ -1,0 +1,200 @@
+"""Generator-based processes and wait conditions on top of the engine.
+
+A *process* is a Python generator that yields *commands* to the scheduler:
+
+* :class:`Hold` — suspend for a fixed amount of virtual time;
+* :class:`WaitSignal` — suspend until a :class:`Signal` is triggered.
+
+The value a command "returns" (e.g. the payload passed to
+``Signal.trigger``) is delivered back into the generator via ``send``,
+so rank programs read naturally::
+
+    def program():
+        yield Hold(1.5)                 # compute for 1.5 virtual seconds
+        payload = yield WaitSignal(sig) # block until someone triggers sig
+
+This mirrors how Dimemas models an MPI rank: alternating CPU bursts and
+blocking communication events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.simx.engine import Engine
+from repro.simx.errors import ProcessFailure, SimulationError
+
+__all__ = ["Hold", "Process", "Signal", "WaitSignal", "run_processes"]
+
+
+class Hold:
+    """Command: suspend the yielding process for ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if not (duration >= 0.0):
+            raise ValueError(f"hold duration must be >= 0, got {duration!r}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Hold({self.duration!r})"
+
+
+class Signal:
+    """A triggerable, multi-waiter wait condition.
+
+    A signal is either *pending* or *triggered*.  Processes that wait on a
+    pending signal are suspended; ``trigger(value)`` wakes them all and
+    delivers ``value``.  Waiting on an already-triggered signal resumes
+    immediately with the stored value (so there is no lost-wakeup race).
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"signal {self.name!r} read before trigger")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Mark the signal triggered and wake every waiter immediately.
+
+        Waiters are resumed synchronously, in the order they blocked, at
+        the current virtual time.  Triggering twice is an error: signals
+        are one-shot by design (use a fresh Signal per event occurrence).
+        """
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "triggered" if self._triggered else f"pending({len(self._waiters)})"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class WaitSignal:
+    """Command: suspend the yielding process until ``signal`` triggers."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal):
+        self.signal = signal
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"WaitSignal({self.signal!r})"
+
+
+class Process:
+    """A generator being driven through the engine.
+
+    The process starts immediately upon construction (its first command is
+    executed at the engine's current time).  When the generator returns,
+    :attr:`done` triggers with the generator's return value; if it raises,
+    the error is wrapped in :class:`ProcessFailure` and re-raised out of
+    ``Engine.run`` so failures are never silent.
+    """
+
+    __slots__ = ("engine", "name", "generator", "done", "_blocked_on")
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Any, Any, Any],
+        name: str = "proc",
+    ):
+        self.engine = engine
+        self.name = name
+        self.generator = generator
+        self.done = Signal(f"{name}.done")
+        self._blocked_on: str | None = None
+        # Kick off on the next engine step at the current time so that
+        # construction order, not generator content, decides tie-breaks.
+        engine.schedule(0.0, self._resume, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def blocked_on(self) -> str | None:
+        """Human-readable description of the current wait (diagnostics)."""
+        return self._blocked_on
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        self._blocked_on = None
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # wrap so Engine.run surfaces the rank name
+            raise ProcessFailure(self.name, exc) from exc
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Hold):
+            self._blocked_on = f"hold({command.duration:.9g})"
+            self.engine.schedule(command.duration, self._resume, None)
+        elif isinstance(command, WaitSignal):
+            sig = command.signal
+            if sig.triggered:
+                self.engine.schedule(0.0, self._resume, sig.value)
+            else:
+                self._blocked_on = f"signal({sig.name})"
+                sig._add_waiter(self)
+        elif isinstance(command, Signal):
+            # allow `yield sig` as shorthand for `yield WaitSignal(sig)`
+            self._dispatch(WaitSignal(command))
+        else:
+            raise ProcessFailure(
+                self.name,
+                TypeError(f"process yielded unknown command {command!r}"),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "done" if self.finished else (self._blocked_on or "ready")
+        return f"<Process {self.name!r} {state}>"
+
+
+def run_processes(
+    engine: Engine,
+    generators: Iterable[tuple[str, Generator[Any, Any, Any]]],
+    max_events: int | None = None,
+    deadlock_check: bool = True,
+) -> dict[str, Any]:
+    """Convenience driver: run named generators to completion.
+
+    Returns ``{name: return value}``.  If the queue drains while some
+    process is still blocked, raises
+    :class:`~repro.simx.errors.DeadlockError` listing the stuck processes
+    and what each was waiting on.
+    """
+    procs = [Process(engine, gen, name=name) for name, gen in generators]
+    engine.run(max_events=max_events)
+    stuck = [p for p in procs if not p.finished]
+    if stuck and deadlock_check:
+        from repro.simx.errors import DeadlockError
+
+        raise DeadlockError([f"{p.name} waiting on {p.blocked_on}" for p in stuck])
+    return {p.name: p.done.value for p in procs if p.finished}

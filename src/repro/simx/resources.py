@@ -1,0 +1,90 @@
+"""Capacity resources for the discrete-event core.
+
+:class:`Resource` is the classic DES primitive: ``capacity`` concurrent
+holders, FIFO queueing for the rest.  Rank programs (or custom models
+built on :mod:`repro.simx`) use it to model anything that serialises —
+DMA engines, NIC send queues, a shared filesystem.
+
+Usage inside a process generator::
+
+    grant = resource.acquire()
+    yield WaitSignal(grant)     # immediate if capacity is free
+    try:
+        yield Hold(work)
+    finally:
+        resource.release()
+
+(The replay simulator's network-bus contention uses an analytic
+reservation queue instead — transfer durations are known up front, so
+no event exchange is needed — but the semantics are the same.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.simx.engine import Engine
+from repro.simx.errors import SimulationError
+from repro.simx.process import Signal
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """FIFO capacity resource."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource"):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[Signal] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Signal:
+        """Request one unit; the returned signal triggers when granted.
+
+        Grants are FIFO.  If capacity is free the signal is triggered
+        immediately (waiting on it resumes without advancing time).
+        """
+        grant = Signal(f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.trigger(None)
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit; hands it straight to the next waiter."""
+        if self._in_use <= 0:
+            raise SimulationError(
+                f"resource {self.name!r} released more times than acquired"
+            )
+        if self._waiting:
+            # ownership passes directly: in_use stays constant
+            grant = self._waiting.popleft()
+            self.engine.schedule(0.0, grant.trigger, None)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+            f"queued={self.queued}>"
+        )

@@ -1,0 +1,108 @@
+"""JSON-lines trace persistence.
+
+The on-disk format is deliberately boring: one JSON object per line.
+
+* line 1 — header: ``{"format": "repro-trace", "version": 1,
+  "nproc": N, "meta": {...}}``
+* following lines — events in rank-major order:
+  ``{"rank": r, **record_to_dict(record)}``
+
+Rank-major order keeps writing streaming-friendly and diffs readable;
+the reader accepts events in any order (they are appended per rank in
+file order, which must respect each rank's own program order).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+from typing import IO, Any, Union
+
+from repro.traces.records import record_from_dict, record_to_dict
+from repro.traces.trace import Trace
+
+__all__ = ["read_trace", "write_trace", "dumps_trace", "loads_trace"]
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+PathOrFile = Union[str, os.PathLike, IO[str]]
+
+
+def _open(path_or_file: PathOrFile, mode: str) -> tuple[IO[str], bool]:
+    """Return (text stream, should_close)."""
+    if hasattr(path_or_file, "write") or hasattr(path_or_file, "read"):
+        return path_or_file, False  # type: ignore[return-value]
+    path = os.fspath(path_or_file)  # type: ignore[arg-type]
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8"), True
+    return open(path, mode, encoding="utf-8"), True
+
+
+def write_trace(trace: Trace, path_or_file: PathOrFile) -> None:
+    """Serialise ``trace`` to a JSON-lines file (``.gz`` compresses)."""
+    stream, should_close = _open(path_or_file, "w")
+    try:
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "nproc": trace.nproc,
+            "meta": trace.meta,
+        }
+        stream.write(json.dumps(header) + "\n")
+        for rank_stream in trace:
+            for record in rank_stream:
+                row = {"rank": rank_stream.rank}
+                row.update(record_to_dict(record))
+                stream.write(json.dumps(row) + "\n")
+    finally:
+        if should_close:
+            stream.close()
+
+
+def read_trace(path_or_file: PathOrFile) -> Trace:
+    """Load a trace previously written by :func:`write_trace`."""
+    stream, should_close = _open(path_or_file, "r")
+    try:
+        header_line = stream.readline()
+        if not header_line.strip():
+            raise ValueError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(
+                f"not a {FORMAT_NAME} file (format={header.get('format')!r})"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        trace = Trace(nproc=int(header["nproc"]), meta=header.get("meta") or {})
+        for lineno, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            row: dict[str, Any] = json.loads(line)
+            try:
+                rank = row.pop("rank")
+                trace[rank].append(record_from_dict(row))
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                raise ValueError(f"bad trace event at line {lineno}: {exc}") from exc
+        return trace
+    finally:
+        if should_close:
+            stream.close()
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialise to an in-memory string (round-trip convenience)."""
+    buf = io.StringIO()
+    write_trace(trace, buf)
+    return buf.getvalue()
+
+
+def loads_trace(text: str) -> Trace:
+    """Inverse of :func:`dumps_trace`."""
+    return read_trace(io.StringIO(text))

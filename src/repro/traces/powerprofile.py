@@ -1,0 +1,170 @@
+"""Power-over-time profiles of simulated runs.
+
+The power-profiling literature the paper builds on (Feng/Ge/Cameron;
+Kamil/Shalf/Strohmaier) reports *power traces*: watts over wall-clock
+time, per node and aggregated.  This module derives the same artifact
+from a simulated run: each rank's state intervals (compute vs MPI) map
+to power levels through the CPU power model and the rank's gear,
+giving a step function per rank and an aggregate machine profile.
+
+Besides being a useful inspection artifact (the before/after DVFS
+power drop is very visible), the profile's time integral must equal
+the :class:`~repro.core.energy.EnergyAccountant` result — an invariant
+the test suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.energy import EnergyBreakdown
+from repro.core.gears import Gear
+from repro.core.power import CpuPowerModel, CpuState
+from repro.netsim.record import RunResult
+
+__all__ = ["PowerProfile", "power_profile", "power_svg"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-power span of one rank."""
+
+    start: float
+    end: float
+    watts: float
+
+
+@dataclass
+class PowerProfile:
+    """Per-rank power step functions plus aggregate sampling."""
+
+    horizon: float
+    segments: list[list[Segment]]  # per rank
+
+    @property
+    def nproc(self) -> int:
+        return len(self.segments)
+
+    # ------------------------------------------------------------------
+    def rank_energy(self, rank: int) -> float:
+        return sum(s.watts * (s.end - s.start) for s in self.segments[rank])
+
+    def total_energy(self) -> float:
+        return sum(self.rank_energy(r) for r in range(self.nproc))
+
+    def sample_total(self, bins: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centers, aggregate watts) sampled over the horizon."""
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        if self.horizon <= 0.0:
+            return np.zeros(bins), np.zeros(bins)
+        edges = np.linspace(0.0, self.horizon, bins + 1)
+        width = edges[1] - edges[0]
+        totals = np.zeros(bins)
+        for rank_segments in self.segments:
+            for seg in rank_segments:
+                lo = int(np.searchsorted(edges, seg.start, side="right")) - 1
+                hi = int(np.searchsorted(edges, seg.end, side="left"))
+                for b in range(max(lo, 0), min(hi, bins)):
+                    overlap = min(seg.end, edges[b + 1]) - max(seg.start, edges[b])
+                    if overlap > 0:
+                        totals[b] += seg.watts * overlap / width
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        return centers, totals
+
+    def peak_power(self, bins: int = 200) -> float:
+        return float(self.sample_total(bins)[1].max(initial=0.0))
+
+    def mean_power(self) -> float:
+        if self.horizon <= 0.0:
+            return 0.0
+        return self.total_energy() / self.horizon
+
+
+def power_profile(
+    result: RunResult,
+    gears: Sequence[Gear],
+    power_model: CpuPowerModel | None = None,
+) -> PowerProfile:
+    """Build the per-rank power step functions for a recorded run.
+
+    Requires ``record_intervals=True`` on the simulation.  Time not
+    covered by any interval (zero-cost ops, idling after a rank's last
+    event until the application end) is charged at the rank's gear in
+    the communication state — consistent with the energy accountant.
+    """
+    if result.intervals is None:
+        raise ValueError(
+            "RunResult has no intervals; simulate with record_intervals=True"
+        )
+    if len(gears) != result.nproc:
+        raise ValueError(f"{len(gears)} gears for {result.nproc} ranks")
+    pm = power_model or CpuPowerModel()
+    horizon = result.execution_time
+
+    segments: list[list[Segment]] = []
+    for rank, intervals in enumerate(result.intervals):
+        gear = gears[rank]
+        p_compute = pm.power(gear, CpuState.COMPUTE)
+        p_comm = pm.power(gear, CpuState.COMM)
+        out: list[Segment] = []
+        cursor = 0.0
+        for iv in sorted(intervals, key=lambda i: i.start):
+            if iv.start > cursor + 1e-15:
+                out.append(Segment(cursor, iv.start, p_comm))  # uncovered gap
+            watts = p_compute if iv.kind == "compute" else p_comm
+            out.append(Segment(iv.start, iv.end, watts))
+            cursor = iv.end
+        if horizon > cursor + 1e-15:
+            out.append(Segment(cursor, horizon, p_comm))
+        segments.append(out)
+    return PowerProfile(horizon=horizon, segments=segments)
+
+
+def profile_breakdown_consistent(
+    profile: PowerProfile, breakdown: EnergyBreakdown, rel: float = 1e-6
+) -> bool:
+    """True when the profile integral matches the accountant's total."""
+    a, b = profile.total_energy(), breakdown.total
+    if b == 0.0:
+        return a == 0.0
+    return abs(a - b) / b <= rel
+
+
+def power_svg(
+    profile: PowerProfile,
+    bins: int = 200,
+    width: int = 900,
+    height: int = 240,
+    title: str = "aggregate CPU power",
+) -> str:
+    """Aggregate power-vs-time area chart as a standalone SVG string."""
+    centers, watts = profile.sample_total(bins)
+    margin_l, margin_t, margin_b = 60, 30, 30
+    plot_w = width - margin_l - 15
+    plot_h = height - margin_t - margin_b
+    peak = max(float(watts.max(initial=0.0)), 1e-12)
+
+    points = [f"{margin_l},{margin_t + plot_h}"]
+    for c, w in zip(centers, watts):
+        x = margin_l + (c / profile.horizon if profile.horizon else 0) * plot_w
+        y = margin_t + plot_h * (1 - w / (peak * 1.1))
+        points.append(f"{x:.1f},{y:.1f}")
+    points.append(f"{margin_l + plot_w},{margin_t + plot_h}")
+
+    return "\n".join(
+        [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" font-family="monospace" font-size="10">',
+            f'<text x="{margin_l}" y="16">{title}</text>',
+            f'<polygon points="{" ".join(points)}" fill="#4878d0" '
+            'fill-opacity="0.6" stroke="#2c4f92"/>',
+            f'<text x="4" y="{margin_t + 8}">{peak:.3g} W</text>',
+            f'<text x="{margin_l}" y="{height - 8}">0 .. '
+            f"{profile.horizon:.6g}s</text>",
+            "</svg>",
+        ]
+    )

@@ -1,0 +1,260 @@
+"""Trace event records.
+
+Each record is an immutable dataclass describing one logical event in a
+rank's stream.  Compute bursts store the duration *as measured at the
+nominal top frequency*; the simulator (or
+:func:`repro.traces.transform.scale_compute`) rescales them with the
+β time model when a rank runs at a different frequency.
+
+These records double as the command vocabulary of rank programs: an
+application skeleton (:mod:`repro.apps`) *yields* these very objects, a
+recorded trace *stores* them, and the simulator *interprets* them — one
+representation end to end, the way a Dimemas tracefile is both the
+recording and the replay script.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Union
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COLLECTIVE_OPS",
+    "CollectiveRecord",
+    "ComputeBurst",
+    "IrecvRecord",
+    "IsendRecord",
+    "MarkerRecord",
+    "Record",
+    "RecvRecord",
+    "SendRecord",
+    "WaitRecord",
+    "WaitallRecord",
+    "record_from_dict",
+    "record_to_dict",
+]
+
+#: Wildcard source for receives (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG = -1
+
+#: Collective operations the replay simulator models.
+COLLECTIVE_OPS = (
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "reduce_scatter",
+)
+
+
+@dataclass(frozen=True)
+class ComputeBurst:
+    """CPU burst of ``duration`` seconds at the nominal top frequency.
+
+    ``phase`` labels the computation phase the burst belongs to (e.g.
+    ``"solve"`` vs ``"tree-walk"``); per-phase analysis and the per-phase
+    assignment ablation rely on it.  ``beta`` optionally overrides the
+    memory-boundedness parameter for this burst; ``None`` defers to the
+    model default.
+    """
+
+    duration: float
+    phase: str = ""
+    beta: float | None = None
+
+    kind: ClassVar[str] = "compute"
+
+    def __post_init__(self) -> None:
+        if not (self.duration >= 0.0) or not math.isfinite(self.duration):
+            raise ValueError(
+                f"burst duration must be finite and >= 0, got {self.duration!r}"
+            )
+        if self.beta is not None and not (0.0 <= self.beta <= 1.0):
+            raise ValueError(f"beta must be in [0, 1], got {self.beta!r}")
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """Blocking send of ``nbytes`` to rank ``dst`` with ``tag``."""
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+    kind: ClassVar[str] = "send"
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError(f"send dst must be a concrete rank, got {self.dst}")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class RecvRecord:
+    """Blocking receive from ``src`` (``ANY_SOURCE`` allowed) with ``tag``."""
+
+    src: int
+    tag: int = ANY_TAG
+
+    kind: ClassVar[str] = "recv"
+
+    def __post_init__(self) -> None:
+        if self.src < ANY_SOURCE:
+            raise ValueError(f"invalid src {self.src}")
+
+
+@dataclass(frozen=True)
+class IsendRecord:
+    """Non-blocking send; completion is claimed by a matching wait.
+
+    ``request`` is a rank-local request identifier; it must later appear
+    in exactly one :class:`WaitRecord` / :class:`WaitallRecord`.
+    """
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+    request: int = 0
+
+    kind: ClassVar[str] = "isend"
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError(f"isend dst must be a concrete rank, got {self.dst}")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class IrecvRecord:
+    """Non-blocking receive; completion is claimed by a matching wait."""
+
+    src: int
+    tag: int = ANY_TAG
+    request: int = 0
+
+    kind: ClassVar[str] = "irecv"
+
+    def __post_init__(self) -> None:
+        if self.src < ANY_SOURCE:
+            raise ValueError(f"invalid src {self.src}")
+
+
+@dataclass(frozen=True)
+class WaitRecord:
+    """Block until the rank-local request ``request`` completes."""
+
+    request: int
+
+    kind: ClassVar[str] = "wait"
+
+
+@dataclass(frozen=True)
+class WaitallRecord:
+    """Block until every request in ``requests`` completes."""
+
+    requests: tuple[int, ...]
+
+    kind: ClassVar[str] = "waitall"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """Collective operation on the world communicator.
+
+    ``nbytes`` is the per-rank contribution (e.g. per-pair bytes for
+    alltoall, the message size for bcast).  Every rank must issue its
+    collectives in the same order with the same ``op``/``root``;
+    the simulator validates this and fails loudly on mismatch.
+    """
+
+    op: str
+    nbytes: int = 0
+    root: int = 0
+
+    kind: ClassVar[str] = "collective"
+
+    def __post_init__(self) -> None:
+        if self.op not in COLLECTIVE_OPS:
+            raise ValueError(
+                f"unknown collective {self.op!r}; expected one of {COLLECTIVE_OPS}"
+            )
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class MarkerRecord:
+    """Zero-cost annotation: iteration/phase boundary.
+
+    ``iteration`` numbers the iterative region's loop; ``label`` is free
+    form (``"iter-begin"``, ``"phase:force"``, …).  Region cutting
+    (:func:`repro.traces.transform.cut_iterations`) keys off these.
+    """
+
+    label: str
+    iteration: int = -1
+
+    kind: ClassVar[str] = "marker"
+
+
+Record = Union[
+    ComputeBurst,
+    SendRecord,
+    RecvRecord,
+    IsendRecord,
+    IrecvRecord,
+    WaitRecord,
+    WaitallRecord,
+    CollectiveRecord,
+    MarkerRecord,
+]
+
+_RECORD_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ComputeBurst,
+        SendRecord,
+        RecvRecord,
+        IsendRecord,
+        IrecvRecord,
+        WaitRecord,
+        WaitallRecord,
+        CollectiveRecord,
+        MarkerRecord,
+    )
+}
+
+
+def record_to_dict(record: Record) -> dict[str, Any]:
+    """Serialise a record to a plain dict (for JSON-lines persistence)."""
+    out: dict[str, Any] = {"kind": record.kind}
+    for f in fields(record):
+        value = getattr(record, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def record_from_dict(data: dict[str, Any]) -> Record:
+    """Inverse of :func:`record_to_dict`; raises on unknown kinds."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = _RECORD_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown record kind {kind!r}")
+    return cls(**data)

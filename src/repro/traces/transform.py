@@ -1,0 +1,117 @@
+"""Trace transformations.
+
+The paper's methodology (§4) rewrites the Dimemas tracefile: compute
+burst durations are rescaled for each rank's assigned frequency, then
+the modified trace is replayed.  :func:`scale_compute` is that rewrite.
+:func:`cut_iterations` extracts an iterative region (the Paraver step of
+"discarding initialization"), and :func:`concat_traces` splices regions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.timemodel import BetaTimeModel
+from repro.traces.records import ComputeBurst, MarkerRecord
+from repro.traces.trace import Trace
+
+__all__ = ["concat_traces", "cut_iterations", "scale_compute"]
+
+
+def scale_compute(
+    trace: Trace,
+    frequencies: Sequence[float] | float,
+    model: BetaTimeModel,
+) -> Trace:
+    """Rewrite compute-burst durations for per-rank frequencies.
+
+    Every :class:`ComputeBurst` of rank *k* gets duration
+    ``T * (beta * (fmax/f_k - 1) + 1)`` (per-burst β overrides honoured).
+    All other records pass through untouched.  The result's metadata
+    records the frequencies for provenance.
+
+    Note: the rescaled durations are *actual* times at the new frequency,
+    so the resulting trace must be replayed at nominal speed (pass no
+    ``frequencies`` to the simulator) to avoid double scaling.
+    """
+    if np.isscalar(frequencies):
+        freqs = np.full(trace.nproc, float(frequencies))
+    else:
+        freqs = np.asarray(frequencies, dtype=float)
+    if freqs.shape != (trace.nproc,):
+        raise ValueError(
+            f"frequencies shape {freqs.shape} does not match nproc={trace.nproc}"
+        )
+    if (freqs <= 0.0).any():
+        raise ValueError("frequencies must be positive")
+
+    meta = dict(trace.meta)
+    meta["scaled_frequencies"] = [float(f) for f in freqs]
+    meta["time_model"] = {"fmax": model.fmax, "beta": model.beta}
+    out = Trace(trace.nproc, meta=meta)
+    for stream in trace:
+        f = freqs[stream.rank]
+        ratio_default = model.ratio(f)
+        new_records = []
+        for rec in stream:
+            if isinstance(rec, ComputeBurst) and rec.duration > 0.0:
+                ratio = ratio_default if rec.beta is None else model.ratio(f, rec.beta)
+                # the rewritten burst is an *actual* duration: β no longer
+                # applies to it, so drop the override
+                rec = ComputeBurst(rec.duration * ratio, phase=rec.phase)
+            new_records.append(rec)
+        out[stream.rank].records = new_records
+    return out
+
+
+def cut_iterations(trace: Trace, first: int, last: int) -> Trace:
+    """Extract iterations ``first..last`` (inclusive) of the trace.
+
+    Iterations are delimited by :class:`MarkerRecord` entries with
+    ``iteration >= 0``: a rank's records belong to iteration *i* from the
+    first marker carrying ``iteration == i`` up to (excluding) the next
+    marker with a different iteration.  Records before any iteration
+    marker (initialization) are dropped — exactly the Paraver trace-
+    cutting step the paper describes.
+    """
+    if first < 0 or last < first:
+        raise ValueError(f"bad iteration range [{first}, {last}]")
+    meta = dict(trace.meta)
+    meta["cut"] = {"first": first, "last": last}
+    out = Trace(trace.nproc, meta=meta)
+    saw_any = False
+    for stream in trace:
+        current = -1  # -1 = initialization, not part of any iteration
+        kept = []
+        for rec in stream:
+            if isinstance(rec, MarkerRecord) and rec.iteration >= 0:
+                current = rec.iteration
+            if first <= current <= last and current >= 0:
+                kept.append(rec)
+                saw_any = True
+        out[stream.rank].records = kept
+    if not saw_any:
+        raise ValueError(
+            f"no records in iterations [{first}, {last}]; does the trace "
+            "carry iteration markers?"
+        )
+    return out
+
+
+def concat_traces(traces: Sequence[Trace]) -> Trace:
+    """Concatenate same-world traces back-to-back (e.g. repeat a region)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    nproc = traces[0].nproc
+    for t in traces[1:]:
+        if t.nproc != nproc:
+            raise ValueError(
+                f"cannot concat traces with different worlds: {t.nproc} vs {nproc}"
+            )
+    out = Trace(nproc, meta=dict(traces[0].meta))
+    for rank in range(nproc):
+        for t in traces:
+            out[rank].records.extend(t[rank].records)
+    return out

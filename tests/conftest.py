@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Small worlds and few iterations keep the full suite fast while covering
+every code path; calibration-accuracy tests use the real Table 3 sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_app
+from repro.core.balancer import PowerAwareLoadBalancer
+from repro.core.gears import uniform_gear_set
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+
+
+@pytest.fixture()
+def simulator() -> MpiSimulator:
+    return MpiSimulator()
+
+
+@pytest.fixture()
+def fast_platform() -> PlatformConfig:
+    """Zero-overhead platform: only explicit costs appear in timings."""
+    return PlatformConfig(
+        latency=0.0,
+        bandwidth=1e9,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        eager_threshold=1024,
+        intra_node_speedup=1.0,
+    )
+
+
+@pytest.fixture()
+def balancer() -> PowerAwareLoadBalancer:
+    return PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+
+
+@pytest.fixture(scope="session")
+def btmz_trace():
+    """A BT-MZ-32 trace shared by read-only tests (session-scoped)."""
+    app = build_app("BT-MZ-32", iterations=3)
+    balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+    return balancer.trace_app(app)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small CG-8 trace for cheap structural tests."""
+    app = build_app("CG-8", iterations=2)
+    balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+    return balancer.trace_app(app)

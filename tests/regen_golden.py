@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate tests/golden_results.json after a *deliberate* model change.
+
+Run, review the diff, and commit the new snapshot together with the
+change that motivated it.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.runner import RunnerConfig, get_experiment
+
+OUT = pathlib.Path(__file__).parent / "golden_results.json"
+
+
+def main() -> None:
+    cfg = RunnerConfig(iterations=3)
+    golden = {"config": {"iterations": 3, "beta": 0.5}}
+
+    t3 = get_experiment("table3")(cfg)
+    golden["table3"] = {
+        r["application"]: [
+            round(r["load_balance_pct"], 2),
+            round(r["parallel_efficiency_pct"], 2),
+        ]
+        for r in t3.rows
+    }
+    f3 = get_experiment("fig3")(cfg)
+    golden["fig3_energy_uniform6"] = {
+        r["application"]: round(r["energy_uniform-6_pct"], 2) for r in f3.rows
+    }
+    f9 = get_experiment("fig9")(cfg)
+    golden["fig9"] = {
+        r["application"]: [
+            round(r["normalized_time_pct"], 2),
+            round(r["normalized_energy_pct"], 2),
+            round(r["overclocked_pct"], 2),
+        ]
+        for r in f9.rows
+    }
+    OUT.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

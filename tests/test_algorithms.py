@@ -1,0 +1,186 @@
+"""Unit tests for the MAX and AVG frequency-assignment algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm, NoDvfsAlgorithm
+from repro.core.gears import (
+    Gear,
+    limited_continuous_set,
+    overclocked,
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+from repro.core.timemodel import BetaTimeModel
+
+MODEL = BetaTimeModel(fmax=2.3, beta=0.5)
+
+
+class TestMax:
+    def test_heaviest_rank_keeps_top_frequency(self):
+        a = MaxAlgorithm().assign([1.0, 2.0, 3.0], limited_continuous_set(), MODEL)
+        assert a.frequencies[2] == pytest.approx(2.3)
+
+    def test_target_is_max_time(self):
+        a = MaxAlgorithm().assign([1.0, 3.0], limited_continuous_set(), MODEL)
+        assert a.target_time == 3.0
+
+    def test_light_ranks_slowed_to_finish_together(self):
+        times = [1.0, 2.0, 4.0]
+        a = MaxAlgorithm().assign(times, unlimited_continuous_set(), MODEL)
+        predicted = a.predicted_compute_times(times, MODEL)
+        assert predicted == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_continuous_frequencies_monotone_in_load(self):
+        times = np.linspace(0.5, 4.0, 16)
+        a = MaxAlgorithm().assign(times, unlimited_continuous_set(), MODEL)
+        assert (np.diff(a.frequencies) > -1e-12).all()
+
+    def test_never_overclocks(self):
+        a = MaxAlgorithm().assign([1.0, 5.0], unlimited_continuous_set(), MODEL)
+        assert not any(a.overclocked)
+        assert a.overclocked_fraction == 0.0
+
+    def test_discrete_rounds_up(self):
+        # rank needs f for ratio 4/3: f = 2.3/(2*(4/3)-1) = 1.38 -> gear 1.4
+        a = MaxAlgorithm().assign([3.0, 4.0], uniform_gear_set(6), MODEL)
+        assert a.frequencies[0] == pytest.approx(1.4)
+
+    def test_discrete_rounding_finishes_no_later_than_target(self):
+        times = [1.0, 1.7, 2.6, 4.0]
+        a = MaxAlgorithm().assign(times, uniform_gear_set(6), MODEL)
+        predicted = a.predicted_compute_times(times, MODEL)
+        assert (predicted <= a.target_time + 1e-12).all()
+
+    def test_limited_floor_clamps_very_light_ranks(self):
+        # stretch 10x needs f < 0.8: the limited set clamps, unlimited not
+        lim = MaxAlgorithm().assign([0.4, 4.0], limited_continuous_set(), MODEL)
+        unl = MaxAlgorithm().assign([0.4, 4.0], unlimited_continuous_set(), MODEL)
+        assert lim.frequencies[0] == pytest.approx(0.8)
+        assert unl.frequencies[0] < 0.8
+
+    def test_balanced_input_keeps_everyone_at_top(self):
+        a = MaxAlgorithm().assign([2.0, 2.0, 2.0], uniform_gear_set(6), MODEL)
+        assert list(a.frequencies) == pytest.approx([2.3] * 3)
+
+    def test_zero_rank_gets_slowest_gear(self):
+        a = MaxAlgorithm().assign([0.0, 2.0], uniform_gear_set(6), MODEL)
+        assert a.frequencies[0] == pytest.approx(0.8)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            MaxAlgorithm().assign([], uniform_gear_set(6), MODEL)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MaxAlgorithm().assign([0.0, 0.0], uniform_gear_set(6), MODEL)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            MaxAlgorithm().assign([-1.0, 2.0], uniform_gear_set(6), MODEL)
+
+
+class TestAvg:
+    def test_target_is_mean_when_attainable(self):
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        times = [1.9, 2.0, 2.1]  # mean 2.0; the 2.1 rank reaches it at ~2.54 GHz
+        a = AvgAlgorithm().assign(times, gear_set, MODEL)
+        assert a.target_time == pytest.approx(2.0)
+
+    def test_heavy_ranks_overclocked(self):
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        a = AvgAlgorithm().assign([1.9, 2.0, 2.1], gear_set, MODEL)
+        assert a.overclocked == (False, False, True)
+        assert a.frequencies[2] > 2.3
+
+    def test_all_finish_at_target(self):
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        times = [1.9, 2.0, 2.1]
+        a = AvgAlgorithm().assign(times, gear_set, MODEL)
+        predicted = a.predicted_compute_times(times, MODEL)
+        assert predicted == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_target_degrades_to_attainable_floor(self):
+        """Very imbalanced input: the mean is unreachable even at +10%."""
+        gear_set = overclocked(limited_continuous_set(), 10.0)
+        times = [0.2, 0.2, 0.2, 4.0]  # mean 1.15 << what 4.0 can reach
+        a = AvgAlgorithm().assign(times, gear_set, MODEL)
+        floor = MODEL.scale(4.0, 2.3 * 1.1)
+        assert a.target_time == pytest.approx(floor)
+        # the heavy rank runs at the ceiling
+        assert a.frequencies[3] == pytest.approx(2.3 * 1.1)
+
+    def test_discrete_extra_gear_used(self):
+        gear_set = uniform_gear_set(6).with_extra_gear(Gear(2.6, 1.6))
+        a = AvgAlgorithm().assign([1.9, 2.0, 2.1], gear_set, MODEL)
+        assert a.frequencies[2] == pytest.approx(2.6)
+        assert a.overclocked_fraction == pytest.approx(1 / 3)
+
+    def test_execution_faster_than_max(self):
+        """AVG's whole point: the critical path shrinks below max time."""
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        times = [1.0, 2.0, 3.0]
+        a = AvgAlgorithm().assign(times, gear_set, MODEL)
+        assert a.target_time < max(times)
+
+    def test_balanced_input_noop(self):
+        gear_set = overclocked(limited_continuous_set(), 10.0)
+        a = AvgAlgorithm().assign([2.0, 2.0], gear_set, MODEL)
+        assert list(a.frequencies) == pytest.approx([2.3, 2.3])
+        assert not any(a.overclocked)
+
+    def test_alternative_targets(self):
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        times = [1.9, 1.9, 1.9, 2.1]
+        mean_a = AvgAlgorithm("mean").assign(times, gear_set, MODEL)
+        p90_a = AvgAlgorithm("p90").assign(times, gear_set, MODEL)
+        assert p90_a.target_time >= mean_a.target_time
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            AvgAlgorithm("p50")
+
+    def test_name_reflects_target(self):
+        assert AvgAlgorithm().name == "AVG"
+        assert AvgAlgorithm("median").name == "AVG[median]"
+
+
+class TestNoDvfs:
+    def test_everyone_at_nominal_top(self):
+        a = NoDvfsAlgorithm().assign([1.0, 2.0], uniform_gear_set(6), MODEL)
+        assert list(a.frequencies) == pytest.approx([2.3, 2.3])
+        assert not any(a.overclocked)
+
+
+class TestAssignment:
+    def test_nproc_property(self):
+        a = MaxAlgorithm().assign([1.0, 2.0], uniform_gear_set(6), MODEL)
+        assert a.nproc == 2
+
+    def test_overclocked_fraction_counts(self):
+        gear_set = uniform_gear_set(6).with_extra_gear(Gear(2.6, 1.6))
+        a = AvgAlgorithm().assign([1.0, 2.0, 2.0, 2.0], gear_set, MODEL)
+        assert 0.0 <= a.overclocked_fraction <= 1.0
+
+
+class TestAssignmentPersistence:
+    def test_dict_round_trip(self):
+        a = MaxAlgorithm().assign([1.0, 2.0, 4.0], uniform_gear_set(6), MODEL)
+        b = type(a).from_dict(a.to_dict())
+        assert b == a
+
+    def test_json_serialisable(self):
+        import json
+
+        a = AvgAlgorithm().assign(
+            [1.9, 2.0, 2.1], overclocked(limited_continuous_set(), 20.0), MODEL
+        )
+        restored = type(a).from_dict(json.loads(json.dumps(a.to_dict())))
+        assert restored.frequencies.tolist() == a.frequencies.tolist()
+        assert restored.overclocked == a.overclocked
+
+    def test_malformed_dict_rejected(self):
+        from repro.core.algorithms import FrequencyAssignment
+
+        with pytest.raises(ValueError, match="malformed"):
+            FrequencyAssignment.from_dict({"algorithm": "MAX"})

@@ -1,0 +1,107 @@
+"""Unit tests for the LP energy bound and the per-phase oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import MaxAlgorithm
+from repro.core.baselines import LpBoundAlgorithm, PerPhaseOracleAlgorithm
+from repro.core.gears import uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+from repro.core.timemodel import BetaTimeModel
+
+MODEL = BetaTimeModel(fmax=2.3, beta=0.5)
+GEARS = uniform_gear_set(6)
+
+pytest.importorskip("scipy")
+
+
+class TestLpBound:
+    def test_fractions_are_distributions(self):
+        sched = LpBoundAlgorithm().schedule([1.0, 2.0, 3.0], GEARS, MODEL)
+        assert sched.fractions.shape == (3, 6)
+        assert sched.fractions.sum(axis=1) == pytest.approx([1.0, 1.0, 1.0])
+        assert (sched.fractions >= -1e-9).all()
+
+    def test_deadline_respected(self):
+        sched = LpBoundAlgorithm().schedule([1.0, 2.0, 3.0], GEARS, MODEL)
+        assert (sched.compute_times <= sched.target_time + 1e-9).all()
+
+    def test_heaviest_rank_runs_top_gear_at_zero_slack(self):
+        sched = LpBoundAlgorithm(slack=0.0).schedule([1.0, 3.0], GEARS, MODEL)
+        assert sched.fractions[1, -1] == pytest.approx(1.0)
+
+    def test_bound_beats_any_single_gear_assignment(self):
+        """The LP relaxes MAX's single-gear constraint, so its compute
+        energy can only be lower or equal."""
+        times = [0.7, 1.3, 2.0, 2.9]
+        pm = CpuPowerModel()
+        sched = LpBoundAlgorithm().schedule(times, GEARS, MODEL, pm)
+
+        assignment = MaxAlgorithm().assign(times, GEARS, MODEL)
+        max_energy = sum(
+            MODEL.scale(t, g.frequency) * pm.power(g, CpuState.COMPUTE)
+            for t, g in zip(times, assignment.gears)
+        )
+        assert sched.compute_energy <= max_energy + 1e-9
+
+    def test_slack_reduces_energy(self):
+        times = [1.0, 2.0, 3.0]
+        tight = LpBoundAlgorithm(slack=0.0).schedule(times, GEARS, MODEL)
+        loose = LpBoundAlgorithm(slack=0.5).schedule(times, GEARS, MODEL)
+        assert loose.compute_energy <= tight.compute_energy + 1e-12
+
+    def test_idle_rank_parks_at_lowest_gear(self):
+        sched = LpBoundAlgorithm().schedule([0.0, 2.0], GEARS, MODEL)
+        assert sched.fractions[0, 0] == pytest.approx(1.0)
+        assert sched.compute_times[0] == 0.0
+
+    def test_continuous_set_rejected(self):
+        from repro.core.gears import limited_continuous_set
+
+        with pytest.raises(TypeError):
+            LpBoundAlgorithm().schedule([1.0], limited_continuous_set(), MODEL)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            LpBoundAlgorithm(slack=-0.1)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ValueError):
+            LpBoundAlgorithm().schedule([], GEARS, MODEL)
+        with pytest.raises(ValueError):
+            LpBoundAlgorithm().schedule([0.0, 0.0], GEARS, MODEL)
+
+
+class TestPerPhaseOracle:
+    def test_each_phase_balanced_independently(self):
+        phases = {
+            "tree": np.array([1.0, 2.0]),
+            "force": np.array([2.0, 1.0]),
+        }
+        result = PerPhaseOracleAlgorithm().assign_phases(phases, GEARS, MODEL)
+        assert set(result) == {"tree", "force"}
+        # each phase's heavy rank keeps the top frequency
+        assert result["tree"].frequencies[1] == pytest.approx(2.3)
+        assert result["force"].frequencies[0] == pytest.approx(2.3)
+
+    def test_anti_correlated_phases_get_different_gears(self):
+        """The PEPC scenario: a single setting cannot do this."""
+        phases = {
+            "tree": np.array([1.0, 4.0]),
+            "force": np.array([4.0, 1.0]),
+        }
+        result = PerPhaseOracleAlgorithm().assign_phases(phases, GEARS, MODEL)
+        assert result["tree"].frequencies[0] < 2.3
+        assert result["force"].frequencies[0] == pytest.approx(2.3)
+
+    def test_empty_phase_skipped(self):
+        phases = {"a": np.array([1.0, 2.0]), "empty": np.array([0.0, 0.0])}
+        result = PerPhaseOracleAlgorithm().assign_phases(phases, GEARS, MODEL)
+        assert "empty" not in result
+
+    def test_no_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PerPhaseOracleAlgorithm().assign_phases({}, GEARS, MODEL)
+
+    def test_name_includes_base(self):
+        assert PerPhaseOracleAlgorithm().name == "per-phase-MAX"

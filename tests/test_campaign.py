@@ -1,0 +1,66 @@
+"""Unit tests for the reproduce-all campaign driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import reproduce_all
+from repro.experiments.runner import RunnerConfig
+
+FAST = RunnerConfig(iterations=2, apps=("BT-MZ-32", "CG-32"))
+
+
+class TestReproduceAll:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        manifest = reproduce_all(
+            out,
+            FAST,
+            experiments=("table_gears", "fig3", "fig1"),
+            echo=lambda *a: None,
+        )
+        return out, manifest
+
+    def test_manifest_structure(self, campaign):
+        out, manifest = campaign
+        assert set(manifest["experiments"]) == {"table_gears", "fig3", "fig1"}
+        assert manifest["config"]["apps"] == ["BT-MZ-32", "CG-32"]
+        for entry in manifest["experiments"].values():
+            assert entry["rows"] > 0
+            assert entry["seconds"] >= 0.0
+
+    def test_files_written(self, campaign):
+        out, manifest = campaign
+        for eid, entry in manifest["experiments"].items():
+            for fname in entry["files"]:
+                assert (out / fname).exists(), fname
+        assert (out / "REPORT.md").exists()
+        assert json.loads((out / "manifest.json").read_text())
+
+    def test_fig1_gets_timeline_svgs(self, campaign):
+        out, manifest = campaign
+        files = manifest["experiments"]["fig1"]["files"]
+        assert "fig1_original.svg" in files
+        assert "fig1_after.svg" in files
+        assert (out / "fig1_after.svg").read_text().startswith("<svg")
+
+    def test_report_contains_markdown_tables(self, campaign):
+        out, _ = campaign
+        report = (out / "REPORT.md").read_text()
+        assert "# Reproduction report" in report
+        assert "| set |" in report or "| application |" in report
+
+    def test_csv_parsable(self, campaign):
+        import csv
+
+        out, _ = campaign
+        with open(out / "fig3.csv", newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["application"] for r in rows} == {"BT-MZ-32", "CG-32"}
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            reproduce_all(
+                tmp_path, FAST, experiments=("fig99",), echo=lambda *a: None
+            )

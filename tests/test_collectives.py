@@ -1,0 +1,163 @@
+"""Unit tests for the analytic collective cost models and their inverse."""
+
+import pytest
+
+from repro.netsim.collectives import collective_time, invert_collective
+from repro.netsim.platform import PlatformConfig
+from repro.traces.records import COLLECTIVE_OPS
+
+P = PlatformConfig(latency=1e-5, bandwidth=1e8)
+
+
+class TestCosts:
+    def test_single_rank_is_free(self):
+        for op in COLLECTIVE_OPS:
+            assert collective_time(op, 1024, 1, P) == 0.0
+
+    def test_barrier_is_log_latency(self):
+        assert collective_time("barrier", 0, 16, P) == pytest.approx(4 * 1e-5)
+        assert collective_time("barrier", 0, 17, P) == pytest.approx(5 * 1e-5)
+
+    def test_barrier_ignores_size(self):
+        assert collective_time("barrier", 10**6, 8, P) == collective_time(
+            "barrier", 0, 8, P
+        )
+
+    def test_bcast_tree_model(self):
+        expected = (1e-5 + 1000 / 1e8) * 3  # ceil(log2 8) = 3
+        assert collective_time("bcast", 1000, 8, P) == pytest.approx(expected)
+
+    def test_allreduce_is_twice_bcast(self):
+        assert collective_time("allreduce", 512, 8, P) == pytest.approx(
+            2 * collective_time("bcast", 512, 8, P)
+        )
+
+    def test_alltoall_pairwise_model(self):
+        expected = 7 * (1e-5 + 2048 / 1e8)
+        assert collective_time("alltoall", 2048, 8, P) == pytest.approx(expected)
+
+    def test_alltoall_dominates_at_scale(self):
+        # (P-1) wire terms vs log2 P: alltoall must be the most expensive
+        for op in ("bcast", "allreduce", "allgather"):
+            assert collective_time("alltoall", 10**6, 64, P) > collective_time(
+                op, 10**6, 64, P
+            )
+
+    def test_cost_monotone_in_nbytes(self):
+        for op in set(COLLECTIVE_OPS) - {"barrier"}:
+            assert collective_time(op, 2000, 8, P) > collective_time(op, 1000, 8, P)
+
+    def test_cost_monotone_in_nproc(self):
+        for op in COLLECTIVE_OPS:
+            assert collective_time(op, 1000, 64, P) >= collective_time(
+                op, 1000, 8, P
+            )
+
+    def test_platform_factor_scales(self):
+        p2 = PlatformConfig(
+            latency=1e-5, bandwidth=1e8, collective_factors={"bcast": 3.0}
+        )
+        assert collective_time("bcast", 100, 8, p2) == pytest.approx(
+            3.0 * collective_time("bcast", 100, 8, P)
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            collective_time("scan", 0, 8, P)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            collective_time("bcast", -1, 8, P)
+        with pytest.raises(ValueError):
+            collective_time("bcast", 0, 0, P)
+
+
+class TestAlgorithmVariants:
+    def test_default_matches_named_default(self):
+        for op, algorithms in __import__(
+            "repro.netsim.collectives", fromlist=["COLLECTIVE_ALGORITHMS"]
+        ).COLLECTIVE_ALGORITHMS.items():
+            default_name = next(iter(algorithms))
+            named = PlatformConfig(
+                latency=1e-5, bandwidth=1e8,
+                collective_algorithms={op: default_name},
+            )
+            assert collective_time(op, 4096, 16, named) == pytest.approx(
+                collective_time(op, 4096, 16, P)
+            )
+
+    def test_ring_allreduce_wins_for_large_messages(self):
+        ring = PlatformConfig(latency=1e-5, bandwidth=1e8,
+                              collective_algorithms={"allreduce": "ring"})
+        big = 10**7
+        assert collective_time("allreduce", big, 64, ring) < collective_time(
+            "allreduce", big, 64, P
+        )
+
+    def test_default_tree_wins_for_small_messages(self):
+        ring = PlatformConfig(latency=1e-5, bandwidth=1e8,
+                              collective_algorithms={"allreduce": "ring"})
+        assert collective_time("allreduce", 8, 64, ring) > collective_time(
+            "allreduce", 8, 64, P
+        )
+
+    def test_auto_takes_the_cheapest(self):
+        auto = PlatformConfig(latency=1e-5, bandwidth=1e8,
+                              collective_algorithms={"allreduce": "auto"})
+        for nbytes in (8, 4096, 10**6, 10**8):
+            t_auto = collective_time("allreduce", nbytes, 32, auto)
+            for name in ("reduce-bcast", "recursive-doubling", "ring"):
+                named = PlatformConfig(
+                    latency=1e-5, bandwidth=1e8,
+                    collective_algorithms={"allreduce": name},
+                )
+                assert t_auto <= collective_time(
+                    "allreduce", nbytes, 32, named
+                ) + 1e-15
+
+    def test_bruck_beats_pairwise_for_tiny_alltoall(self):
+        bruck = PlatformConfig(latency=1e-4, bandwidth=1e8,
+                               collective_algorithms={"alltoall": "bruck"})
+        assert collective_time("alltoall", 8, 64, bruck) < collective_time(
+            "alltoall", 8, 64, PlatformConfig(latency=1e-4, bandwidth=1e8)
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        bad = PlatformConfig(latency=1e-5, bandwidth=1e8,
+                             collective_algorithms={"bcast": "telepathy"})
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            collective_time("bcast", 8, 8, bad)
+
+    def test_invert_with_variant_round_trips(self):
+        ring = PlatformConfig(latency=1e-5, bandwidth=1e8,
+                              collective_algorithms={"allreduce": "ring"})
+        target = 0.004
+        nbytes = invert_collective("allreduce", target, 16, ring)
+        assert collective_time("allreduce", nbytes, 16, ring) == pytest.approx(
+            target, rel=1e-3
+        )
+
+
+class TestInverse:
+    @pytest.mark.parametrize("op", sorted(set(COLLECTIVE_OPS) - {"barrier"}))
+    @pytest.mark.parametrize("nproc", [2, 8, 32, 100])
+    def test_round_trip(self, op, nproc):
+        target = 0.005
+        nbytes = invert_collective(op, target, nproc, P)
+        assert nbytes > 0
+        achieved = collective_time(op, nbytes, nproc, P)
+        assert achieved == pytest.approx(target, rel=1e-3)
+
+    def test_latency_bound_duration_gives_zero(self):
+        # shorter than pure latency: no size can make it shorter
+        assert invert_collective("bcast", 1e-9, 8, P) == 0
+
+    def test_barrier_is_size_independent(self):
+        assert invert_collective("barrier", 1.0, 8, P) == 0
+
+    def test_single_rank_needs_nothing(self):
+        assert invert_collective("allreduce", 1.0, 1, P) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            invert_collective("bcast", -0.1, 8, P)

@@ -1,0 +1,173 @@
+"""Unit tests for point-to-point collective decomposition."""
+
+import pytest
+
+from repro.apps import build_app, vmpi
+from repro.netsim.decomposed import COLL_TAG_BASE, decompose
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+from repro.simx.errors import ProcessFailure, SimulationError
+from repro.traces.records import (
+    COLLECTIVE_OPS,
+    CollectiveRecord,
+    IsendRecord,
+    RecvRecord,
+    SendRecord,
+)
+from repro.traces.trace import Trace
+
+BASE = dict(
+    latency=1e-5, bandwidth=1e8, send_overhead=0.0, recv_overhead=0.0,
+    cpus_per_node=1, intra_node_speedup=1.0,
+)
+ANALYTIC = PlatformConfig(**BASE)
+DECOMPOSED = PlatformConfig(**BASE, decompose_collectives=True)
+
+
+def world(op, nproc, nbytes=4096, root=0, skew=0.0):
+    return [
+        [vmpi.compute(skew * r), CollectiveRecord(op, nbytes, root)]
+        for r in range(nproc)
+    ]
+
+
+class TestDecompositionPrograms:
+    @pytest.mark.parametrize("op", COLLECTIVE_OPS)
+    @pytest.mark.parametrize("nproc", [2, 3, 5, 8, 13])
+    def test_fragments_are_matched(self, op, nproc):
+        """Across all ranks, every (src, dst, tag) send has a recv."""
+        sends: dict[tuple, int] = {}
+        recvs: dict[tuple, int] = {}
+        for rank in range(nproc):
+            for rec in decompose(op, rank, nproc, 128, root=1, instance=0):
+                if rec.kind in ("send", "isend"):
+                    key = (rank, rec.dst, rec.tag)
+                    sends[key] = sends.get(key, 0) + 1
+                elif rec.kind in ("recv", "irecv"):
+                    key = (rec.src, rank, rec.tag)
+                    recvs[key] = recvs.get(key, 0) + 1
+        assert sends == recvs
+
+    def test_tags_in_reserved_space(self):
+        for rank in range(4):
+            for rec in decompose("allreduce", rank, 4, 64, 0, instance=7):
+                if hasattr(rec, "tag"):
+                    assert rec.tag >= COLL_TAG_BASE
+
+    def test_distinct_instances_distinct_tags(self):
+        tags0 = {
+            rec.tag
+            for rec in decompose("barrier", 0, 4, 0, 0, instance=0)
+            if hasattr(rec, "tag")
+        }
+        tags1 = {
+            rec.tag
+            for rec in decompose("barrier", 0, 4, 0, 0, instance=1)
+            if hasattr(rec, "tag")
+        }
+        assert tags0.isdisjoint(tags1)
+
+    def test_single_rank_is_empty(self):
+        assert list(decompose("allreduce", 0, 1, 64, 0, 0)) == []
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            list(decompose("scan", 0, 4, 64, 0, 0))
+
+
+class TestDecomposedExecution:
+    @pytest.mark.parametrize("op", COLLECTIVE_OPS)
+    @pytest.mark.parametrize("nproc", [2, 3, 8, 13])
+    def test_completes_for_all_ops_and_sizes(self, op, nproc):
+        result = MpiSimulator(platform=DECOMPOSED).run(world(op, nproc))
+        assert result.execution_time > 0.0
+
+    @pytest.mark.parametrize("op", ["barrier", "bcast", "allreduce", "alltoall"])
+    def test_close_to_analytic_model(self, op):
+        """Both models describe the same algorithms; timings should
+        agree within tens of percent."""
+        nproc = 8
+        ta = MpiSimulator(platform=ANALYTIC).run(
+            world(op, nproc, skew=1e-4)
+        ).execution_time
+        td = MpiSimulator(platform=DECOMPOSED).run(
+            world(op, nproc, skew=1e-4)
+        ).execution_time
+        assert td == pytest.approx(ta, rel=0.35)
+
+    def test_no_global_barrier_root_leaves_early(self):
+        """Under decomposition a bcast root doesn't wait for the leaves
+        — the defining semantic difference from the analytic model."""
+        nproc = 8
+        programs = [
+            [vmpi.compute(0.0 if r == 0 else 0.01), vmpi.bcast(1024, root=0)]
+            for r in range(nproc)
+        ]
+        result = MpiSimulator(platform=DECOMPOSED).run(programs)
+        # rank 0 sends immediately; the late leaves pace the total
+        assert result.end_times[0] < result.execution_time - 0.005
+
+    def test_analytic_model_is_a_barrier_in_contrast(self):
+        nproc = 8
+        programs = [
+            [vmpi.compute(0.0 if r == 0 else 0.01), vmpi.bcast(1024, root=0)]
+            for r in range(nproc)
+        ]
+        result = MpiSimulator(platform=ANALYTIC).run(programs)
+        assert result.end_times[0] == pytest.approx(result.execution_time)
+
+    def test_respects_bus_contention(self):
+        free = PlatformConfig(**BASE, decompose_collectives=True)
+        jammed = PlatformConfig(**BASE, decompose_collectives=True, buses=1)
+        big = 10**6
+        t_free = MpiSimulator(platform=free).run(
+            world("alltoall", 4, nbytes=big)
+        ).execution_time
+        t_jam = MpiSimulator(platform=jammed).run(
+            world("alltoall", 4, nbytes=big)
+        ).execution_time
+        assert t_jam > t_free * 1.5
+
+    def test_mismatched_ops_still_detected(self):
+        programs = [
+            [CollectiveRecord("barrier")],
+            [CollectiveRecord("allreduce", 8)],
+        ]
+        with pytest.raises((ProcessFailure, SimulationError)):
+            MpiSimulator(platform=DECOMPOSED).run(programs)
+
+    def test_interval_accounting_single_collective_span(self):
+        result = MpiSimulator(platform=DECOMPOSED).run(
+            world("allreduce", 4, skew=1e-3), record_intervals=True
+        )
+        for rank in range(4):
+            kinds = [iv.kind for iv in result.intervals[rank]]
+            assert kinds.count("collective") == 1
+            assert "send" not in kinds  # fragments don't leak
+
+    def test_app_requests_unaffected(self):
+        """Application requests stay open across a decomposed collective
+        and complete afterwards — separate namespaces."""
+        programs = [
+            [
+                vmpi.irecv(1, tag=5, request=3),
+                CollectiveRecord("barrier"),
+                vmpi.wait(3),
+            ],
+            [
+                CollectiveRecord("barrier"),
+                vmpi.send(0, 64, tag=5),
+            ],
+        ]
+        result = MpiSimulator(platform=DECOMPOSED).run(programs)
+        assert result.execution_time > 0.0
+
+    def test_full_app_runs_decomposed(self):
+        app = build_app("MG-16", iterations=2, platform=DECOMPOSED)
+        result = MpiSimulator(platform=DECOMPOSED).run(app.programs())
+        baseline = MpiSimulator(platform=ANALYTIC).run(
+            build_app("MG-16", iterations=2, platform=ANALYTIC).programs()
+        )
+        assert result.execution_time == pytest.approx(
+            baseline.execution_time, rel=0.25
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for energy accounting."""
+
+import pytest
+
+from repro.core.energy import EnergyAccountant
+from repro.core.gears import LinearVoltageLaw, uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+
+LAW = LinearVoltageLaw()
+TOP = LAW.gear(2.3)
+LOW = LAW.gear(0.8)
+
+
+class TestRunEnergy:
+    def test_single_rank_all_compute(self):
+        acct = EnergyAccountant()
+        e = acct.run_energy([2.0], 2.0, [TOP])
+        pm = acct.power_model
+        assert e.total == pytest.approx(2.0 * pm.power(TOP, CpuState.COMPUTE))
+        assert e.comm_energy == 0.0
+
+    def test_waiting_rank_charged_comm_power(self):
+        acct = EnergyAccountant()
+        e = acct.run_energy([1.0], 3.0, [TOP])
+        pm = acct.power_model
+        expected = 1.0 * pm.power(TOP, CpuState.COMPUTE) + 2.0 * pm.power(
+            TOP, CpuState.COMM
+        )
+        assert e.total == pytest.approx(expected)
+
+    def test_per_rank_breakdown_sums_to_total(self):
+        acct = EnergyAccountant()
+        e = acct.run_energy([1.0, 2.0, 0.5], 2.5, [TOP, LOW, TOP])
+        assert e.per_rank.sum() == pytest.approx(e.total)
+
+    def test_static_energy_burns_whole_run(self):
+        acct = EnergyAccountant()
+        e = acct.run_energy([1.0], 4.0, [TOP])
+        assert e.static_energy == pytest.approx(
+            4.0 * acct.power_model.static_power(TOP)
+        )
+
+    def test_edp(self):
+        acct = EnergyAccountant()
+        e = acct.run_energy([1.0], 2.0, [TOP])
+        assert e.edp() == pytest.approx(e.total * 2.0)
+
+    def test_balancing_slow_rank_saves_energy(self):
+        """The paper's core effect in miniature: one idle-ish rank at a
+        lower gear uses less energy with unchanged execution time."""
+        acct = EnergyAccountant()
+        texec = 2.0
+        # rank 1 computes 1s at top then waits 1s
+        before = acct.run_energy([2.0, 1.0], texec, [TOP, TOP])
+        # rank 1 slowed (beta=0.5, f=0.92 gives ratio 2.0 exactly): computes 2s
+        slow = LAW.gear(0.92)
+        after = acct.run_energy([2.0, 2.0], texec, [TOP, slow])
+        assert after.total < before.total
+
+    def test_compute_exceeding_exec_time_rejected(self):
+        acct = EnergyAccountant()
+        with pytest.raises(ValueError, match="only"):
+            acct.run_energy([3.0], 2.0, [TOP])
+
+    def test_gear_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant().run_energy([1.0, 1.0], 2.0, [TOP])
+
+    def test_negative_exec_time_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant().run_energy([0.0], -1.0, [TOP])
+
+    def test_zero_run_zero_energy(self):
+        e = EnergyAccountant().run_energy([0.0], 0.0, [TOP])
+        assert e.total == 0.0
+        assert e.mean_power == 0.0
+
+
+class TestModelInteraction:
+    def test_higher_static_fraction_shrinks_savings(self):
+        """Fig. 6 mechanism: static power dilutes DVFS savings."""
+        texec = 2.0
+
+        def normalized_energy(sf):
+            acct = EnergyAccountant(CpuPowerModel(static_fraction=sf))
+            orig = acct.run_energy([2.0, 1.0], texec, [TOP, TOP])
+            new = acct.run_energy([2.0, 2.0], texec, [TOP, LAW.gear(0.92)])
+            return new.total / orig.total
+
+        assert normalized_energy(0.2) < normalized_energy(0.7) < 1.0
+
+    def test_gears_from_set_accepted(self):
+        gear_set = uniform_gear_set(6)
+        gears = [gear_set.select(1.0).gear, gear_set.select(2.3).gear]
+        e = EnergyAccountant().run_energy([1.0, 1.0], 1.0, gears)
+        assert e.total > 0.0

@@ -1,0 +1,300 @@
+"""Experiment-harness tests: every experiment runs and reproduces the
+paper's *shape* claims on a reduced configuration.
+
+These are the repository's "paper faithfulness" gate; the benchmark
+suite re-runs them at full size.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.experiments.runner import ExperimentResult, RunnerConfig, get_experiment
+
+# small but representative configuration: three iterations, a spread of
+# imbalance levels, both "needs-low-frequency" apps included
+FAST = RunnerConfig(iterations=2)
+SUBSET = RunnerConfig(
+    iterations=2,
+    apps=("BT-MZ-32", "CG-32", "IS-32", "SPECFEM3D-96", "PEPC-128", "WRF-128"),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once on the reduced config (cached)."""
+    out = {}
+    for eid in EXPERIMENT_IDS:
+        config = SUBSET if eid not in ("table_gears", "table3", "scaling") else FAST
+        out[eid] = get_experiment(eid)(config)
+    return out
+
+
+class TestHarness:
+    def test_all_experiments_registered_and_runnable(self, results):
+        assert set(results) == set(EXPERIMENT_IDS)
+        for eid, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.eid == eid
+            assert result.rows, f"{eid} produced no rows"
+
+    def test_ascii_rendering(self, results):
+        for result in results.values():
+            text = result.to_ascii()
+            assert result.title in text
+
+    def test_csv_rendering(self, results, tmp_path):
+        results["fig2"].to_csv(tmp_path / "fig2.csv")
+        assert (tmp_path / "fig2.csv").read_text().count("\n") > 10
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_pivot_helper(self, results):
+        pivot = results["fig2"].pivot(
+            "application", "gear_set", "normalized_energy_pct"
+        )
+        assert "BT-MZ-32" in pivot
+        assert "uniform-6" in pivot["BT-MZ-32"]
+
+
+class TestTableGears:
+    def test_model_matches_paper_to_two_decimals(self, results):
+        for row in results["table_gears"].rows:
+            assert row["frequency_ghz"] == pytest.approx(
+                row["paper_frequency_ghz"], abs=0.005
+            )
+            assert row["voltage_v"] == pytest.approx(
+                row["paper_voltage_v"], abs=0.005
+            )
+
+
+class TestTable3:
+    def test_lb_calibrated(self, results):
+        for row in results["table3"].rows:
+            assert row["load_balance_pct"] == pytest.approx(
+                row["paper_lb_pct"], abs=0.5
+            )
+
+    def test_pe_within_tolerance(self, results):
+        for row in results["table3"].rows:
+            assert row["parallel_efficiency_pct"] == pytest.approx(
+                row["paper_pe_pct"], rel=0.08
+            )
+
+
+class TestFig1:
+    def test_compute_fraction_jumps(self, results):
+        rows = results["fig1"].rows
+        before = rows[0]["compute_fraction_pct"]
+        after = rows[1]["compute_fraction_pct"]
+        assert before < 45.0  # BT-MZ original: mostly waiting
+        assert after > 90.0  # after MAX: almost all computing
+
+    def test_timelines_attached(self, results):
+        series = results["fig1"].series
+        assert "ascii_original" in series and "<svg" in series["svg_after"]
+
+
+class TestFig2:
+    @pytest.fixture()
+    def pivot(self, results):
+        return results["fig2"].pivot(
+            "application", "gear_set", "normalized_energy_pct"
+        )
+
+    def test_unlimited_beats_limited_only_for_low_freq_apps(self, pivot):
+        # BT-MZ and IS need < 0.8 GHz
+        for app in ("BT-MZ-32", "IS-32"):
+            assert pivot[app]["unlimited"] < pivot[app]["limited"] - 0.5
+        # the rest don't benefit from the unlimited floor
+        for app in ("CG-32", "SPECFEM3D-96", "WRF-128"):
+            assert pivot[app]["unlimited"] == pytest.approx(
+                pivot[app]["limited"], abs=0.5
+            )
+
+    def test_six_gears_close_to_continuous(self, pivot):
+        """Paper: 6-gear sets achieve results close to continuous."""
+        for app, row in pivot.items():
+            assert row["uniform-6"] <= row["limited"] + 12.0
+
+    def test_more_gears_never_much_worse(self, pivot):
+        for row in pivot.values():
+            assert row["uniform-15"] <= row["uniform-2"] + 1.0
+
+    def test_time_increase_small_except_pepc(self, results):
+        for row in results["fig2"].rows:
+            if row["application"] != "PEPC-128":
+                assert row["normalized_time_pct"] < 104.0
+            else:
+                assert row["normalized_time_pct"] < 125.0
+
+    def test_pepc_can_exceed_two_percent(self, results):
+        pepc = [
+            r["normalized_time_pct"]
+            for r in results["fig2"].rows
+            if r["application"] == "PEPC-128"
+        ]
+        assert max(pepc) > 105.0
+
+
+class TestFig3:
+    def test_energy_increases_with_load_balance(self, results):
+        rows = results["fig3"].rows  # sorted by LB
+        unlimited = [r["energy_unlimited_pct"] for r in rows]
+        # monotone trend (allow small local wiggles)
+        assert unlimited[0] < unlimited[-1]
+        assert all(b >= a - 8.0 for a, b in zip(unlimited, unlimited[1:]))
+
+    def test_two_gears_only_help_very_imbalanced(self, results):
+        for row in results["fig3"].rows:
+            if row["load_balance_pct"] < 55.0:
+                assert row["energy_uniform-2_pct"] < 90.0
+            if row["load_balance_pct"] > 90.0:
+                assert row["energy_uniform-2_pct"] == pytest.approx(100.0, abs=1.0)
+
+    def test_most_balanced_app_saves_nothing_with_six_gears(self, results):
+        cg = next(r for r in results["fig3"].rows if r["application"] == "CG-32")
+        assert cg["energy_uniform-6_pct"] == pytest.approx(100.0, abs=1.0)
+
+
+class TestFig4:
+    def test_exponential_save_earlier_than_uniform(self, results):
+        """WRF saves energy with 3 exponential gears (needed 4 uniform)."""
+        fig4 = results["fig4"].pivot("application", "gears",
+                                     "normalized_energy_pct")
+        fig2 = results["fig2"].pivot("application", "gear_set",
+                                     "normalized_energy_pct")
+        assert fig4["WRF-128"][3] < 99.0
+        assert fig2["WRF-128"]["uniform-3"] == pytest.approx(100.0, abs=1.0)
+
+    def test_pepc_time_bounded(self, results):
+        """Paper: exponential sets bound PEPC's time increase well below
+        MAX's uniform-set worst case (6.5% vs 20% in the paper).  Our
+        skeleton's two-phase anti-correlation is stronger than real
+        PEPC's, so the absolute penalty is larger, but it must stay
+        below the worst uniform-set penalty (deviation recorded in
+        EXPERIMENTS.md)."""
+        fig2 = results["fig2"].pivot("application", "gear_set",
+                                     "normalized_time_pct")
+        worst_uniform = max(
+            t for gs, t in fig2["PEPC-128"].items() if gs.startswith("uniform")
+        )
+        for row in results["fig4"].rows:
+            if row["application"] == "PEPC-128":
+                assert row["normalized_time_pct"] <= worst_uniform + 0.5
+
+
+class TestFig5:
+    def test_energy_monotone_in_beta_where_unclamped(self, results):
+        for row in results["fig5"].rows:
+            series = [row[f"energy_b{b:g}_pct"]
+                      for b in (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
+            assert all(b >= a - 0.5 for a, b in zip(series, series[1:]))
+
+    def test_clamped_apps_insensitive(self, results):
+        """BT-MZ and IS-32 sit at the 0.8 GHz floor: β barely matters."""
+        for row in results["fig5"].rows:
+            if row["application"] in ("BT-MZ-32", "IS-32"):
+                spread = row["energy_b1_pct"] - row["energy_b0.3_pct"]
+                assert spread < 6.0
+
+
+class TestFig6:
+    def test_savings_shrink_with_static_fraction(self, results):
+        for row in results["fig6"].rows:
+            series = [row[f"energy_sf{s}_pct"] for s in range(0, 100, 10)]
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_slope_steeper_for_imbalanced_apps(self, results):
+        rows = {r["application"]: r for r in results["fig6"].rows}
+        slope = lambda r: r["energy_sf90_pct"] - r["energy_sf0_pct"]
+        assert slope(rows["BT-MZ-32"]) > slope(rows["WRF-128"]) - 1e-9
+        assert slope(rows["IS-32"]) > slope(rows["CG-32"])
+
+
+class TestFig7:
+    def test_change_depends_on_load_balance(self, results):
+        rows = {r["application"]: r for r in results["fig7"].rows}
+        spread = lambda r: abs(r["energy_ar3_pct"] - r["energy_ar1.5_pct"])
+        assert spread(rows["BT-MZ-32"]) > spread(rows["CG-32"])
+
+
+class TestFig8:
+    def test_energy_reduced_for_all(self, results):
+        for row in results["fig8"].rows:
+            assert row["energy_oc10_pct"] < 100.0
+
+    def test_time_reduced_for_all_but_pepc(self, results):
+        for row in results["fig8"].rows:
+            if row["application"] != "PEPC-128":
+                assert row["time_oc10_pct"] < 100.5
+
+    def test_reduction_ordered_by_imbalance(self, results):
+        rows = {r["application"]: r for r in results["fig8"].rows}
+        assert rows["BT-MZ-32"]["energy_oc10_pct"] < rows["CG-32"]["energy_oc10_pct"]
+
+
+class TestFig9:
+    def test_very_imbalanced_apps_overclock_few_cpus(self, results):
+        rows = {r["application"]: r for r in results["fig9"].rows}
+        for app in ("BT-MZ-32", "IS-32", "PEPC-128"):
+            assert rows[app]["overclocked_pct"] < 30.0
+
+    def test_balanced_apps_overclock_many(self, results):
+        rows = {r["application"]: r for r in results["fig9"].rows}
+        assert rows["SPECFEM3D-96"]["overclocked_pct"] < rows["CG-32"][
+            "overclocked_pct"
+        ]
+
+    def test_pepc_time_less_than_max(self, results):
+        fig9 = {r["application"]: r for r in results["fig9"].rows}
+        fig10 = {r["application"]: r for r in results["fig10"].rows}
+        assert (
+            fig9["PEPC-128"]["normalized_time_pct"]
+            <= fig10["PEPC-128"]["time_max_pct"] + 0.5
+        )
+
+
+class TestFig10:
+    def test_max_saves_more_energy(self, results):
+        for row in results["fig10"].rows:
+            assert row["energy_max_pct"] <= row["energy_avg_pct"] + 1.0
+
+    def test_avg_wins_on_time(self, results):
+        for row in results["fig10"].rows:
+            assert row["time_avg_pct"] <= row["time_max_pct"] + 0.5
+
+
+class TestScaling:
+    def test_imbalance_grows_and_savings_grow(self, results):
+        rows = [r for r in results["scaling"].rows if r["family"] == "SPECFEM3D"]
+        rows.sort(key=lambda r: r["nproc"])
+        lbs = [r["load_balance_pct"] for r in rows]
+        savings = [r["energy_savings_pct"] for r in rows]
+        assert lbs[0] > lbs[-1]
+        assert savings[-1] > savings[0]
+
+
+class TestAblation:
+    def test_rounding_tradeoff(self, results):
+        rows = [r for r in results["ablation"].rows if r["study"] == "rounding"]
+        by = {}
+        for r in rows:
+            by.setdefault(r["application"], {})[r["variant"]] = r
+        for app, variants in by.items():
+            up = variants["round-up (paper)"]
+            nearest = variants["round-nearest"]
+            # nearest saves at least as much energy but risks time
+            assert nearest["normalized_energy_pct"] <= (
+                up["normalized_energy_pct"] + 0.5
+            )
+            assert up["normalized_time_pct"] <= nearest["normalized_time_pct"] + 0.5
+
+    def test_per_phase_oracle_removes_pepc_penalty(self, results):
+        rows = {r["variant"]: r for r in results["ablation"].rows
+                if r["study"] == "per-phase"}
+        single = rows["single setting (paper MAX)"]
+        oracle = rows["per-phase oracle (future work)"]
+        assert oracle["normalized_time_pct"] < single["normalized_time_pct"] - 2.0
+        assert oracle["normalized_energy_pct"] < single["normalized_energy_pct"]

@@ -1,0 +1,132 @@
+"""Unit tests for the gear-set optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.gearopt import GearSetOptimizer, workload_energy
+from repro.core.gears import DiscreteGearSet, exponential_gear_set, uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+from repro.core.timemodel import BetaTimeModel
+
+MODEL = BetaTimeModel(fmax=2.3, beta=0.5)
+PM = CpuPowerModel()
+
+
+class TestWorkloadEnergy:
+    def test_balanced_workload_equals_baseline(self):
+        times = [2.0, 2.0, 2.0]
+        gear_set = uniform_gear_set(6)
+        e = workload_energy(times, gear_set, MODEL, PM)
+        top = gear_set.select(2.3).gear
+        assert e == pytest.approx(6.0 * PM.power(top, CpuState.COMPUTE))
+
+    def test_imbalanced_workload_saves_with_gears(self):
+        times = [1.0, 2.0, 4.0]
+        coarse = uniform_gear_set(2)
+        fine = uniform_gear_set(15)
+        e_coarse = workload_energy(times, coarse, MODEL, PM)
+        e_fine = workload_energy(times, fine, MODEL, PM)
+        assert e_fine <= e_coarse + 1e-9
+
+    def test_matches_balancer_on_barrier_workload(self):
+        """The analytic form must agree with the replay pipeline on a
+        barrier-synchronised world."""
+        from repro.apps import vmpi
+        from repro.core.balancer import PowerAwareLoadBalancer
+        from repro.netsim.platform import PlatformConfig
+        from repro.netsim.simulator import MpiSimulator
+
+        platform = PlatformConfig(
+            latency=0.0, bandwidth=1e9, send_overhead=0.0, recv_overhead=0.0,
+            cpus_per_node=1, intra_node_speedup=1.0,
+        )
+        work = [0.7, 1.1, 2.0, 0.4]
+        sim = MpiSimulator(platform=platform)
+        live = sim.run(
+            [[vmpi.compute(w), vmpi.barrier()] for w in work], record_trace=True
+        )
+        gear_set = uniform_gear_set(6)
+        report = PowerAwareLoadBalancer(
+            gear_set=gear_set, platform=platform
+        ).balance_trace(live.trace)
+        analytic = workload_energy(work, gear_set, MODEL, PM)
+        assert analytic == pytest.approx(report.new_energy.total, rel=1e-9)
+
+
+class TestOptimizer:
+    def test_top_gear_is_fmax(self):
+        result = GearSetOptimizer().optimize([[1.0, 2.0, 3.0]], n_gears=3)
+        assert result.gear_set.fmax == pytest.approx(2.3)
+
+    def test_requested_size_respected(self):
+        rng = np.random.default_rng(0)
+        workloads = [rng.uniform(0.5, 2.0, size=16) for _ in range(3)]
+        for n in (1, 2, 4, 6):
+            result = GearSetOptimizer().optimize(workloads, n_gears=n)
+            assert len(result.gear_set) <= n
+
+    def test_single_gear_is_fmax_only(self):
+        result = GearSetOptimizer().optimize([[1.0, 3.0]], n_gears=1)
+        assert result.gear_set.frequencies == (2.3,)
+
+    def test_two_rank_workload_optimal_placement(self):
+        """With one slow rank the second gear should sit exactly at its
+        wanted frequency (clamped to the floor)."""
+        times = [2.0, 4.0]
+        result = GearSetOptimizer().optimize([times], n_gears=2)
+        f_wanted = MODEL.frequency_for(2.0, 4.0)
+        assert result.gear_set.frequencies[0] == pytest.approx(
+            max(f_wanted, 0.8), abs=1e-6
+        )
+
+    def test_never_worse_than_hand_designed(self):
+        """The DP is exact for its objective: it must beat (or tie)
+        uniform and exponential under the analytic model."""
+        rng = np.random.default_rng(7)
+        workloads = [rng.uniform(0.2, 2.0, size=24) for _ in range(4)]
+        opt = GearSetOptimizer()
+        for n in (2, 3, 4, 6):
+            result = opt.optimize(workloads, n_gears=n, normalize=False)
+            for baseline in (uniform_gear_set(n), exponential_gear_set(n)):
+                base_e = sum(
+                    workload_energy(w, baseline, MODEL, PM) for w in workloads
+                )
+                assert result.predicted_energy <= base_e + 1e-9
+
+    def test_predicted_energy_matches_reevaluation(self):
+        workloads = [[0.5, 1.0, 2.0], [1.5, 1.5, 3.0]]
+        result = GearSetOptimizer().optimize(workloads, n_gears=3,
+                                             normalize=False)
+        recomputed = sum(
+            workload_energy(w, result.gear_set, MODEL, PM) for w in workloads
+        )
+        assert result.predicted_energy == pytest.approx(recomputed, rel=1e-9)
+
+    def test_more_gears_never_hurt(self):
+        rng = np.random.default_rng(3)
+        workloads = [rng.uniform(0.3, 3.0, size=32)]
+        opt = GearSetOptimizer()
+        energies = [
+            opt.optimize(workloads, n_gears=n, normalize=False).predicted_energy
+            for n in (1, 2, 3, 5, 8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(energies, energies[1:]))
+
+    def test_floor_respected(self):
+        result = GearSetOptimizer().optimize([[0.01, 5.0]], n_gears=2)
+        assert result.gear_set.fmin >= 0.8 - 1e-12
+
+    def test_bad_inputs_rejected(self):
+        opt = GearSetOptimizer()
+        with pytest.raises(ValueError):
+            opt.optimize([], n_gears=2)
+        with pytest.raises(ValueError):
+            opt.optimize([[1.0]], n_gears=0)
+        with pytest.raises(ValueError):
+            opt.optimize([[0.0, 0.0]], n_gears=2)
+
+    def test_candidates_clamped_and_include_fmax(self):
+        opt = GearSetOptimizer()
+        pool = opt.candidates([np.array([0.01, 1.0, 2.0])])
+        assert pool.min() >= 0.8 - 1e-12
+        assert pool.max() == pytest.approx(2.3)

@@ -1,0 +1,181 @@
+"""Unit tests for gear sets — including exact matches to Tables 1 & 2."""
+
+import math
+
+import pytest
+
+from repro.core.gears import (
+    ContinuousGearSet,
+    DiscreteGearSet,
+    Gear,
+    LinearVoltageLaw,
+    NOMINAL_FMAX,
+    NOMINAL_FMIN,
+    exponential_gear_set,
+    limited_continuous_set,
+    overclocked,
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+
+
+class TestVoltageLaw:
+    def test_reference_points(self):
+        law = LinearVoltageLaw()
+        assert law.voltage(0.8) == pytest.approx(1.0)
+        assert law.voltage(2.3) == pytest.approx(1.5)
+
+    def test_avg_overclock_gear_matches_paper(self):
+        # the paper adds (2.6 GHz, 1.6 V) — on the same line
+        assert LinearVoltageLaw().voltage(2.6) == pytest.approx(1.6)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            LinearVoltageLaw().voltage(0.0)
+
+
+class TestPaperTables:
+    def test_table1_uniform_six_gears(self):
+        gear_set = uniform_gear_set(6)
+        freqs = [round(f, 2) for f in gear_set.frequencies]
+        volts = [round(g.voltage, 2) for g in gear_set]
+        assert freqs == [0.8, 1.1, 1.4, 1.7, 2.0, 2.3]
+        assert volts == [1.0, 1.1, 1.2, 1.3, 1.4, 1.5]
+
+    def test_table2_exponential_six_gears(self):
+        gear_set = exponential_gear_set(6)
+        freqs = [round(f, 2) for f in gear_set.frequencies]
+        volts = [round(g.voltage, 2) for g in gear_set]
+        assert freqs == [0.8, 1.57, 1.96, 2.15, 2.25, 2.3]
+        assert volts == [1.0, 1.26, 1.39, 1.45, 1.48, 1.5]
+
+    def test_exponential_gaps_halve(self):
+        freqs = exponential_gear_set(7).frequencies
+        gaps = [b - a for a, b in zip(freqs, freqs[1:])]
+        for wide, narrow in zip(gaps, gaps[1:]):
+            assert wide / narrow == pytest.approx(2.0)
+
+
+class TestDiscreteSelection:
+    def test_round_up_to_next_gear(self):
+        gear_set = uniform_gear_set(6)
+        sel = gear_set.select(1.2)
+        assert sel.gear.frequency == pytest.approx(1.4)
+        assert sel.attained
+
+    def test_exact_frequency_selects_itself(self):
+        sel = uniform_gear_set(6).select(1.7)
+        assert sel.gear.frequency == pytest.approx(1.7)
+
+    def test_below_minimum_clamps_to_lowest(self):
+        sel = uniform_gear_set(6).select(0.1)
+        assert sel.gear.frequency == pytest.approx(0.8)
+        assert sel.attained
+
+    def test_zero_request_gets_slowest(self):
+        assert uniform_gear_set(6).select(0.0).gear.frequency == pytest.approx(0.8)
+
+    def test_above_maximum_clamps_and_flags(self):
+        sel = uniform_gear_set(6).select(3.0)
+        assert sel.gear.frequency == pytest.approx(2.3)
+        assert not sel.attained
+
+    def test_inf_request_clamps_and_flags(self):
+        sel = uniform_gear_set(6).select(math.inf)
+        assert sel.gear.frequency == pytest.approx(2.3)
+        assert not sel.attained
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_gear_set(6).select(-1.0)
+
+    def test_sizes_2_to_15_span_the_range(self):
+        for n in range(2, 16):
+            gear_set = uniform_gear_set(n)
+            assert len(gear_set) == n
+            assert gear_set.fmin == pytest.approx(NOMINAL_FMIN)
+            assert gear_set.fmax == pytest.approx(NOMINAL_FMAX)
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DiscreteGearSet([Gear(1.0, 1.0), Gear(1.0, 1.1)])
+
+    def test_non_monotone_voltage_rejected(self):
+        with pytest.raises(ValueError, match="increase"):
+            DiscreteGearSet([Gear(1.0, 1.2), Gear(2.0, 1.1)])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteGearSet([])
+
+    def test_with_extra_gear(self):
+        base = uniform_gear_set(6)
+        extended = base.with_extra_gear(Gear(2.6, 1.6))
+        assert len(extended) == 7
+        assert extended.fmax == pytest.approx(2.6)
+        # original set untouched
+        assert len(base) == 6
+
+    def test_extra_gear_must_be_faster(self):
+        with pytest.raises(ValueError, match="faster"):
+            uniform_gear_set(6).with_extra_gear(Gear(2.0, 1.55))
+
+
+class TestContinuousSets:
+    def test_unlimited_reaches_below_hardware_floor(self):
+        sel = unlimited_continuous_set().select(0.3)
+        assert sel.gear.frequency == pytest.approx(0.3)
+        assert sel.attained
+
+    def test_limited_clamps_at_floor(self):
+        sel = limited_continuous_set().select(0.3)
+        assert sel.gear.frequency == pytest.approx(0.8)
+        assert sel.attained
+
+    def test_continuous_selection_is_exact(self):
+        sel = limited_continuous_set().select(1.9173)
+        assert sel.gear.frequency == pytest.approx(1.9173)
+
+    def test_voltage_follows_law(self):
+        sel = limited_continuous_set().select(1.55)
+        assert sel.gear.voltage == pytest.approx(1.0 + (1.55 - 0.8) / 3.0)
+
+    def test_above_ceiling_flags(self):
+        sel = limited_continuous_set().select(2.5)
+        assert sel.gear.frequency == pytest.approx(2.3)
+        assert not sel.attained
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousGearSet(2.0, 1.0)
+
+
+class TestOverclocked:
+    def test_ceiling_raised_by_percentage(self):
+        oc = overclocked(limited_continuous_set(), 10.0)
+        assert oc.fmax == pytest.approx(2.3 * 1.1)
+        assert oc.fmin == pytest.approx(0.8)
+
+    def test_voltage_extrapolates_linearly(self):
+        oc = overclocked(limited_continuous_set(), 20.0)
+        sel = oc.select(2.76)
+        assert sel.gear.voltage == pytest.approx(1.0 + (2.76 - 0.8) / 3.0)
+
+    def test_discrete_set_rejected(self):
+        with pytest.raises(TypeError):
+            overclocked(uniform_gear_set(6), 10.0)
+
+    def test_negative_pct_rejected(self):
+        with pytest.raises(ValueError):
+            overclocked(limited_continuous_set(), -5.0)
+
+
+class TestGear:
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            Gear(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gear(1.0, 0.0)
+
+    def test_str_format(self):
+        assert str(Gear(2.3, 1.5)) == "2.3GHz@1.5V"

@@ -1,0 +1,66 @@
+"""Golden-results regression gate.
+
+``golden_results.json`` snapshots the key reproduction numbers (Table 3
+characteristics, Fig. 3 energies, Fig. 9 AVG results) at the committed
+state of the models.  Any model/calibration change that moves them must
+be deliberate: rerun the snapshot generator below and review the diff.
+
+Regenerate with::
+
+    python tests/regen_golden.py
+
+The tolerance is tight (0.05 points) because everything in the pipeline
+is deterministic — a golden mismatch is a real behaviour change, not
+noise.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import RunnerConfig, get_experiment
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_results.json"
+TOL = 0.05  # percentage points
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def config(golden):
+    return RunnerConfig(
+        iterations=golden["config"]["iterations"],
+        beta=golden["config"]["beta"],
+    )
+
+
+class TestGolden:
+    def test_table3_stable(self, golden, config):
+        result = get_experiment("table3")(config)
+        for row in result.rows:
+            lb, pe = golden["table3"][row["application"]]
+            assert row["load_balance_pct"] == pytest.approx(lb, abs=TOL)
+            assert row["parallel_efficiency_pct"] == pytest.approx(pe, abs=TOL)
+
+    def test_fig3_energies_stable(self, golden, config):
+        result = get_experiment("fig3")(config)
+        for row in result.rows:
+            expected = golden["fig3_energy_uniform6"][row["application"]]
+            assert row["energy_uniform-6_pct"] == pytest.approx(expected, abs=TOL)
+
+    def test_fig9_avg_stable(self, golden, config):
+        result = get_experiment("fig9")(config)
+        for row in result.rows:
+            time, energy, oc = golden["fig9"][row["application"]]
+            assert row["normalized_time_pct"] == pytest.approx(time, abs=TOL)
+            assert row["normalized_energy_pct"] == pytest.approx(energy, abs=TOL)
+            assert row["overclocked_pct"] == pytest.approx(oc, abs=TOL)
+
+    def test_snapshot_covers_all_instances(self, golden):
+        from repro.apps.registry import TABLE3_INSTANCES
+
+        assert set(golden["table3"]) == set(TABLE3_INSTANCES)

@@ -1,0 +1,161 @@
+"""Unit tests for imbalance profiles and LB calibration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.imbalance import (
+    bimodal_shape,
+    calibrate,
+    calibrate_phases,
+    decay_shape,
+    jitter_shape,
+    load_balance_of,
+    ramp_shape,
+    seed_for,
+    wave_shape,
+    zone_shape,
+)
+
+
+class TestCalibrate:
+    @pytest.mark.parametrize("target", [0.3, 0.5, 0.75, 0.9, 0.98])
+    def test_hits_target_exactly(self, target):
+        shape = decay_shape(64, rate=4.0)
+        w = calibrate(shape, target)
+        assert load_balance_of(w) == pytest.approx(target, abs=1e-12)
+
+    def test_max_stays_one(self):
+        w = calibrate(ramp_shape(32), 0.7)
+        assert w.max() == pytest.approx(1.0)
+
+    def test_target_one_gives_uniform(self):
+        w = calibrate(ramp_shape(32), 1.0)
+        assert (w == 1.0).all()
+
+    def test_argmax_preserved(self):
+        shape = jitter_shape(32, seed=7)
+        w = calibrate(shape, 0.8)
+        assert np.argmax(shape) == np.argmax(w)
+
+    def test_unreachable_target_rejected(self):
+        # min of shape is ~0; LB 0.01 would need negative weights
+        with pytest.raises(ValueError, match="floor"):
+            calibrate(ramp_shape(4), 0.05)
+
+    def test_balanced_base_shape_rejected(self):
+        with pytest.raises(ValueError, match="perfectly balanced"):
+            calibrate(np.ones(8), 0.5)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate(ramp_shape(8), 0.0)
+        with pytest.raises(ValueError):
+            calibrate(ramp_shape(8), 1.5)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            calibrate(np.array([-1.0, 1.0]), 0.5)
+        with pytest.raises(ValueError):
+            calibrate(np.zeros(4), 0.5)
+
+
+class TestCalibratePhases:
+    def test_total_lb_hits_target(self):
+        # NB: *equal-weight* mirrored ramps sum to a constant (total LB
+        # pinned at 1 for any blend), so use asymmetric phase durations.
+        tree = ramp_shape(64, ascending=True)
+        force = ramp_shape(64, ascending=False)
+        w1, w2 = calibrate_phases([tree, force], [0.7, 0.3], target_lb=0.8)
+        total = 0.7 * w1 + 0.3 * w2
+        assert load_balance_of(total) == pytest.approx(0.8, abs=1e-6)
+
+    def test_phases_keep_distinct_structure(self):
+        tree = ramp_shape(64, ascending=True)
+        force = ramp_shape(64, ascending=False)
+        w1, w2 = calibrate_phases([tree, force], [0.7, 0.3], target_lb=0.8)
+        # heavy ends differ between phases
+        assert np.argmax(w1) != np.argmax(w2)
+
+    def test_single_phase_equals_calibrate(self):
+        shape = decay_shape(32, rate=2.0)
+        (w_multi,) = calibrate_phases([shape], [1.0], target_lb=0.7)
+        w_single = calibrate(shape, 0.7)
+        assert w_multi == pytest.approx(w_single, abs=1e-6)
+
+    def test_unreachable_target_rejected(self):
+        near_flat = 1.0 - 0.01 * ramp_shape(16)
+        with pytest.raises(ValueError, match="unreachable"):
+            calibrate_phases([near_flat], [1.0], target_lb=0.3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_phases([ramp_shape(8)], [0.5, 0.5], target_lb=0.8)
+
+
+class TestShapes:
+    def test_all_shapes_normalised_range(self):
+        for shape in (
+            ramp_shape(33),
+            decay_shape(33),
+            jitter_shape(33, seed=1),
+            bimodal_shape(33, seed=2),
+            wave_shape(33, seed=3),
+            zone_shape(33),
+        ):
+            assert shape.shape == (33,)
+            assert shape.max() <= 1.0 + 1e-12
+            assert (shape >= 0.0).all()
+            assert shape.max() > 0.0
+
+    def test_ramp_direction(self):
+        asc = ramp_shape(8, ascending=True)
+        desc = ramp_shape(8, ascending=False)
+        assert asc[0] < asc[-1]
+        assert desc[0] > desc[-1]
+
+    def test_single_rank_shapes(self):
+        assert ramp_shape(1).tolist() == [1.0]
+        assert decay_shape(1).tolist() == [1.0]
+
+    def test_decay_monotone(self):
+        d = decay_shape(16, rate=3.0)
+        assert (np.diff(d) < 0).all()
+
+    def test_zone_shape_blocks(self):
+        z = zone_shape(16, zones=4, growth=2.0)
+        # 4 distinct levels, 4 ranks each
+        assert len(set(z.tolist())) == 4
+
+    def test_bimodal_has_two_populations(self):
+        b = bimodal_shape(40, seed=5, heavy_fraction=0.25, light_level=0.1)
+        assert (b >= 0.8).sum() == 10
+        assert (b == 0.1).sum() == 30
+
+    def test_seeded_shapes_deterministic(self):
+        assert jitter_shape(16, seed=9).tolist() == jitter_shape(16, seed=9).tolist()
+        assert (bimodal_shape(16, seed=9) == bimodal_shape(16, seed=9)).all()
+
+    def test_seed_for_is_stable(self):
+        assert seed_for("CG-32") == seed_for("CG-32")
+        assert seed_for("CG-32") != seed_for("CG-64")
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_shape(0)
+        with pytest.raises(ValueError):
+            decay_shape(8, rate=0.0)
+        with pytest.raises(ValueError):
+            bimodal_shape(8, seed=0, heavy_fraction=0.0)
+        with pytest.raises(ValueError):
+            zone_shape(0)
+
+
+class TestLoadBalanceOf:
+    def test_definition(self):
+        assert load_balance_of(np.array([1.0, 0.5])) == pytest.approx(0.75)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            load_balance_of(np.zeros(3))

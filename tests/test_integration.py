@@ -1,0 +1,127 @@
+"""Cross-module integration tests: full pipelines, format interop,
+and the equivalence of the two frequency-scaling paths.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps import build_app
+from repro.core.algorithms import MaxAlgorithm
+from repro.core.balancer import PowerAwareLoadBalancer
+from repro.core.gears import uniform_gear_set
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.analysis import compute_times
+from repro.traces.jsonio import read_trace, write_trace
+from repro.traces.prv import parse_prv, write_prv
+from repro.traces.transform import cut_iterations, scale_compute
+
+
+class TestScalingPathEquivalence:
+    """The paper rewrites the tracefile; the simulator can also scale
+    at replay time.  Both paths must produce identical timings."""
+
+    def test_trace_rewrite_equals_simulator_frequencies(self, btmz_trace):
+        model = BetaTimeModel(fmax=2.3, beta=0.5)
+        sim = MpiSimulator(time_model=model)
+        assignment = MaxAlgorithm().assign(
+            compute_times(btmz_trace), uniform_gear_set(6), model
+        )
+        freqs = assignment.frequencies
+
+        rewritten = sim.run_trace(scale_compute(btmz_trace, freqs, model))
+        direct = sim.run_trace(btmz_trace, frequencies=freqs)
+
+        assert rewritten.execution_time == pytest.approx(direct.execution_time)
+        assert rewritten.compute_times == pytest.approx(direct.compute_times)
+
+
+class TestRegionCutting:
+    def test_balancing_one_iteration_matches_full_trace(self, btmz_trace):
+        """The paper cuts one iterative region; by regularity, balancing
+        the cut must give the same normalized results as the full trace."""
+        balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+        full = balancer.balance_trace(btmz_trace)
+        cut = balancer.balance_trace(cut_iterations(btmz_trace, 1, 1))
+        assert cut.normalized_energy == pytest.approx(
+            full.normalized_energy, rel=0.02
+        )
+        assert cut.load_balance == pytest.approx(full.load_balance, abs=0.01)
+
+
+class TestPersistencePipeline:
+    def test_trace_file_round_trip_preserves_balance_results(
+        self, btmz_trace, tmp_path, balancer
+    ):
+        path = tmp_path / "t.jsonl.gz"
+        write_trace(btmz_trace, path)
+        reloaded = read_trace(path)
+        r1 = balancer.balance_trace(btmz_trace)
+        r2 = balancer.balance_trace(reloaded)
+        assert r1.normalized_energy == pytest.approx(r2.normalized_energy)
+        assert r1.new_time == pytest.approx(r2.new_time)
+
+    def test_prv_export_of_balanced_run(self, btmz_trace, balancer, tmp_path):
+        report = balancer.balance_trace(btmz_trace)
+        original, modified = balancer.replay_pair(btmz_trace, report.assignment)
+        path = tmp_path / "after.prv"
+        write_prv(modified, path)
+        prv = parse_prv(path)
+        assert prv.nproc == btmz_trace.nproc
+        total_compute = sum(
+            prv.state_time(r, "compute") for r in range(prv.nproc)
+        )
+        assert total_compute == pytest.approx(
+            float(modified.compute_times.sum()), rel=1e-6
+        )
+
+
+class TestEndToEndShapes:
+    def test_full_pipeline_for_every_family_small(self):
+        balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+        for family in ("CG", "MG", "IS", "BT-MZ", "SPECFEM3D", "WRF", "PEPC"):
+            report = balancer.balance_app(build_app(f"{family}-16", iterations=2))
+            assert 0.0 < report.normalized_energy <= 1.05
+            assert report.normalized_time < 1.3
+
+    def test_savings_ordering_tracks_imbalance(self):
+        """Fig. 3's essence on fresh skeletons: lower LB -> lower energy."""
+        balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+        reports = [
+            balancer.balance_app(build_app(name, iterations=2))
+            for name in ("BT-MZ-32", "SPECFEM3D-96", "MG-64", "CG-32")
+        ]
+        lbs = [r.load_balance for r in reports]
+        energies = [r.normalized_energy for r in reports]
+        assert lbs == sorted(lbs)
+        assert energies == sorted(energies)
+
+
+class TestExamplesRun:
+    """The shipped examples are part of the public API surface."""
+
+    @pytest.mark.parametrize(
+        "script,args",
+        [
+            ("quickstart.py", []),
+            ("gear_set_design.py", ["CG-16"]),
+            ("cluster_scaling.py", ["MG", "--sizes", "16,32"]),
+            ("custom_app.py", []),
+            ("dynamic_runtimes.py", []),
+            ("topology_study.py", ["WRF-16"]),
+        ],
+    )
+    def test_example_runs_clean(self, script, args, tmp_path):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        cmd = [sys.executable, str(root / "examples" / script), *args]
+        if script == "gear_set_design.py":
+            cmd += ["--svg", str(tmp_path / "out.svg")]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=600, cwd=tmp_path
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()

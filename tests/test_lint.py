@@ -1,0 +1,134 @@
+"""Unit tests for the trace linter."""
+
+import pytest
+
+from repro.apps import build_app, vmpi
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.lint import lint_trace
+from repro.traces.records import (
+    ANY_SOURCE,
+    CollectiveRecord,
+    ComputeBurst,
+    MarkerRecord,
+    RecvRecord,
+    SendRecord,
+)
+from repro.traces.trace import Trace
+
+
+def codes(warnings):
+    return {w.code for w in warnings}
+
+
+def marked(records_per_rank):
+    """Prefix every rank with an iteration marker (suppresses W001)."""
+    return Trace.from_streams(
+        [[MarkerRecord("iter", 0), *recs] for recs in records_per_rank]
+    )
+
+
+class TestChecks:
+    def test_clean_trace_no_warnings(self):
+        t = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 100)],
+                [ComputeBurst(0.02), RecvRecord(0)],
+            ]
+        )
+        assert lint_trace(t) == []
+
+    def test_w001_missing_markers(self):
+        t = Trace.from_streams([[ComputeBurst(0.01)], [ComputeBurst(0.01)]])
+        assert "W001" in codes(lint_trace(t))
+
+    def test_w002_idle_rank(self):
+        t = marked([[ComputeBurst(0.01)], []])
+        warnings = [w for w in lint_trace(t) if w.code == "W002"]
+        assert len(warnings) == 1
+        assert warnings[0].rank == 1
+
+    def test_w003_unmatched_pair(self):
+        t = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 10), SendRecord(1, 10)],
+                [ComputeBurst(0.01), RecvRecord(0)],
+            ]
+        )
+        w003 = [w for w in lint_trace(t) if w.code == "W003"]
+        assert len(w003) == 1
+        assert "2 send(s) vs 1 recv(s)" in w003[0].message
+
+    def test_w003_suppressed_by_wildcard(self):
+        t = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 10), SendRecord(1, 10)],
+                [ComputeBurst(0.01), RecvRecord(ANY_SOURCE), RecvRecord(0)],
+            ]
+        )
+        assert "W003" not in codes(lint_trace(t))
+
+    def test_w004_wildcards_flagged(self):
+        t = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 10)],
+                [ComputeBurst(0.01), RecvRecord(ANY_SOURCE)],
+            ]
+        )
+        assert "W004" in codes(lint_trace(t))
+
+    def test_w005_eager_cliff(self):
+        platform = PlatformConfig(eager_threshold=1000)
+        t = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 1050)],
+                [ComputeBurst(0.01), RecvRecord(0)],
+            ]
+        )
+        assert "W005" in codes(lint_trace(t, platform))
+        # well above the threshold: no cliff warning
+        t2 = marked(
+            [
+                [ComputeBurst(0.01), SendRecord(1, 5000)],
+                [ComputeBurst(0.01), RecvRecord(0)],
+            ]
+        )
+        assert "W005" not in codes(lint_trace(t2, platform))
+
+    def test_w006_collective_spread(self):
+        t = marked(
+            [
+                [ComputeBurst(0.01), CollectiveRecord("alltoall", 100_000)],
+                [ComputeBurst(0.01), CollectiveRecord("alltoall", 10)],
+            ]
+        )
+        assert "W006" in codes(lint_trace(t))
+
+    def test_w007_overhead_dominated(self):
+        platform = PlatformConfig(latency=1e-3)
+        t = marked([[ComputeBurst(1e-6) for _ in range(8)]] * 2)
+        assert "W007" in codes(lint_trace(t, platform))
+
+
+class TestOnRealTraces:
+    def test_paper_skeletons_mostly_clean(self):
+        app = build_app("MG-16", iterations=2)
+        trace = MpiSimulator().run(
+            app.programs(), record_trace=True, meta={"name": app.name}
+        ).trace
+        findings = codes(lint_trace(trace))
+        # structural hygiene: no missing markers, idle ranks or leaks
+        assert not findings & {"W001", "W002", "W003"}
+
+    def test_is_weighted_alltoall_triggers_spread(self):
+        app = build_app("IS-32", iterations=2)
+        trace = MpiSimulator().run(
+            app.programs(), record_trace=True, meta={"name": app.name}
+        ).trace
+        assert "W006" in codes(lint_trace(trace))
+
+    def test_warning_str_format(self):
+        t = Trace.from_streams([[ComputeBurst(0.01)], []])
+        text = [str(w) for w in lint_trace(t)]
+        assert any(w.startswith("W001:") for w in text)
+        assert any("(rank 1)" in w for w in text)

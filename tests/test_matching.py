@@ -1,0 +1,134 @@
+"""Unit tests for MPI envelope matching."""
+
+import pytest
+
+from repro.netsim.matching import Matcher
+from repro.traces.records import ANY_SOURCE, ANY_TAG
+
+
+class Recorder:
+    """Collects matching callbacks for assertions."""
+
+    def __init__(self):
+        self.eager = []
+        self.rendezvous = []
+        self.sender_matched = 0
+
+    def on_eager(self, msg):
+        self.eager.append(msg)
+
+    def on_rendezvous(self, send):
+        self.rendezvous.append(send)
+
+    def on_sender(self):
+        self.sender_matched += 1
+
+
+class TestEagerMatching:
+    def test_recv_then_arrival(self):
+        m = Matcher(2)
+        rec = Recorder()
+        m.post_recv(1, src=0, tag=5, on_eager=rec.on_eager,
+                    on_rendezvous=rec.on_rendezvous)
+        m.deliver_eager(1, src=0, tag=5, nbytes=100)
+        assert len(rec.eager) == 1
+        assert rec.eager[0].nbytes == 100
+
+    def test_arrival_then_recv(self):
+        m = Matcher(2)
+        rec = Recorder()
+        m.deliver_eager(1, src=0, tag=5, nbytes=100)
+        m.post_recv(1, 0, 5, rec.on_eager, rec.on_rendezvous)
+        assert len(rec.eager) == 1
+
+    def test_tag_mismatch_queues(self):
+        m = Matcher(2)
+        rec = Recorder()
+        m.post_recv(1, 0, 5, rec.on_eager, rec.on_rendezvous)
+        m.deliver_eager(1, src=0, tag=6, nbytes=1)
+        assert rec.eager == []
+        assert m.outstanding()["unexpected_eager"] == 1
+        assert m.outstanding()["posted_recvs"] == 1
+
+    def test_any_source_any_tag_wildcards(self):
+        m = Matcher(3)
+        rec = Recorder()
+        m.post_recv(2, ANY_SOURCE, ANY_TAG, rec.on_eager, rec.on_rendezvous)
+        m.deliver_eager(2, src=1, tag=99, nbytes=7)
+        assert len(rec.eager) == 1
+        assert rec.eager[0].src == 1
+
+    def test_fifo_among_queued_messages(self):
+        m = Matcher(2)
+        rec = Recorder()
+        m.deliver_eager(1, src=0, tag=1, nbytes=111)
+        m.deliver_eager(1, src=0, tag=1, nbytes=222)
+        m.post_recv(1, 0, 1, rec.on_eager, rec.on_rendezvous)
+        assert rec.eager[0].nbytes == 111
+
+    def test_fifo_among_posted_recvs(self):
+        m = Matcher(2)
+        first, second = Recorder(), Recorder()
+        m.post_recv(1, 0, 1, first.on_eager, first.on_rendezvous)
+        m.post_recv(1, 0, 1, second.on_eager, second.on_rendezvous)
+        m.deliver_eager(1, src=0, tag=1, nbytes=1)
+        assert len(first.eager) == 1
+        assert second.eager == []
+
+
+class TestRendezvousMatching:
+    def test_send_then_recv(self):
+        m = Matcher(2)
+        rec = Recorder()
+        queued = m.post_ready_send(1, src=0, tag=3, nbytes=10**6,
+                                   on_matched=rec.on_sender)
+        assert queued is not None
+        m.post_recv(1, 0, 3, rec.on_eager, rec.on_rendezvous)
+        assert len(rec.rendezvous) == 1
+        assert rec.rendezvous[0].nbytes == 10**6
+
+    def test_recv_then_send_matches_immediately(self):
+        m = Matcher(2)
+        rec = Recorder()
+        m.post_recv(1, 0, 3, rec.on_eager, rec.on_rendezvous)
+        queued = m.post_ready_send(1, src=0, tag=3, nbytes=10**6,
+                                   on_matched=rec.on_sender)
+        assert queued is None
+        assert len(rec.rendezvous) == 1
+
+    def test_earliest_entry_wins_across_kinds(self):
+        """A recv must take the oldest matching message, whether eager
+        or rendezvous."""
+        m = Matcher(2)
+        rec = Recorder()
+        m.post_ready_send(1, src=0, tag=1, nbytes=10**6,
+                          on_matched=rec.on_sender)
+        m.deliver_eager(1, src=0, tag=1, nbytes=5)
+        m.post_recv(1, 0, 1, rec.on_eager, rec.on_rendezvous)
+        assert len(rec.rendezvous) == 1  # the ready-send was posted first
+        assert rec.eager == []
+
+
+class TestValidation:
+    def test_out_of_range_ranks_rejected(self):
+        m = Matcher(2)
+        with pytest.raises(ValueError):
+            m.post_recv(5, 0, 0, lambda m: None, lambda s: None)
+        with pytest.raises(ValueError):
+            m.deliver_eager(0, src=9, tag=0, nbytes=1)
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(ValueError):
+            Matcher(0)
+
+    def test_outstanding_counts(self):
+        m = Matcher(2)
+        m.post_recv(0, ANY_SOURCE, ANY_TAG, lambda x: None, lambda s: None)
+        m.deliver_eager(1, src=0, tag=9, nbytes=1)
+        m.post_ready_send(1, src=0, tag=8, nbytes=10**6, on_matched=lambda: None)
+        out = m.outstanding()
+        assert out == {
+            "posted_recvs": 1,
+            "unexpected_eager": 1,
+            "ready_sends": 1,
+        }

@@ -1,0 +1,35 @@
+"""Unit tests for the result metrics."""
+
+import pytest
+
+from repro.core.metrics import edp, normalized, savings_pct
+
+
+class TestEdp:
+    def test_product(self):
+        assert edp(3.0, 2.0) == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 2.0)
+
+
+class TestNormalized:
+    def test_ratio(self):
+        assert normalized(40.0, 100.0) == pytest.approx(0.4)
+
+    def test_degenerate_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            normalized(-1.0, 1.0)
+
+
+class TestSavings:
+    def test_sixty_percent_saved(self):
+        assert savings_pct(40.0, 100.0) == pytest.approx(60.0)
+
+    def test_regression_is_negative(self):
+        assert savings_pct(110.0, 100.0) == pytest.approx(-10.0)

@@ -1,0 +1,74 @@
+"""Unit tests for platform configuration files."""
+
+import io
+import json
+
+import pytest
+
+from repro.netsim.config import (
+    load_platform,
+    platform_from_dict,
+    platform_to_dict,
+    save_platform,
+)
+from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
+from repro.netsim.topology import Torus2D, with_topology
+
+
+class TestRoundTrip:
+    def test_reference_platform(self, tmp_path):
+        path = tmp_path / "platform.json"
+        save_platform(MYRINET_LIKE, path)
+        assert load_platform(path) == MYRINET_LIKE
+
+    def test_custom_values(self):
+        buf = io.StringIO()
+        original = PlatformConfig(
+            name="fast", latency=1e-6, bandwidth=1e10, buses=4,
+            collective_factors={"alltoall": 1.5},
+        )
+        save_platform(original, buf)
+        buf.seek(0)
+        loaded = load_platform(buf)
+        assert loaded.latency == 1e-6
+        assert loaded.buses == 4
+        assert loaded.collective_factor("alltoall") == 1.5
+
+    def test_topology_round_trip(self, tmp_path):
+        path = tmp_path / "torus.json"
+        save_platform(with_topology(MYRINET_LIKE, Torus2D(16)), path)
+        loaded = load_platform(path)
+        assert loaded.topology.name == "torus2d"
+        assert loaded.topology.nodes == 16
+
+
+class TestFromDict:
+    def test_defaults_fill_missing(self):
+        p = platform_from_dict({"latency": 5e-6})
+        assert p.latency == 5e-6
+        assert p.bandwidth == MYRINET_LIKE.bandwidth
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform keys"):
+            platform_from_dict({"lattency": 1e-6})
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            platform_from_dict({"topology": {"kind": "hypercube"}})
+
+    def test_fattree_spec(self):
+        p = platform_from_dict({"topology": {"kind": "fattree", "leaf_size": 4}})
+        assert p.topology.leaf_size == 4
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            platform_from_dict({"bandwidth": -1.0})
+
+
+class TestLoadErrors:
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            load_platform(io.StringIO("[1, 2, 3]"))
+
+    def test_to_dict_is_json_serialisable(self):
+        json.dumps(platform_to_dict(MYRINET_LIKE))

@@ -1,0 +1,62 @@
+"""Unit tests for the platform (machine) model."""
+
+import pytest
+
+from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert MYRINET_LIKE.latency > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency": -1.0},
+            {"bandwidth": 0.0},
+            {"eager_threshold": -1},
+            {"buses": -1},
+            {"send_overhead": -0.1},
+            {"cpus_per_node": 0},
+            {"intra_node_speedup": 0.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PlatformConfig(**kwargs)
+
+
+class TestTransferTime:
+    def test_inter_node_latency_plus_wire(self):
+        p = PlatformConfig(latency=1e-5, bandwidth=1e8, cpus_per_node=1)
+        assert p.transfer_time(1_000_000, 0, 1) == pytest.approx(1e-5 + 0.01)
+
+    def test_intra_node_faster(self):
+        p = PlatformConfig(cpus_per_node=4, intra_node_speedup=4.0)
+        same_node = p.transfer_time(10_000, 0, 1)
+        cross_node = p.transfer_time(10_000, 0, 4)
+        assert same_node < cross_node
+
+    def test_zero_bytes_costs_latency_only(self):
+        p = PlatformConfig(latency=5e-6, cpus_per_node=1)
+        assert p.transfer_time(0, 0, 1) == pytest.approx(5e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            MYRINET_LIKE.transfer_time(-1, 0, 1)
+
+
+class TestNodeMapping:
+    def test_block_mapping(self):
+        p = PlatformConfig(cpus_per_node=4)
+        assert [p.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestCollectiveFactors:
+    def test_default_factor_is_one(self):
+        assert MYRINET_LIKE.collective_factor("allreduce") == 1.0
+
+    def test_custom_factor(self):
+        p = PlatformConfig(collective_factors={"alltoall": 2.5})
+        assert p.collective_factor("alltoall") == 2.5
+        assert p.collective_factor("bcast") == 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for the CPU power model (Eq. 1–2 and the calibration)."""
+
+import pytest
+
+from repro.core.gears import LinearVoltageLaw
+from repro.core.power import CpuPowerModel, CpuState
+
+TOP = LinearVoltageLaw().gear(2.3)
+LOW = LinearVoltageLaw().gear(0.8)
+
+
+class TestDynamicPower:
+    def test_eq1_fv_squared(self):
+        pm = CpuPowerModel(static_fraction=0.0)
+        assert pm.dynamic_power(TOP) == pytest.approx(2.3 * 1.5**2)
+
+    def test_comm_scaled_by_activity_ratio(self):
+        pm = CpuPowerModel(activity_ratio=1.5)
+        assert pm.dynamic_power(TOP, CpuState.COMM) == pytest.approx(
+            pm.dynamic_power(TOP, CpuState.COMPUTE) / 1.5
+        )
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            CpuPowerModel().dynamic_power(TOP, "sleeping")
+
+    def test_lower_gear_draws_much_less(self):
+        pm = CpuPowerModel()
+        # f*V^2: 0.8*1.0 vs 2.3*2.25 — a factor ~6.5
+        ratio = pm.dynamic_power(TOP) / pm.dynamic_power(LOW)
+        assert ratio == pytest.approx((2.3 * 1.5**2) / (0.8 * 1.0**2))
+
+
+class TestStaticCalibration:
+    def test_default_static_is_20pct_of_reference(self):
+        pm = CpuPowerModel()
+        assert pm.static_power(TOP) / pm.reference_power() == pytest.approx(0.20)
+
+    @pytest.mark.parametrize("sf", [0.0, 0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_calibration_holds_for_any_fraction(self, sf):
+        pm = CpuPowerModel(static_fraction=sf)
+        assert pm.static_power(TOP) / pm.reference_power() == pytest.approx(sf)
+
+    def test_eq2_linear_in_voltage(self):
+        pm = CpuPowerModel()
+        assert pm.static_power(TOP) / pm.static_power(LOW) == pytest.approx(1.5)
+
+    def test_zero_static_fraction_gives_zero_alpha(self):
+        assert CpuPowerModel(static_fraction=0.0).alpha == 0.0
+
+
+class TestValidation:
+    def test_activity_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CpuPowerModel(activity_ratio=0.9)
+
+    def test_static_fraction_one_rejected(self):
+        with pytest.raises(ValueError):
+            CpuPowerModel(static_fraction=1.0)
+
+    def test_with_helpers_return_new_models(self):
+        pm = CpuPowerModel()
+        pm2 = pm.with_static_fraction(0.5)
+        pm3 = pm.with_activity_ratio(2.0)
+        assert pm.static_fraction == 0.20
+        assert pm2.static_fraction == 0.5
+        assert pm3.activity_ratio == 2.0
+
+
+class TestTotalPower:
+    def test_total_is_dynamic_plus_static(self):
+        pm = CpuPowerModel()
+        assert pm.power(TOP) == pytest.approx(
+            pm.dynamic_power(TOP) + pm.static_power(TOP)
+        )
+
+    def test_dvfs_saves_power_in_both_states(self):
+        pm = CpuPowerModel()
+        for state in CpuState.ALL:
+            assert pm.power(LOW, state) < pm.power(TOP, state)

@@ -1,0 +1,116 @@
+"""Unit tests for power-over-time profiles."""
+
+import pytest
+
+from repro.apps import build_app, vmpi
+from repro.core.energy import EnergyAccountant
+from repro.core.gears import LinearVoltageLaw, uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.powerprofile import (
+    power_profile,
+    power_svg,
+    profile_breakdown_consistent,
+)
+
+LAW = LinearVoltageLaw()
+TOP = LAW.gear(2.3)
+LOW = LAW.gear(0.8)
+
+EASY = PlatformConfig(
+    latency=0.0, bandwidth=1e9, send_overhead=0.0, recv_overhead=0.0,
+    cpus_per_node=1, intra_node_speedup=1.0,
+)
+
+
+def simulate(programs, platform=EASY):
+    return MpiSimulator(platform=platform).run(programs, record_intervals=True)
+
+
+class TestProfile:
+    def test_compute_only_flat_power(self):
+        result = simulate([[vmpi.compute(2.0)]])
+        profile = power_profile(result, [TOP])
+        pm = CpuPowerModel()
+        assert profile.total_energy() == pytest.approx(
+            2.0 * pm.power(TOP, CpuState.COMPUTE)
+        )
+        _, watts = profile.sample_total(bins=10)
+        assert watts == pytest.approx([pm.power(TOP, CpuState.COMPUTE)] * 10)
+
+    def test_wait_period_at_comm_power(self):
+        result = simulate(
+            [
+                [vmpi.compute(1.0), vmpi.barrier()],
+                [vmpi.compute(3.0), vmpi.barrier()],
+            ]
+        )
+        profile = power_profile(result, [TOP, TOP])
+        pm = CpuPowerModel()
+        expected = 4.0 * pm.power(TOP, CpuState.COMPUTE) + 2.0 * pm.power(
+            TOP, CpuState.COMM
+        )
+        assert profile.total_energy() == pytest.approx(expected)
+
+    def test_matches_energy_accountant(self):
+        """The headline invariant: profile integral == accountant total."""
+        app = build_app("BT-MZ-16", iterations=2)
+        result = MpiSimulator().run(app.programs(), record_intervals=True)
+        gears = [uniform_gear_set(6).select(2.3).gear] * 16
+        profile = power_profile(result, gears)
+        breakdown = EnergyAccountant().run_energy(
+            result.compute_times, result.execution_time, gears
+        )
+        assert profile_breakdown_consistent(profile, breakdown, rel=1e-6)
+
+    def test_post_finish_idle_charged_comm(self):
+        result = simulate([[vmpi.compute(1.0)], [vmpi.compute(4.0)]])
+        profile = power_profile(result, [TOP, TOP])
+        pm = CpuPowerModel()
+        # rank 0 idles 3s after finishing
+        assert profile.rank_energy(0) == pytest.approx(
+            1.0 * pm.power(TOP, CpuState.COMPUTE) + 3.0 * pm.power(TOP, CpuState.COMM)
+        )
+
+    def test_dvfs_lowers_profile(self):
+        result = simulate([[vmpi.compute(1.0)], [vmpi.compute(1.0)]])
+        high = power_profile(result, [TOP, TOP])
+        low = power_profile(result, [LOW, LOW])
+        assert low.total_energy() < high.total_energy()
+        assert low.peak_power() < high.peak_power()
+
+    def test_mean_power(self):
+        result = simulate([[vmpi.compute(2.0)]])
+        profile = power_profile(result, [TOP])
+        assert profile.mean_power() == pytest.approx(
+            profile.total_energy() / 2.0
+        )
+
+    def test_requires_intervals(self):
+        result = MpiSimulator(platform=EASY).run([[vmpi.compute(1.0)]])
+        with pytest.raises(ValueError, match="record_intervals"):
+            power_profile(result, [TOP])
+
+    def test_gear_count_mismatch_rejected(self):
+        result = simulate([[vmpi.compute(1.0)]])
+        with pytest.raises(ValueError, match="gears"):
+            power_profile(result, [TOP, TOP])
+
+    def test_bad_bins_rejected(self):
+        result = simulate([[vmpi.compute(1.0)]])
+        profile = power_profile(result, [TOP])
+        with pytest.raises(ValueError):
+            profile.sample_total(bins=0)
+
+
+class TestSvg:
+    def test_valid_svg(self):
+        result = simulate(
+            [[vmpi.compute(1.0), vmpi.barrier()], [vmpi.compute(2.0), vmpi.barrier()]]
+        )
+        profile = power_profile(result, [TOP, TOP])
+        svg = power_svg(profile, title="demo")
+        assert svg.startswith("<svg")
+        assert "demo" in svg
+        assert "polygon" in svg

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the core models and invariants.
+
+These pin down the algebra the reproduction rests on: the β model and
+its inverse, gear-set selection, profile calibration, energy accounting
+and the simulator's key conservation laws.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps import vmpi
+from repro.apps.imbalance import calibrate, load_balance_of
+from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+from repro.core.energy import EnergyAccountant
+from repro.core.gears import (
+    LinearVoltageLaw,
+    exponential_gear_set,
+    limited_continuous_set,
+    overclocked,
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+from repro.core.power import CpuPowerModel, CpuState
+from repro.core.timemodel import BetaTimeModel, required_frequency, scaled_time, time_ratio
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+
+FMAX = 2.3
+
+frequencies = st.floats(0.05, 2.76, allow_nan=False)
+betas = st.floats(0.0, 1.0, allow_nan=False)
+pos_times = st.floats(1e-6, 1e3, allow_nan=False)
+stretches = st.floats(0.51, 20.0, allow_nan=False)  # > 1 - beta_max
+
+
+class TestTimeModelProperties:
+    @given(f=frequencies, beta=betas)
+    def test_ratio_at_least_memory_floor(self, f, beta):
+        r = time_ratio(f, FMAX, beta)
+        assert r >= (1.0 - beta) - 1e-12
+
+    @given(f=frequencies, beta=betas)
+    def test_ratio_monotone_decreasing_in_frequency(self, f, beta):
+        assume(f < 2.7)
+        assert time_ratio(f, FMAX, beta) >= time_ratio(f + 0.05, FMAX, beta) - 1e-12
+
+    @given(t=pos_times, stretch=stretches, beta=st.floats(0.05, 1.0))
+    def test_inversion_round_trip(self, t, stretch, beta):
+        assume(stretch > 1.0 - beta + 1e-6)
+        f = required_frequency(t, t * stretch, FMAX, beta)
+        assume(math.isfinite(f) and f > 0)
+        assert scaled_time(t, f, FMAX, beta) == pytest.approx(t * stretch, rel=1e-9)
+
+    @given(t=pos_times, beta=betas, f=frequencies)
+    def test_scaled_time_nonnegative(self, t, beta, f):
+        assert scaled_time(t, f, FMAX, beta) >= 0.0
+
+
+class TestGearSetProperties:
+    @given(f=st.floats(0.0, 3.0), n=st.integers(2, 15))
+    def test_uniform_selection_rounds_up(self, f, n):
+        sel = uniform_gear_set(n).select(f)
+        if sel.attained:
+            assert sel.gear.frequency >= min(f, 0.8) - 1e-9
+        else:
+            assert f > 2.3
+
+    @given(f=st.floats(0.0, 3.0), n=st.integers(2, 10))
+    def test_exponential_selection_rounds_up(self, f, n):
+        sel = exponential_gear_set(n).select(f)
+        if sel.attained and f <= 2.3:
+            assert sel.gear.frequency >= f - 1e-9
+
+    @given(f=st.floats(0.01, 2.3))
+    def test_continuous_selection_exact_within_range(self, f):
+        sel = unlimited_continuous_set().select(f)
+        assert sel.attained
+        assert sel.gear.frequency == pytest.approx(max(f, 0.01))
+
+    @given(n=st.integers(2, 15))
+    def test_voltage_monotone_in_frequency(self, n):
+        gears = list(uniform_gear_set(n))
+        volts = [g.voltage for g in gears]
+        assert volts == sorted(volts)
+
+    @given(f=st.floats(0.8, 2.3), n=st.integers(2, 15))
+    def test_finer_sets_select_lower_or_equal_frequency(self, f, n):
+        """Doubling gear density can only move the round-up gear down."""
+        coarse = uniform_gear_set(n).select(f).gear.frequency
+        fine = uniform_gear_set(2 * n - 1).select(f).gear.frequency
+        assert fine <= coarse + 1e-9
+
+
+class TestCalibrationProperties:
+    shapes = arrays(
+        float,
+        st.integers(4, 100),
+        elements=st.floats(0.01, 1.0),
+    )
+
+    @given(shape=shapes, target=st.floats(0.2, 0.999))
+    def test_calibrate_hits_target_or_refuses(self, shape, target):
+        assume(shape.max() > shape.min())
+        try:
+            w = calibrate(shape, target)
+        except ValueError:
+            return  # refusal is a documented, valid outcome
+        assert load_balance_of(w) == pytest.approx(target, abs=1e-9)
+        assert w.max() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+
+class TestAlgorithmProperties:
+    times_vectors = arrays(
+        float, st.integers(2, 64), elements=st.floats(0.01, 10.0)
+    )
+
+    @given(times=times_vectors, beta=st.floats(0.1, 1.0))
+    def test_max_predicted_times_never_exceed_target(self, times, beta):
+        model = BetaTimeModel(fmax=FMAX, beta=beta)
+        a = MaxAlgorithm().assign(times, uniform_gear_set(6), model)
+        predicted = a.predicted_compute_times(times, model)
+        assert (predicted <= a.target_time * (1 + 1e-9)).all()
+
+    @given(times=times_vectors)
+    def test_max_continuous_equalises_completion(self, times):
+        model = BetaTimeModel(fmax=FMAX, beta=0.5)
+        gear_set = unlimited_continuous_set()
+        a = MaxAlgorithm().assign(times, gear_set, model)
+        predicted = a.predicted_compute_times(times, model)
+        target = times.max()
+        # nobody finishes late; ranks not clamped at the 10 MHz floor
+        # finish exactly together
+        assert (predicted <= target * (1 + 1e-9)).all()
+        unclamped = a.frequencies > gear_set.fmin * (1 + 1e-9)
+        assert predicted[unclamped] == pytest.approx(
+            np.full(int(unclamped.sum()), target)
+        )
+
+    @given(times=times_vectors)
+    def test_avg_target_between_mean_and_max(self, times):
+        model = BetaTimeModel(fmax=FMAX, beta=0.5)
+        gear_set = overclocked(limited_continuous_set(), 20.0)
+        a = AvgAlgorithm().assign(times, gear_set, model)
+        assert times.mean() - 1e-9 <= a.target_time <= times.max() + 1e-9
+
+    @given(times=times_vectors)
+    def test_avg_never_slower_than_max_target(self, times):
+        model = BetaTimeModel(fmax=FMAX, beta=0.5)
+        gear_set = overclocked(limited_continuous_set(), 10.0)
+        avg = AvgAlgorithm().assign(times, gear_set, model)
+        assert avg.target_time <= times.max() + 1e-9
+
+
+class TestEnergyProperties:
+    @given(
+        comp=arrays(float, st.integers(1, 32), elements=st.floats(0.0, 5.0)),
+        slack=st.floats(0.0, 5.0),
+    )
+    def test_energy_positive_and_additive(self, comp, slack):
+        texec = float(comp.max(initial=0.0) + slack)
+        assume(texec > 0)
+        gears = [LinearVoltageLaw().gear(2.3)] * len(comp)
+        e = EnergyAccountant().run_energy(comp, texec, gears)
+        assert e.total >= 0.0
+        assert e.total == pytest.approx(e.compute_energy + e.comm_energy)
+        assert e.per_rank.sum() == pytest.approx(e.total)
+
+    @given(f=st.floats(0.8, 2.3))
+    def test_power_monotone_in_frequency(self, f):
+        pm = CpuPowerModel()
+        law = LinearVoltageLaw()
+        assert pm.power(law.gear(f)) <= pm.power(law.gear(2.3)) + 1e-12
+
+    @given(sf=st.floats(0.0, 0.9), ar=st.floats(1.0, 4.0))
+    def test_calibration_invariant(self, sf, ar):
+        pm = CpuPowerModel(static_fraction=sf, activity_ratio=ar)
+        top = pm.law.gear(2.3)
+        assert pm.static_power(top) / pm.power(top, CpuState.COMPUTE) == (
+            pytest.approx(sf)
+        )
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.0, 2.0), min_size=2, max_size=6),
+        latency=st.floats(0.0, 0.01),
+    )
+    def test_barrier_world_ends_after_slowest(self, durations, latency):
+        platform = PlatformConfig(
+            latency=latency, bandwidth=1e9, send_overhead=0.0,
+            recv_overhead=0.0, cpus_per_node=1, intra_node_speedup=1.0,
+        )
+        programs = [[vmpi.compute(d), vmpi.barrier()] for d in durations]
+        result = MpiSimulator(platform=platform).run(programs)
+        assert result.execution_time >= max(durations) - 1e-12
+        assert result.compute_times.tolist() == pytest.approx(durations)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        work=st.lists(st.floats(0.01, 2.0), min_size=2, max_size=8),
+        beta=st.floats(0.1, 1.0),
+    )
+    def test_max_balancing_never_lengthens_compute_only_run(self, work, beta):
+        """For barrier-synchronised compute, MAX keeps T_exec within the
+        round-up guarantee (modulo model exactness) and saves energy."""
+        from repro.core.balancer import PowerAwareLoadBalancer
+
+        platform = PlatformConfig(
+            latency=0.0, bandwidth=1e9, send_overhead=0.0,
+            recv_overhead=0.0, cpus_per_node=1, intra_node_speedup=1.0,
+        )
+        balancer = PowerAwareLoadBalancer(
+            gear_set=uniform_gear_set(6),
+            time_model=BetaTimeModel(fmax=FMAX, beta=beta),
+            platform=platform,
+        )
+        sim = MpiSimulator(platform=platform)
+        live = sim.run(
+            [[vmpi.compute(w), vmpi.barrier()] for w in work], record_trace=True
+        )
+        report = balancer.balance_trace(live.trace)
+        assert report.normalized_time <= 1.0 + 1e-9
+        assert report.normalized_energy <= 1.0 + 1e-9

@@ -1,0 +1,92 @@
+"""Unit tests for the Paraver-like .prv export/parse round trip."""
+
+import io
+
+import pytest
+
+from repro.apps import vmpi
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.prv import STATE_IDS, parse_prv, write_prv
+
+
+@pytest.fixture()
+def run_result(fast_platform):
+    programs = [
+        [vmpi.compute(1.0), vmpi.barrier()],
+        [vmpi.compute(2.0), vmpi.barrier()],
+    ]
+    return MpiSimulator(platform=fast_platform).run(
+        programs, record_intervals=True
+    )
+
+
+class TestWrite:
+    def test_header_format(self, run_result):
+        buf = io.StringIO()
+        write_prv(run_result, buf)
+        header = buf.getvalue().splitlines()[0]
+        assert header.startswith("#Paraver")
+        assert header.endswith(":2")
+
+    def test_state_records_emitted(self, run_result):
+        buf = io.StringIO()
+        write_prv(run_result, buf)
+        lines = buf.getvalue().splitlines()[1:]
+        assert all(line.startswith("1:") for line in lines)
+        # rank 0: compute + collective wait; rank 1: compute only (its
+        # zero-duration barrier interval is not recorded)
+        assert len(lines) == 3
+
+    def test_requires_intervals(self, fast_platform):
+        result = MpiSimulator(platform=fast_platform).run([[vmpi.compute(1.0)]])
+        with pytest.raises(ValueError, match="record_intervals"):
+            write_prv(result, io.StringIO())
+
+    def test_file_output(self, run_result, tmp_path):
+        path = tmp_path / "run.prv"
+        write_prv(run_result, path)
+        assert path.read_text().startswith("#Paraver")
+
+
+class TestRoundTrip:
+    def test_parse_recovers_states(self, run_result):
+        buf = io.StringIO()
+        write_prv(run_result, buf)
+        buf.seek(0)
+        prv = parse_prv(buf)
+        assert prv.nproc == 2
+        assert prv.duration == pytest.approx(run_result.execution_time, abs=1e-8)
+        assert prv.state_time(0, "compute") == pytest.approx(1.0, abs=1e-8)
+        assert prv.state_time(1, "compute") == pytest.approx(2.0, abs=1e-8)
+        # rank 0 waits ~1s in the collective
+        assert prv.state_time(0, "collective") == pytest.approx(1.0, abs=1e-6)
+
+
+class TestParseErrors:
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="not a .prv"):
+            parse_prv(io.StringIO("nonsense\n"))
+
+    def test_malformed_record_rejected(self):
+        text = "#Paraver (repro): 1000:1\n2:0:0:10:1\n"
+        with pytest.raises(ValueError, match="unsupported"):
+            parse_prv(io.StringIO(text))
+
+    def test_unknown_state_rejected(self):
+        text = "#Paraver (repro): 1000:1\n1:0:0:10:99\n"
+        with pytest.raises(ValueError, match="unknown state"):
+            parse_prv(io.StringIO(text))
+
+    def test_rank_out_of_range_rejected(self):
+        text = "#Paraver (repro): 1000:1\n1:5:0:10:1\n"
+        with pytest.raises(ValueError, match="out of range"):
+            parse_prv(io.StringIO(text))
+
+    def test_comment_lines_skipped(self):
+        text = "#Paraver (repro): 1000:1\n# a comment\n1:0:0:10:1\n"
+        prv = parse_prv(io.StringIO(text))
+        assert len(prv.intervals[0]) == 1
+
+    def test_state_id_table_consistent(self):
+        assert STATE_IDS["compute"] == 1
+        assert len(set(STATE_IDS.values())) == len(STATE_IDS)

@@ -1,0 +1,103 @@
+"""Unit tests for trace records and their dict round-trip."""
+
+import pytest
+
+from repro.traces.records import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_OPS,
+    CollectiveRecord,
+    ComputeBurst,
+    IrecvRecord,
+    IsendRecord,
+    MarkerRecord,
+    RecvRecord,
+    SendRecord,
+    WaitallRecord,
+    WaitRecord,
+    record_from_dict,
+    record_to_dict,
+)
+
+ALL_RECORDS = [
+    ComputeBurst(0.5, phase="solve", beta=0.7),
+    ComputeBurst(0.0),
+    SendRecord(dst=3, nbytes=1024, tag=7),
+    RecvRecord(src=ANY_SOURCE, tag=ANY_TAG),
+    RecvRecord(src=2, tag=0),
+    IsendRecord(dst=1, nbytes=0, tag=0, request=5),
+    IrecvRecord(src=4, tag=9, request=6),
+    WaitRecord(request=5),
+    WaitallRecord(requests=(1, 2, 3)),
+    CollectiveRecord("allreduce", nbytes=64),
+    CollectiveRecord("bcast", nbytes=128, root=2),
+    MarkerRecord("iter", iteration=3),
+]
+
+
+class TestValidation:
+    def test_negative_burst_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBurst(-0.1)
+
+    def test_non_finite_burst_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBurst(float("inf"))
+        with pytest.raises(ValueError):
+            ComputeBurst(float("nan"))
+
+    def test_burst_beta_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeBurst(1.0, beta=1.5)
+        with pytest.raises(ValueError):
+            ComputeBurst(1.0, beta=-0.1)
+
+    def test_burst_beta_none_is_default(self):
+        assert ComputeBurst(1.0).beta is None
+
+    def test_send_wildcard_dst_rejected(self):
+        with pytest.raises(ValueError):
+            SendRecord(dst=-1, nbytes=10)
+
+    def test_send_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SendRecord(dst=0, nbytes=-1)
+
+    def test_recv_bad_src_rejected(self):
+        with pytest.raises(ValueError):
+            RecvRecord(src=-2)
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            CollectiveRecord("alltoallw")
+
+    def test_all_collective_ops_constructible(self):
+        for op in COLLECTIVE_OPS:
+            assert CollectiveRecord(op).op == op
+
+    def test_waitall_requests_coerced_to_tuple(self):
+        rec = WaitallRecord(requests=[1, 2])
+        assert rec.requests == (1, 2)
+
+    def test_records_are_frozen(self):
+        rec = ComputeBurst(1.0)
+        with pytest.raises(AttributeError):
+            rec.duration = 2.0
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("record", ALL_RECORDS, ids=lambda r: r.kind)
+    def test_round_trip_identity(self, record):
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_kind_field_present(self):
+        d = record_to_dict(SendRecord(dst=1, nbytes=2))
+        assert d["kind"] == "send"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            record_from_dict({"kind": "teleport"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"duration": 1.0})

@@ -1,0 +1,118 @@
+"""Unit tests for the application catalogue and name parsing."""
+
+import pytest
+
+from repro.apps.registry import (
+    APP_FAMILIES,
+    TABLE3,
+    TABLE3_INSTANCES,
+    app_names,
+    build_app,
+    parse_name,
+    table3_targets,
+)
+
+
+class TestParseName:
+    def test_simple(self):
+        assert parse_name("CG-32") == ("CG", 32)
+
+    def test_family_with_dash(self):
+        assert parse_name("BT-MZ-128") == ("BT-MZ", 128)
+
+    def test_case_insensitive_family(self):
+        assert parse_name("cg-32") == ("CG", 32)
+
+    def test_whitespace_tolerated(self):
+        assert parse_name("  WRF-64 ") == ("WRF", 64)
+
+    def test_missing_nproc_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_name("CG")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown application family"):
+            parse_name("LINPACK-32")
+
+
+class TestTargets:
+    @pytest.mark.parametrize("family", sorted(TABLE3))
+    def test_measured_sizes_exact(self, family):
+        for nproc, (lb_pct, pe_pct) in TABLE3[family].items():
+            lb, pe = table3_targets(family, nproc)
+            assert lb == pytest.approx(lb_pct / 100.0)
+            assert pe == pytest.approx(pe_pct / 100.0)
+
+    def test_extrapolation_in_range(self):
+        for family in TABLE3:
+            for nproc in (16, 48, 96, 256):
+                lb, pe = table3_targets(family, nproc)
+                assert 0.0 < pe <= lb <= 1.0
+
+    def test_imbalance_grows_with_scale_for_cg(self):
+        # CG has two measured points; the fitted law must interpolate
+        lb48, _ = table3_targets("CG", 48)
+        lb32, _ = table3_targets("CG", 32)
+        lb64, _ = table3_targets("CG", 64)
+        assert lb64 < lb48 < lb32
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            table3_targets("NOPE", 32)
+
+
+class TestBuildApp:
+    def test_builds_every_table3_instance(self):
+        for name in TABLE3_INSTANCES:
+            app = build_app(name, iterations=1)
+            assert app.name == name
+
+    def test_kwargs_forwarded(self):
+        app = build_app("CG-32", iterations=11, base_compute=0.05)
+        assert app.iterations == 11
+        assert app.base_compute == 0.05
+
+    def test_explicit_target_overrides(self):
+        app = build_app("CG-32", iterations=1, target_lb=0.5, target_pe=0.4)
+        assert app.target_lb == 0.5
+
+    def test_app_names_is_table3_order(self):
+        assert app_names() == TABLE3_INSTANCES
+        assert len(app_names()) == 12
+
+    def test_every_family_has_a_class(self):
+        assert set(APP_FAMILIES) == set(TABLE3)
+
+
+class TestNasClasses:
+    def test_class_scales_compute_volume(self):
+        c = build_app("CG-16", iterations=1)
+        a = build_app("CG-16", iterations=1, nas_class="A")
+        assert a.base_compute == pytest.approx(c.base_compute / 4)
+
+    def test_explicit_base_compute_wins(self):
+        app = build_app("CG-16", iterations=1, nas_class="S", base_compute=0.5)
+        assert app.base_compute == 0.5
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="NAS class"):
+            build_app("CG-16", nas_class="Z")
+
+    def test_normalized_results_scale_invariant(self):
+        """The whole pipeline is homogeneous in the compute volume: a
+        class-B run must give the same normalized energy/time as class C
+        (communication is recalibrated to the same LB/PE targets)."""
+        from repro.core.balancer import PowerAwareLoadBalancer
+        from repro.core.gears import uniform_gear_set
+
+        balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
+        r_c = balancer.balance_app(build_app("SPECFEM3D-32", iterations=2))
+        r_b = balancer.balance_app(
+            build_app("SPECFEM3D-32", iterations=2, nas_class="B")
+        )
+        assert r_b.normalized_energy == pytest.approx(
+            r_c.normalized_energy, abs=0.002
+        )
+        assert r_b.normalized_time == pytest.approx(r_c.normalized_time, abs=0.002)
+        # absolute time halves with the class-B volume
+        assert r_b.original_time == pytest.approx(r_c.original_time / 2, rel=0.02)

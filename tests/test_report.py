@@ -1,0 +1,110 @@
+"""Unit tests for tabular/CSV/SVG reporting."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.report import bar_chart_svg, format_table, write_csv
+
+ROWS = [
+    {"app": "CG-32", "energy": 100.0, "flag": True},
+    {"app": "IS-32", "energy": 44.71, "flag": False},
+]
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        text = format_table(["app", "energy"], ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "app" in lines[1] and "energy" in lines[1]
+        assert "CG-32" in lines[3]
+        assert "44.71" in lines[4]
+
+    def test_missing_value_dash(self):
+        text = format_table(["app", "other"], ROWS)
+        assert "-" in text
+
+    def test_decimals_control(self):
+        text = format_table(["energy"], ROWS, decimals=0)
+        assert "45" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["flag"], ROWS)
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["app", "energy"], ROWS)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["app"] == "CG-32"
+        assert float(rows[1]["energy"]) == pytest.approx(44.71)
+
+    def test_stream_output(self):
+        buf = io.StringIO()
+        write_csv(buf, ["app"], ROWS)
+        assert buf.getvalue().splitlines()[0] == "app"
+
+    def test_extra_keys_ignored(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["app"], ROWS)
+        header = path.read_text().splitlines()[0]
+        assert header == "app"
+
+
+class TestBarChart:
+    def test_valid_svg(self):
+        svg = bar_chart_svg(
+            "demo", ["a", "b"], {"energy": [50.0, 100.0], "edp": [60.0, 90.0]}
+        )
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= 4 + 2  # bars + legend swatches
+        assert "demo" in svg
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            bar_chart_svg("x", ["a", "b"], {"s": [1.0]})
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg("x", [], {"s": []})
+
+    def test_category_labels_rendered(self):
+        svg = bar_chart_svg("x", ["CG-32"], {"s": [1.0]})
+        assert "CG-32" in svg
+
+
+class TestHeatmap:
+    def test_valid_svg(self):
+        from repro.experiments.report import heatmap_svg
+
+        svg = heatmap_svg([[0.0, 1.0], [2.0, 0.5]], title="traffic")
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == 4
+        assert "traffic" in svg
+
+    def test_rectangular_required(self):
+        from repro.experiments.report import heatmap_svg
+
+        with pytest.raises(ValueError):
+            heatmap_svg([[1.0], [1.0, 2.0]])
+
+    def test_negative_rejected(self):
+        from repro.experiments.report import heatmap_svg
+
+        with pytest.raises(ValueError):
+            heatmap_svg([[-1.0]])
+
+    def test_zero_matrix_all_white(self):
+        from repro.experiments.report import heatmap_svg
+
+        svg = heatmap_svg([[0.0, 0.0]])
+        assert svg.count("#ffffff") == 2

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.simx.engine import Engine
+from repro.simx.errors import ScheduleError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(3.0, seen.append, "c")
+        eng.schedule(1.0, seen.append, "a")
+        eng.schedule(2.0, seen.append, "b")
+        eng.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        eng = Engine()
+        seen = []
+        for label in "abcde":
+            eng.schedule(1.0, seen.append, label)
+        eng.run()
+        assert seen == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        times = []
+        eng.schedule(2.5, lambda: times.append(eng.now))
+        eng.run()
+        assert times == [2.5]
+        assert eng.now == 2.5
+
+    def test_nested_scheduling_from_callback(self):
+        eng = Engine()
+        seen = []
+
+        def first():
+            seen.append(("first", eng.now))
+            eng.schedule(1.0, lambda: seen.append(("second", eng.now)))
+
+        eng.schedule(1.0, first)
+        eng.run()
+        assert seen == [("first", 1.0), ("second", 2.0)]
+
+    def test_zero_delay_runs_at_current_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(0.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [0.0]
+
+    def test_schedule_at_absolute_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(5.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ScheduleError):
+            eng.schedule(-1.0, lambda: None)
+
+    def test_nan_and_inf_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ScheduleError):
+            eng.schedule(math.nan, lambda: None)
+        with pytest.raises(ScheduleError):
+            eng.schedule(math.inf, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(ScheduleError):
+            eng.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        seen = []
+        timer = eng.schedule(1.0, seen.append, "x")
+        timer.cancel()
+        eng.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        timer = eng.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        eng.run()
+
+    def test_pending_ignores_cancelled(self):
+        eng = Engine()
+        t1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+        t1.cancel()
+        assert eng.pending == 1
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_horizon(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.0, seen.append, "a")
+        eng.schedule(10.0, seen.append, "b")
+        eng.run(until=5.0)
+        assert seen == ["a"]
+        assert eng.now == 5.0
+        eng.run()
+        assert seen == ["a", "b"]
+
+    def test_max_events_guard_raises(self):
+        eng = Engine()
+
+        def loop():
+            eng.schedule(1.0, loop)
+
+        eng.schedule(1.0, loop)
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=100)
+
+    def test_step_returns_false_when_drained(self):
+        eng = Engine()
+        assert eng.step() is False
+        eng.schedule(1.0, lambda: None)
+        assert eng.step() is True
+        assert eng.step() is False
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+    def test_empty_run_is_noop(self):
+        eng = Engine()
+        eng.run()
+        assert eng.now == 0.0

@@ -1,0 +1,208 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.simx.engine import Engine
+from repro.simx.errors import DeadlockError, ProcessFailure, SimulationError
+from repro.simx.process import Hold, Process, Signal, WaitSignal, run_processes
+
+
+class TestHold:
+    def test_hold_advances_virtual_time(self):
+        eng = Engine()
+        times = []
+
+        def prog():
+            yield Hold(1.5)
+            times.append(eng.now)
+            yield Hold(2.5)
+            times.append(eng.now)
+
+        Process(eng, prog())
+        eng.run()
+        assert times == [1.5, 4.0]
+
+    def test_zero_hold_allowed(self):
+        eng = Engine()
+
+        def prog():
+            yield Hold(0.0)
+            return "done"
+
+        proc = Process(eng, prog())
+        eng.run()
+        assert proc.finished
+        assert proc.done.value == "done"
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            Hold(-0.1)
+
+
+class TestSignal:
+    def test_waiter_resumes_with_trigger_value(self):
+        eng = Engine()
+        sig = Signal("s")
+        got = []
+
+        def waiter():
+            value = yield WaitSignal(sig)
+            got.append((value, eng.now))
+
+        def firer():
+            yield Hold(3.0)
+            sig.trigger("payload")
+
+        Process(eng, waiter())
+        Process(eng, firer())
+        eng.run()
+        assert got == [("payload", 3.0)]
+
+    def test_wait_on_already_triggered_signal_is_immediate(self):
+        eng = Engine()
+        sig = Signal()
+        sig.trigger(42)
+
+        def prog():
+            value = yield WaitSignal(sig)
+            return value
+
+        proc = Process(eng, prog())
+        eng.run()
+        assert proc.done.value == 42
+        assert eng.now == 0.0
+
+    def test_multiple_waiters_all_wake(self):
+        eng = Engine()
+        sig = Signal()
+        woke = []
+
+        def waiter(i):
+            yield WaitSignal(sig)
+            woke.append(i)
+
+        for i in range(5):
+            Process(eng, waiter(i))
+        eng.schedule(1.0, sig.trigger, None)
+        eng.run()
+        assert woke == [0, 1, 2, 3, 4]
+
+    def test_double_trigger_rejected(self):
+        sig = Signal("x")
+        sig.trigger(1)
+        with pytest.raises(SimulationError, match="twice"):
+            sig.trigger(2)
+
+    def test_value_before_trigger_rejected(self):
+        sig = Signal("y")
+        with pytest.raises(SimulationError):
+            _ = sig.value
+
+    def test_yield_bare_signal_shorthand(self):
+        eng = Engine()
+        sig = Signal()
+        sig.trigger("ok")
+
+        def prog():
+            value = yield sig
+            return value
+
+        proc = Process(eng, prog())
+        eng.run()
+        assert proc.done.value == "ok"
+
+
+class TestProcessLifecycle:
+    def test_done_signal_carries_return_value(self):
+        eng = Engine()
+
+        def prog():
+            yield Hold(1.0)
+            return {"answer": 42}
+
+        proc = Process(eng, prog())
+        eng.run()
+        assert proc.done.value == {"answer": 42}
+
+    def test_chained_processes_via_done(self):
+        eng = Engine()
+        order = []
+
+        def first():
+            yield Hold(1.0)
+            order.append("first")
+            return "from-first"
+
+        def second(first_proc):
+            value = yield WaitSignal(first_proc.done)
+            order.append(f"second-got-{value}")
+
+        p1 = Process(eng, first())
+        Process(eng, second(p1))
+        eng.run()
+        assert order == ["first", "second-got-from-first"]
+
+    def test_failing_process_raises_wrapped(self):
+        eng = Engine()
+
+        def prog():
+            yield Hold(1.0)
+            raise ValueError("boom")
+
+        Process(eng, prog(), name="bad-rank")
+        with pytest.raises(ProcessFailure, match="bad-rank"):
+            eng.run()
+
+    def test_unknown_command_raises(self):
+        eng = Engine()
+
+        def prog():
+            yield "not-a-command"
+
+        Process(eng, prog(), name="weird")
+        with pytest.raises(ProcessFailure, match="unknown command"):
+            eng.run()
+
+    def test_blocked_on_reports_wait_reason(self):
+        eng = Engine()
+        sig = Signal("never")
+
+        def prog():
+            yield WaitSignal(sig)
+
+        proc = Process(eng, prog())
+        eng.run()
+        assert not proc.finished
+        assert "never" in proc.blocked_on
+
+
+class TestRunProcesses:
+    def test_returns_name_to_value_map(self):
+        eng = Engine()
+
+        def prog(v):
+            yield Hold(1.0)
+            return v
+
+        results = run_processes(eng, [("a", prog(1)), ("b", prog(2))])
+        assert results == {"a": 1, "b": 2}
+
+    def test_deadlock_detected_and_reported(self):
+        eng = Engine()
+        sig = Signal("orphan")
+
+        def stuck():
+            yield WaitSignal(sig)
+
+        with pytest.raises(DeadlockError, match="orphan"):
+            run_processes(eng, [("stuck", stuck())])
+
+    def test_empty_generator_finishes_immediately(self):
+        eng = Engine()
+
+        def empty():
+            return
+            yield  # pragma: no cover
+
+        results = run_processes(eng, [("e", empty())])
+        assert results == {"e": None}

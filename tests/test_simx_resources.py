@@ -1,0 +1,96 @@
+"""Unit tests for the FIFO capacity resource."""
+
+import pytest
+
+from repro.simx.engine import Engine
+from repro.simx.errors import SimulationError
+from repro.simx.process import Hold, Process, WaitSignal
+from repro.simx.resources import Resource
+
+
+def worker(engine, resource, duration, log, label):
+    grant = resource.acquire()
+    yield WaitSignal(grant)
+    log.append((label, "start", engine.now))
+    yield Hold(duration)
+    resource.release()
+    log.append((label, "end", engine.now))
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        log = []
+        for label in "ab":
+            Process(eng, worker(eng, res, 2.0, log, label))
+        eng.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 2.0),
+            ("b", "start", 2.0),
+            ("b", "end", 4.0),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        log = []
+        for label in "abc":
+            Process(eng, worker(eng, res, 2.0, log, label))
+        eng.run()
+        starts = {label: t for label, kind, t in log if kind == "start"}
+        assert starts == {"a": 0.0, "b": 0.0, "c": 2.0}
+
+    def test_fifo_order(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        log = []
+        for label in "abcd":
+            Process(eng, worker(eng, res, 1.0, log, label))
+        eng.run()
+        start_order = [label for label, kind, _ in log if kind == "start"]
+        assert start_order == ["a", "b", "c", "d"]
+
+    def test_immediate_grant_when_free(self):
+        eng = Engine()
+        res = Resource(eng, capacity=3)
+        grant = res.acquire()
+        assert grant.triggered
+        assert res.in_use == 1
+        assert res.available == 2
+
+    def test_release_hands_to_waiter(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        first = res.acquire()
+        second = res.acquire()
+        assert first.triggered and not second.triggered
+        assert res.queued == 1
+        res.release()
+        eng.run()
+        assert second.triggered
+        assert res.in_use == 1  # ownership passed, not freed
+
+    def test_over_release_rejected(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        res.acquire()
+        res.release()
+        with pytest.raises(SimulationError, match="more times"):
+            res.release()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+    def test_counters_consistent_through_churn(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        log = []
+        for i in range(7):
+            Process(eng, worker(eng, res, 0.5 * (i + 1), log, str(i)))
+        eng.run()
+        assert res.in_use == 0
+        assert res.queued == 0
+        assert len([1 for _, kind, _ in log if kind == "end"]) == 7

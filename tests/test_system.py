@@ -1,0 +1,96 @@
+"""Unit tests for the whole-system energy model."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+from repro.core.balancer import PowerAwareLoadBalancer
+from repro.core.gears import uniform_gear_set
+from repro.core.power import CpuPowerModel
+from repro.core.system import SystemPowerModel
+from repro.experiments.fig9 import avg_discrete_set
+
+
+class TestModel:
+    def test_rest_of_node_from_cpu_fraction(self):
+        model = SystemPowerModel(cpu_fraction=0.5)
+        assert model.rest_of_node_power == pytest.approx(
+            model.cpu_model.reference_power()
+        )
+
+    def test_fraction_one_means_no_rest(self):
+        model = SystemPowerModel(cpu_fraction=1.0)
+        assert model.rest_of_node_power == 0.0
+
+    def test_smaller_cpu_fraction_more_rest_power(self):
+        low = SystemPowerModel(cpu_fraction=0.45)
+        high = SystemPowerModel(cpu_fraction=0.55)
+        assert low.rest_of_node_power > high.rest_of_node_power
+
+    def test_system_energy_formula(self):
+        model = SystemPowerModel(cpu_fraction=0.5)
+        e = model.system_energy(cpu_energy=10.0, execution_time=2.0, nproc=4)
+        assert e == pytest.approx(10.0 + model.rest_of_node_power * 8.0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SystemPowerModel(cpu_fraction=0.0)
+        with pytest.raises(ValueError):
+            SystemPowerModel(cpu_fraction=1.5)
+
+    def test_bad_energy_args_rejected(self):
+        model = SystemPowerModel()
+        with pytest.raises(ValueError):
+            model.system_energy(-1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            model.system_energy(1.0, 1.0, 0)
+
+    def test_custom_cpu_model_propagates(self):
+        pm = CpuPowerModel(static_fraction=0.4)
+        model = SystemPowerModel(cpu_model=pm, cpu_fraction=0.5)
+        assert model.rest_of_node_power == pytest.approx(pm.reference_power())
+
+
+class TestView:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        trace = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6)).trace_app(
+            build_app("SPECFEM3D-96", iterations=2)
+        )
+        rmax = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6)).balance_trace(
+            trace, algorithm=MaxAlgorithm()
+        )
+        ravg = PowerAwareLoadBalancer(gear_set=avg_discrete_set()).balance_trace(
+            trace, algorithm=AvgAlgorithm()
+        )
+        return rmax, ravg
+
+    def test_system_normalization_between_cpu_and_time(self, reports):
+        """System energy normalization interpolates CPU energy and time."""
+        rmax, _ = reports
+        view = SystemPowerModel(cpu_fraction=0.5).view(rmax)
+        lo = min(rmax.normalized_energy, rmax.normalized_time)
+        hi = max(rmax.normalized_energy, rmax.normalized_time)
+        assert lo - 1e-9 <= view.normalized_system_energy <= hi + 1e-9
+
+    def test_avg_gains_on_system_energy(self, reports):
+        """The paper's closing argument: AVG's time cut pays off at the
+        system level even though MAX wins on CPU energy alone."""
+        rmax, ravg = reports
+        model = SystemPowerModel(cpu_fraction=0.45)
+        gap_cpu = ravg.normalized_energy - rmax.normalized_energy
+        gap_system = (
+            model.view(ravg).normalized_system_energy
+            - model.view(rmax).normalized_system_energy
+        )
+        assert gap_cpu > 0  # MAX better on CPU energy
+        assert gap_system < gap_cpu  # AVG closes the gap at system level
+
+    def test_row_fields(self, reports):
+        rmax, _ = reports
+        row = SystemPowerModel().view(rmax).row()
+        assert set(row) >= {
+            "normalized_system_energy",
+            "normalized_system_edp",
+            "normalized_time",
+        }

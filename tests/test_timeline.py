@@ -1,0 +1,96 @@
+"""Unit tests for ASCII/SVG timeline rendering."""
+
+import pytest
+
+from repro.apps import vmpi
+from repro.netsim.simulator import MpiSimulator
+from repro.traces.timeline import ascii_timeline, compute_fraction, svg_timeline
+
+
+@pytest.fixture()
+def run_result(fast_platform):
+    programs = [
+        [vmpi.compute(1.0), vmpi.barrier(), vmpi.compute(0.5)],
+        [vmpi.compute(2.0), vmpi.barrier(), vmpi.compute(0.5)],
+    ]
+    return MpiSimulator(platform=fast_platform).run(
+        programs, record_intervals=True
+    )
+
+
+class TestAscii:
+    def test_one_row_per_rank(self, run_result):
+        text = ascii_timeline(run_result, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert lines[1].startswith("r0")
+        assert lines[2].startswith("r1")
+
+    def test_compute_and_wait_glyphs(self, run_result):
+        text = ascii_timeline(run_result, width=40)
+        r0 = text.splitlines()[1]
+        assert "#" in r0 and "." in r0
+
+    def test_busy_rank_has_no_wait(self, run_result):
+        r1 = ascii_timeline(run_result, width=40).splitlines()[2]
+        assert "." not in r1.split("|")[1]
+
+    def test_detailed_mode_distinguishes_kinds(self, fast_platform):
+        programs = [
+            [vmpi.compute(1.0), vmpi.send(1, 2048)],
+            [vmpi.recv(0)],
+        ]
+        result = MpiSimulator(platform=fast_platform).run(
+            programs, record_intervals=True
+        )
+        text = ascii_timeline(result, width=40, detailed=True)
+        assert "r" in text.splitlines()[2]  # recv glyph on rank 1's row
+
+    def test_rank_subsampling(self, fast_platform):
+        programs = [[vmpi.compute(1.0)] for _ in range(64)]
+        result = MpiSimulator(platform=fast_platform).run(
+            programs, record_intervals=True
+        )
+        text = ascii_timeline(result, width=40, max_ranks=8)
+        assert len(text.splitlines()) <= 9
+
+    def test_requires_intervals(self, fast_platform):
+        result = MpiSimulator(platform=fast_platform).run([[vmpi.compute(1.0)]])
+        with pytest.raises(ValueError, match="record_intervals"):
+            ascii_timeline(result)
+
+    def test_narrow_width_rejected(self, run_result):
+        with pytest.raises(ValueError):
+            ascii_timeline(run_result, width=5)
+
+
+class TestSvg:
+    def test_valid_svg_document(self, run_result):
+        svg = svg_timeline(run_result, title="test run")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "test run" in svg
+        assert svg.count("<rect") >= 4
+
+    def test_rank_labels_present(self, run_result):
+        svg = svg_timeline(run_result)
+        assert ">r0<" in svg and ">r1<" in svg
+
+    def test_subsampling(self, fast_platform):
+        programs = [[vmpi.compute(1.0)] for _ in range(32)]
+        result = MpiSimulator(platform=fast_platform).run(
+            programs, record_intervals=True
+        )
+        svg = svg_timeline(result, max_ranks=4)
+        assert svg.count("<rect") == 4
+
+
+class TestComputeFraction:
+    def test_fraction_definition(self, run_result):
+        # total compute 4.0 over 2 ranks * exec time
+        expected = 4.0 / (2 * run_result.execution_time)
+        assert compute_fraction(run_result) == pytest.approx(expected)
+
+    def test_zero_run(self, fast_platform):
+        result = MpiSimulator(platform=fast_platform).run([[vmpi.compute(0.0)]])
+        assert compute_fraction(result) == 0.0

@@ -1,0 +1,123 @@
+"""Unit tests for the β time model (Eq. 3) and its inversion."""
+
+import math
+
+import pytest
+
+from repro.core.timemodel import (
+    BetaTimeModel,
+    required_frequency,
+    scaled_time,
+    time_ratio,
+)
+
+FMAX = 2.3
+
+
+class TestTimeRatio:
+    def test_nominal_frequency_is_unity(self):
+        assert time_ratio(FMAX, FMAX, 0.5) == pytest.approx(1.0)
+
+    def test_beta_one_halving_frequency_doubles_time(self):
+        # the paper's exact statement of beta = 1
+        assert time_ratio(FMAX / 2, FMAX, 1.0) == pytest.approx(2.0)
+
+    def test_beta_zero_frequency_irrelevant(self):
+        assert time_ratio(0.5, FMAX, 0.0) == pytest.approx(1.0)
+        assert time_ratio(FMAX, FMAX, 0.0) == pytest.approx(1.0)
+
+    def test_beta_half_at_half_frequency(self):
+        assert time_ratio(FMAX / 2, FMAX, 0.5) == pytest.approx(1.5)
+
+    def test_overclock_shrinks_ratio(self):
+        assert time_ratio(FMAX * 1.2, FMAX, 0.5) < 1.0
+
+    def test_memory_bound_floor(self):
+        # as f -> inf the ratio tends to 1 - beta
+        assert time_ratio(1e9, FMAX, 0.4) == pytest.approx(0.6, abs=1e-6)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            time_ratio(0.0, FMAX, 0.5)
+        with pytest.raises(ValueError):
+            time_ratio(1.0, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            time_ratio(1.0, FMAX, 1.5)
+
+
+class TestScaledTime:
+    def test_scales_linearly_in_base_time(self):
+        assert scaled_time(4.0, FMAX / 2, FMAX, 0.5) == pytest.approx(6.0)
+
+    def test_zero_time_stays_zero(self):
+        assert scaled_time(0.0, 1.0, FMAX, 0.5) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_time(-1.0, 1.0, FMAX, 0.5)
+
+
+class TestRequiredFrequency:
+    def test_target_equals_base_needs_fmax(self):
+        assert required_frequency(2.0, 2.0, FMAX, 0.5) == pytest.approx(FMAX)
+
+    def test_inversion_round_trips(self):
+        for beta in (0.3, 0.5, 0.8, 1.0):
+            for stretch in (1.0, 1.3, 2.0, 4.0):
+                f = required_frequency(1.0, stretch, FMAX, beta)
+                assert scaled_time(1.0, f, FMAX, beta) == pytest.approx(stretch)
+
+    def test_faster_target_needs_overclock(self):
+        f = required_frequency(2.0, 1.8, FMAX, 0.5)
+        assert f > FMAX
+
+    def test_unattainable_target_is_inf(self):
+        # ratio <= 1 - beta cannot be reached at any finite frequency
+        assert required_frequency(2.0, 0.9, FMAX, 0.5) == math.inf
+
+    def test_boundary_target_is_inf(self):
+        assert required_frequency(2.0, 1.0 - 0.5, FMAX, 0.5) == math.inf
+
+    def test_empty_phase_needs_nothing(self):
+        assert required_frequency(0.0, 1.0, FMAX, 0.5) == 0.0
+
+    def test_zero_target_with_work_is_inf(self):
+        assert required_frequency(1.0, 0.0, FMAX, 0.5) == math.inf
+
+    def test_beta_zero_any_or_nothing(self):
+        assert required_frequency(1.0, 1.0, FMAX, 0.0) == 0.0
+        assert required_frequency(1.0, 2.0, FMAX, 0.0) == 0.0
+        assert required_frequency(1.0, 0.99, FMAX, 0.0) == math.inf
+
+    def test_lower_beta_needs_lower_frequency(self):
+        # memory-bound codes can slow the clock much further (§5.3.3)
+        f_mem = required_frequency(1.0, 1.5, FMAX, 0.3)
+        f_cpu = required_frequency(1.0, 1.5, FMAX, 0.9)
+        assert f_mem < f_cpu
+
+
+class TestBetaTimeModel:
+    def test_defaults(self):
+        model = BetaTimeModel(fmax=FMAX)
+        assert model.beta == 0.5
+
+    def test_scale_and_frequency_for_consistent(self):
+        model = BetaTimeModel(fmax=FMAX, beta=0.6)
+        f = model.frequency_for(3.0, 4.5)
+        assert model.scale(3.0, f) == pytest.approx(4.5)
+
+    def test_per_call_beta_override(self):
+        model = BetaTimeModel(fmax=FMAX, beta=0.5)
+        assert model.ratio(FMAX / 2, beta=1.0) == pytest.approx(2.0)
+
+    def test_min_time_at_ceiling(self):
+        model = BetaTimeModel(fmax=FMAX, beta=0.5)
+        assert model.min_time_at(2.0, FMAX * 1.2) == pytest.approx(
+            scaled_time(2.0, FMAX * 1.2, FMAX, 0.5)
+        )
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            BetaTimeModel(fmax=0.0)
+        with pytest.raises(ValueError):
+            BetaTimeModel(fmax=FMAX, beta=2.0)

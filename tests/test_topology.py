@@ -1,0 +1,122 @@
+"""Unit tests for network topologies."""
+
+import pytest
+
+from repro.apps import vmpi
+from repro.netsim.platform import PlatformConfig
+from repro.netsim.simulator import MpiSimulator
+from repro.netsim.topology import (
+    FatTree,
+    FlatTopology,
+    Mesh2D,
+    Torus2D,
+    with_topology,
+)
+
+
+class TestFlat:
+    def test_one_hop_between_nodes(self):
+        t = FlatTopology()
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 7) == 1
+
+
+class TestMesh2D:
+    def test_manhattan_distance(self):
+        mesh = Mesh2D(16)  # 4x4
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 1) == 1
+        assert mesh.hops(0, 5) == 2  # (0,0)->(1,1)
+        assert mesh.hops(0, 15) == 6  # corner to corner
+
+    def test_non_square_factorisation(self):
+        mesh = Mesh2D(12)  # 3x4
+        assert mesh.hops(0, 11) == 2 + 3
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(4).hops(0, 9)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0)
+
+
+class TestTorus2D:
+    def test_wraparound_shortens(self):
+        mesh, torus = Mesh2D(16), Torus2D(16)
+        assert mesh.hops(0, 3) == 3
+        assert torus.hops(0, 3) == 1  # wrap in the row
+        assert torus.hops(0, 12) == 1  # wrap in the column
+
+    def test_torus_never_longer_than_mesh(self):
+        mesh, torus = Mesh2D(16), Torus2D(16)
+        for a in range(16):
+            for b in range(16):
+                assert torus.hops(a, b) <= mesh.hops(a, b)
+
+
+class TestFatTree:
+    def test_leaf_locality(self):
+        ft = FatTree(leaf_size=4)
+        assert ft.hops(0, 3) == 1
+        assert ft.hops(0, 4) == 3
+        assert ft.hops(5, 5) == 0
+
+    def test_bad_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(leaf_size=0)
+
+
+class TestTopologyPlatform:
+    def base(self):
+        return PlatformConfig(
+            latency=1e-4, bandwidth=1e9, cpus_per_node=1,
+            send_overhead=0.0, recv_overhead=0.0, intra_node_speedup=1.0,
+        )
+
+    def test_latency_scales_with_hops(self):
+        platform = with_topology(self.base(), Mesh2D(16))
+        near = platform.transfer_time(0, 0, 1)
+        far = platform.transfer_time(0, 0, 15)
+        assert far == pytest.approx(6 * near)
+
+    def test_bandwidth_unaffected(self):
+        platform = with_topology(self.base(), Mesh2D(16))
+        t = platform.transfer_time(10**6, 0, 15)
+        assert t == pytest.approx(6e-4 + 10**6 / 1e9)
+
+    def test_intra_node_keeps_base_behaviour(self):
+        base = PlatformConfig(
+            latency=1e-4, bandwidth=1e9, cpus_per_node=4,
+            send_overhead=0.0, recv_overhead=0.0, intra_node_speedup=2.0,
+        )
+        platform = with_topology(base, Mesh2D(4))
+        assert platform.transfer_time(0, 0, 1) == base.transfer_time(0, 0, 1)
+
+    def test_name_composed(self):
+        platform = with_topology(self.base(), Torus2D(4))
+        assert "torus2d" in platform.name
+
+    def test_simulation_runs_on_topology_platform(self):
+        platform = with_topology(self.base(), Mesh2D(4))
+        sim = MpiSimulator(platform=platform)
+        result = sim.run(
+            [[vmpi.send(3, 100)], [vmpi.compute(0.0)], [vmpi.compute(0.0)],
+             [vmpi.recv(0)]]
+        )
+        # 0 -> 3 on a 2x2 mesh: 2 hops
+        assert result.end_times[3] == pytest.approx(2e-4 + 100 / 1e9)
+
+    def test_distant_ranks_pay_more_in_practice(self):
+        flat = MpiSimulator(platform=self.base())
+        meshy = MpiSimulator(platform=with_topology(self.base(), Mesh2D(16)))
+        programs = lambda: [
+            [vmpi.send(15, 1000)] if r == 0
+            else ([vmpi.recv(0)] if r == 15 else [vmpi.compute(0.0)])
+            for r in range(16)
+        ]
+        assert (
+            meshy.run(programs()).execution_time
+            > flat.run(programs()).execution_time
+        )
