@@ -1,0 +1,81 @@
+"""Campaign engine — serial vs parallel vs warm-cache wall-clock.
+
+Three runs of the same reduced campaign (compute-heavy, cacheable
+experiments over four Table-3 instances):
+
+* ``serial_cold``   — ``jobs=1``, no persistent cache (the old engine);
+* ``parallel_cold`` — ``jobs=4`` sharing a cold persistent cache;
+* ``warm_cache``    — ``jobs=1`` on a fully primed cache.
+
+The warm run must beat the cold serial run by at least 3× (in
+practice it is >10×: every trace simulation and replay is skipped, so
+only report formatting remains).  Timings are recorded through
+pytest-benchmark like every other ``bench_*`` module, so the perf
+trajectory tracks all three.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import reproduce_all
+from repro.experiments.runner import RunnerConfig
+
+CAMPAIGN_CONFIG = RunnerConfig(
+    iterations=3,
+    apps=("BT-MZ-32", "CG-64", "SPECFEM3D-96", "PEPC-128"),
+)
+EXPERIMENTS = ("fig2", "fig3", "fig9", "table3")
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+
+def _campaign(outdir, jobs, cache_dir):
+    manifest = reproduce_all(
+        outdir,
+        CAMPAIGN_CONFIG,
+        experiments=EXPERIMENTS,
+        echo=lambda *args: None,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    assert manifest["errors"] == 0
+    assert set(manifest["experiments"]) == set(EXPERIMENTS)
+    return manifest
+
+
+def test_campaign_serial_cold(benchmark, tmp_path):
+    manifest = benchmark.pedantic(
+        lambda: _campaign(tmp_path / "out", 1, None), rounds=1, iterations=1
+    )
+    _TIMINGS["serial_cold"] = manifest["wall_seconds"]
+    assert manifest["cache"]["enabled"] is False
+
+
+def test_campaign_parallel_cold(benchmark, tmp_path):
+    manifest = benchmark.pedantic(
+        lambda: _campaign(tmp_path / "out", 4, tmp_path / "cache"),
+        rounds=1,
+        iterations=1,
+    )
+    _TIMINGS["parallel_cold"] = manifest["wall_seconds"]
+    assert manifest["jobs"] == 4
+    assert manifest["cache"]["misses"] > 0
+
+
+def test_campaign_warm_cache(benchmark, tmp_path):
+    cache = tmp_path / "cache"
+    _campaign(tmp_path / "prime", 1, cache)  # prime every entry
+    manifest = benchmark.pedantic(
+        lambda: _campaign(tmp_path / "out", 1, cache), rounds=1, iterations=1
+    )
+    _TIMINGS["warm_cache"] = manifest["wall_seconds"]
+    assert manifest["cache"]["misses"] == 0
+    assert manifest["cache"]["hits"] > 0
+
+    cold = _TIMINGS.get("serial_cold")
+    if cold is not None:  # full-file run: assert the headline speedup
+        warm = _TIMINGS["warm_cache"]
+        assert warm * 3.0 <= cold, (
+            f"warm-cache campaign ({warm:.2f}s) is not 3x faster than "
+            f"cold serial ({cold:.2f}s)"
+        )

@@ -12,6 +12,14 @@ Run:  python examples/cluster_scaling.py [FAMILY] [--sizes 32,48,64,96,128]
 
 import argparse
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import MaxAlgorithm, PowerAwareLoadBalancer, build_app, uniform_gear_set
 from repro.experiments.report import format_table
 

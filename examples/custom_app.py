@@ -13,6 +13,14 @@ Shows the full user workflow on a hand-written rank program — a toy
 Run:  python examples/custom_app.py
 """
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import (
     AvgAlgorithm,
     MaxAlgorithm,

@@ -18,6 +18,14 @@ It also prints the regularity diagnosis from
 Run:  python examples/dynamic_runtimes.py
 """
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import MpiSimulator, PowerAwareLoadBalancer, build_app, uniform_gear_set
 from repro.core.dynamic import CommPhaseScalingRuntime, JitterRuntime
 from repro.experiments.report import format_table

@@ -13,6 +13,14 @@ Run:  python examples/gear_set_design.py [APP] [--svg out.svg]
 
 import argparse
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import (
     MaxAlgorithm,
     PowerAwareLoadBalancer,

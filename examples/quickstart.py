@@ -9,6 +9,14 @@ the paper is made of.
 Run:  python examples/quickstart.py
 """
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import (
     AvgAlgorithm,
     MaxAlgorithm,

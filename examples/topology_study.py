@@ -20,6 +20,14 @@ Run:  python examples/topology_study.py [APP]
 import argparse
 from dataclasses import replace
 
+try:  # running from a source checkout without installation
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import MaxAlgorithm, PowerAwareLoadBalancer, build_app, uniform_gear_set
 from repro.experiments.report import format_table
 from repro.netsim.platform import MYRINET_LIKE

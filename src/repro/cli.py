@@ -4,6 +4,7 @@
 
     repro list                          # available experiments
     repro run fig2 [--csv f.csv]        # regenerate a table/figure
+    repro reproduce-all --out results --jobs 4   # parallel campaign
     repro balance BT-MZ-32 --gears uniform:6 --algorithm max
     repro trace CG-32 -o cg32.jsonl     # record a skeleton trace
     repro timeline BT-MZ-32             # ASCII Fig.1-style timeline
@@ -229,8 +230,22 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     experiments = None
     if args.experiments:
         experiments = tuple(e.strip() for e in args.experiments.split(","))
-    reproduce_all(args.out, _config_from(args), experiments=experiments)
-    return 0
+    cache_dir = None
+    if not args.no_cache:
+        if args.cache_dir:
+            cache_dir = args.cache_dir
+        else:
+            from repro.experiments.cache import default_cache_dir
+
+            cache_dir = default_cache_dir()
+    manifest = reproduce_all(
+        args.out,
+        _config_from(args),
+        experiments=experiments,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    return 1 if manifest["errors"] else 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -326,6 +341,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_all.add_argument("--platform", help="platform JSON file")
     p_all.add_argument(
         "--experiments", help="comma-separated experiment-id subset"
+    )
+    p_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (<=0 means one per CPU; default 1)",
+    )
+    p_all.add_argument(
+        "--cache-dir",
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p_all.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
     )
     p_all.set_defaults(fn=_cmd_reproduce_all)
 

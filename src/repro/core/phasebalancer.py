@@ -25,8 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
-import numpy as np
-
 from repro.core.algorithms import FrequencyAlgorithm, FrequencyAssignment, MaxAlgorithm
 from repro.core.energy import EnergyAccountant
 from repro.core.gears import Gear, GearSet, NOMINAL_FMAX

@@ -1,0 +1,206 @@
+"""Persistent, content-addressed result cache for experiment sweeps.
+
+The in-memory caches of :class:`repro.experiments.runner.Runner` die
+with the interpreter; every ``reproduce-all`` re-simulates traces and
+replays from scratch.  This module keeps those artifacts on disk,
+keyed by a stable SHA-256 digest of everything that can influence the
+result:
+
+* **traces** — (app, iterations, base_compute, platform);
+* **balance reports** — the trace key plus (gear set, algorithm, β,
+  power model).
+
+Keys are digests of canonical JSON, so two configs hash equal exactly
+when every physical parameter matches — gear *frequencies*, not just
+the set's display name, and the full platform dict, not just its
+label.  Blobs are pickles written atomically (temp file + rename), so
+a concurrent ``--jobs N`` campaign never observes a half-written
+entry; a corrupted or unreadable blob is treated as a miss and
+rewritten on the next store.
+
+Bump :data:`CACHE_VERSION` whenever a model change makes old blobs
+meaningless — the version is salted into every key, so stale entries
+are simply never hit again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.gears import ContinuousGearSet, DiscreteGearSet, GearSet
+from repro.core.power import CpuPowerModel
+from repro.netsim.config import platform_to_dict
+from repro.netsim.platform import PlatformConfig
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "describe_gear_set",
+    "describe_power_model",
+    "process_cache_stats",
+    "reset_process_cache_stats",
+]
+
+#: Salted into every key; bump on any change that invalidates old blobs.
+CACHE_VERSION = 1
+
+#: Process-wide hit/miss counters, aggregated across every
+#: :class:`ResultCache` instance (each experiment builds its own
+#: ``Runner``, hence its own cache handle — the campaign driver reads
+#: these to report per-experiment stats without threading the handle
+#: through every ``run()`` signature).
+_PROCESS_STATS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def process_cache_stats() -> dict[str, int]:
+    """Snapshot of the process-wide hit/miss/store counters."""
+    return dict(_PROCESS_STATS)
+
+
+def reset_process_cache_stats() -> None:
+    for key in _PROCESS_STATS:
+        _PROCESS_STATS[key] = 0
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# ----------------------------------------------------------------------
+# canonical descriptions of the key ingredients
+
+
+def describe_gear_set(gear_set: GearSet) -> dict[str, Any]:
+    """A JSON-able description that pins the set's physical content."""
+    if isinstance(gear_set, DiscreteGearSet):
+        return {
+            "kind": "discrete",
+            "name": gear_set.name,
+            "gears": [[g.frequency, g.voltage] for g in gear_set.gears],
+        }
+    if isinstance(gear_set, ContinuousGearSet):
+        law = gear_set.law
+        return {
+            "kind": "continuous",
+            "name": gear_set.name,
+            "fmin": gear_set.fmin,
+            "fmax": gear_set.fmax,
+            "law": [law.f0, law.v0, law.f1, law.v1],
+        }
+    # Unknown subclass: fall back to its envelope + name.  Custom sets
+    # with identical envelopes but different selection rules should set
+    # distinct names (they already must, for reporting).
+    return {
+        "kind": type(gear_set).__name__,
+        "name": gear_set.name,
+        "fmin": gear_set.fmin,
+        "fmax": gear_set.fmax,
+    }
+
+
+def describe_power_model(model: CpuPowerModel | None) -> dict[str, Any]:
+    if model is None:
+        return {"kind": "default"}
+    law = model.law
+    return {
+        "kind": "cpu",
+        "activity_ratio": model.activity_ratio,
+        "static_fraction": model.static_fraction,
+        "nominal_fmax": model.nominal_fmax,
+        "law": [law.f0, law.v0, law.f1, law.v1],
+    }
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+class ResultCache:
+    """Content-addressed pickle store under one directory.
+
+    ``get``/``put`` take a *kind* (``"trace"`` / ``"report"``) and a
+    JSON-able payload describing every input; the payload is hashed
+    into the blob's filename, so lookups are a single ``open``.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self.cache_dir = Path(cache_dir).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def key(self, kind: str, payload: Any) -> str:
+        material = _canonical({"v": CACHE_VERSION, "kind": kind, "payload": payload})
+        return f"{kind}-{hashlib.sha256(material.encode()).hexdigest()}"
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, kind: str, payload: Any) -> Any | None:
+        """The cached object, or ``None`` on miss *or* corrupted blob."""
+        path = self._path(self.key(kind, payload))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            value = None
+        except Exception:
+            # truncated/garbled blob: a miss; the recompute's put() below
+            # overwrites it with a good one
+            value = None
+        if value is None:
+            self.misses += 1
+            _PROCESS_STATS["misses"] += 1
+            return None
+        self.hits += 1
+        _PROCESS_STATS["hits"] += 1
+        return value
+
+    def put(self, kind: str, payload: Any, value: Any) -> Path:
+        """Atomically persist ``value``; concurrent writers are safe."""
+        path = self._path(self.key(kind, payload))
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        _PROCESS_STATS["stores"] += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def entry_count(self) -> int:
+        try:
+            return sum(1 for _ in self.cache_dir.glob("*.pkl"))
+        except OSError:
+            return 0
+
+
+def platform_payload(platform: PlatformConfig) -> dict[str, Any]:
+    """The platform as a stable JSON-able dict (collectives included)."""
+    return platform_to_dict(platform)

@@ -9,6 +9,12 @@ baseline replays so sweeps don't re-simulate what cannot change:
 * energy integration alone depends on the power model — sweeps over
   static fraction / activity factor reuse replays via
   :meth:`repro.core.balancer.PowerAwareLoadBalancer.reaccount`.
+
+When :attr:`RunnerConfig.cache_dir` is set, both layers are also
+persisted on disk through :class:`repro.experiments.cache.ResultCache`,
+so a repeated sweep (or a parallel campaign's next process) starts from
+warm results instead of re-simulating.  Keys cover every physical
+input — see :mod:`repro.experiments.cache` for the invalidation rules.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ class RunnerConfig:
     beta: float = 0.5
     apps: tuple[str, ...] | None = None
     platform: PlatformConfig = MYRINET_LIKE
+    #: Directory for the persistent result cache; ``None`` disables it.
+    cache_dir: str | None = None
 
     def app_list(self) -> tuple[str, ...]:
         return self.apps if self.apps is not None else TABLE3_INSTANCES
@@ -93,19 +101,41 @@ class ExperimentResult:
 
 
 class Runner:
-    """Caching evaluator of study cells."""
+    """Caching evaluator of study cells (in-memory, optionally on-disk)."""
 
     def __init__(self, config: RunnerConfig | None = None):
+        from repro.experiments.cache import ResultCache
+
         self.config = config or RunnerConfig()
         self._traces: dict[tuple[str, float], Any] = {}
         self._reports: dict[tuple, BalanceReport] = {}
+        self.cache: ResultCache | None = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
 
     # ------------------------------------------------------------------
+    def _trace_payload(self, app_name: str) -> dict[str, Any]:
+        from repro.experiments.cache import platform_payload
+
+        cfg = self.config
+        return {
+            "app": app_name,
+            "iterations": cfg.iterations,
+            "base_compute": cfg.base_compute,
+            "platform": platform_payload(cfg.platform),
+        }
+
     def trace(self, app_name: str, beta: float | None = None):
         """The app's recorded trace (cached; β only matters for replays)."""
         cfg = self.config
         key = (app_name, cfg.iterations)
         trace = self._traces.get(key)
+        if trace is None and self.cache is not None:
+            trace = self.cache.get("trace", self._trace_payload(app_name))
+            if trace is not None:
+                self._traces[key] = trace
         if trace is None:
             app = build_app(
                 app_name,
@@ -118,6 +148,8 @@ class Runner:
             )
             trace = balancer.trace_app(app)
             self._traces[key] = trace
+            if self.cache is not None:
+                self.cache.put("trace", self._trace_payload(app_name), trace)
         return trace
 
     def _balancer(
@@ -159,16 +191,48 @@ class Runner:
             eff_beta,
         )
         cached = self._reports.get(key)
+        if cached is None and self.cache is not None:
+            payload = self._report_payload(app_name, gear_set, algorithm, eff_beta)
+            cached = self.cache.get("report", payload)
+            if cached is not None:
+                self._reports[key] = cached
         if cached is None:
             # cache entries always use the default power model; callers
             # with a custom model get a reaccounted copy below
             balancer = self._balancer(gear_set, algorithm, eff_beta, None)
             cached = balancer.balance_trace(self.trace(app_name), algorithm)
             self._reports[key] = cached
+            if self.cache is not None:
+                payload = self._report_payload(
+                    app_name, gear_set, algorithm, eff_beta
+                )
+                self.cache.put("report", payload, cached)
         if power_model is not None:
             balancer = self._balancer(gear_set, algorithm, eff_beta, power_model)
             return balancer.reaccount(cached, power_model)
         return cached
+
+    def _report_payload(
+        self,
+        app_name: str,
+        gear_set: GearSet,
+        algorithm: FrequencyAlgorithm,
+        beta: float,
+    ) -> dict[str, Any]:
+        from repro.experiments.cache import (
+            describe_gear_set,
+            describe_power_model,
+        )
+
+        return {
+            **self._trace_payload(app_name),
+            "gear_set": describe_gear_set(gear_set),
+            "algorithm": algorithm.name,
+            "beta": beta,
+            # the stored report is always on the default power model;
+            # custom models are reaccounted on top and never cached
+            "power_model": describe_power_model(None),
+        }
 
 
 def get_experiment(eid: str) -> Callable[[RunnerConfig | None], ExperimentResult]:

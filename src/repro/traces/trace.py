@@ -10,7 +10,6 @@ from repro.traces.records import (
     ComputeBurst,
     IrecvRecord,
     IsendRecord,
-    MarkerRecord,
     Record,
     RecvRecord,
     SendRecord,

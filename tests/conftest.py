@@ -15,6 +15,22 @@ from repro.netsim.platform import PlatformConfig
 from repro.netsim.simulator import MpiSimulator
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the default persistent cache at a throwaway directory so
+    tests never read or write ``~/.cache/repro``."""
+    import os
+
+    path = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture()
 def simulator() -> MpiSimulator:
     return MpiSimulator()

@@ -2,18 +2,29 @@
 """Regenerate tests/golden_results.json after a *deliberate* model change.
 
 Run, review the diff, and commit the new snapshot together with the
-change that motivated it.
+change that motivated it.  ``--check`` regenerates in memory and exits
+non-zero on drift instead of rewriting — CI runs this so a model
+change can never slip through without its snapshot.
 """
 
+import argparse
 import json
 import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a source checkout
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
 
 from repro.experiments.runner import RunnerConfig, get_experiment
 
 OUT = pathlib.Path(__file__).parent / "golden_results.json"
 
 
-def main() -> None:
+def regenerate() -> dict:
     cfg = RunnerConfig(iterations=3)
     golden = {"config": {"iterations": 3, "beta": 0.5}}
 
@@ -38,9 +49,38 @@ def main() -> None:
         ]
         for r in f9.rows
     }
+    return golden
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed snapshot; exit 1 on drift",
+    )
+    args = parser.parse_args()
+
+    golden = regenerate()
+    if args.check:
+        committed = json.loads(OUT.read_text())
+        if committed == golden:
+            print(f"{OUT} matches the current models")
+            return 0
+        print(
+            f"{OUT} has drifted from the current models; rerun "
+            f"tests/regen_golden.py and commit the diff",
+            file=sys.stderr,
+        )
+        for key in sorted(set(committed) | set(golden)):
+            if committed.get(key) != golden.get(key):
+                print(f"  drift in {key!r}", file=sys.stderr)
+        return 1
+
     OUT.write_text(json.dumps(golden, indent=2) + "\n")
     print(f"wrote {OUT}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Unit tests for the persistent result cache and the parallel campaign.
+
+Covers the invalidation contract (same config hits, any physical
+change misses), corruption tolerance, and the determinism of
+``reproduce_all`` across job counts.
+"""
+
+import copy
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.gears import uniform_gear_set
+from repro.experiments.cache import ResultCache, describe_gear_set
+from repro.experiments.campaign import reproduce_all
+from repro.experiments.runner import Runner, RunnerConfig
+
+FAST = dict(iterations=2)
+
+
+def make_runner(cache_dir, **overrides):
+    return Runner(RunnerConfig(**{**FAST, **overrides}, cache_dir=str(cache_dir)))
+
+
+class TestCacheHits:
+    def test_same_config_hits_with_identical_rows(self, tmp_path):
+        r1 = make_runner(tmp_path).balance("CG-16", uniform_gear_set(6))
+        runner = make_runner(tmp_path)  # fresh process-equivalent
+        r2 = runner.balance("CG-16", uniform_gear_set(6))
+        assert runner.cache.hits == 1 and runner.cache.misses == 0
+        assert r1 is not r2
+        assert r1.row() == r2.row()
+
+    def test_trace_shared_across_runners(self, tmp_path):
+        make_runner(tmp_path).trace("IS-16")
+        runner = make_runner(tmp_path)
+        runner.trace("IS-16")
+        assert runner.cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+
+    def test_changed_beta_misses(self, tmp_path):
+        make_runner(tmp_path).balance("CG-16", uniform_gear_set(6), beta=0.5)
+        runner = make_runner(tmp_path)
+        runner.balance("CG-16", uniform_gear_set(6), beta=0.9)
+        # the trace (β-independent) hits; the report misses
+        assert runner.cache.hits == 1
+        assert runner.cache.misses == 1
+
+    def test_changed_gear_set_misses(self, tmp_path):
+        make_runner(tmp_path).balance("CG-16", uniform_gear_set(6))
+        runner = make_runner(tmp_path)
+        runner.balance("CG-16", uniform_gear_set(8))
+        assert runner.cache.hits == 1  # trace
+        assert runner.cache.misses == 1  # report
+
+    def test_changed_platform_misses_everything(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.balance("CG-16", uniform_gear_set(6))
+        slow = dataclasses.replace(runner.config.platform, latency=5e-4)
+        other = make_runner(tmp_path, platform=slow)
+        other.balance("CG-16", uniform_gear_set(6))
+        assert other.cache.hits == 0
+        assert other.cache.misses == 2  # trace and report
+
+    def test_changed_iterations_misses_everything(self, tmp_path):
+        make_runner(tmp_path).balance("CG-16", uniform_gear_set(6))
+        other = make_runner(tmp_path, iterations=3)
+        other.balance("CG-16", uniform_gear_set(6))
+        assert other.cache.hits == 0
+        assert other.cache.misses == 2
+
+    def test_gear_set_description_pins_frequencies(self):
+        d6 = describe_gear_set(uniform_gear_set(6))
+        d8 = describe_gear_set(uniform_gear_set(8))
+        assert d6 != d8
+        assert d6 == describe_gear_set(uniform_gear_set(6))
+
+
+class TestCorruption:
+    def test_corrupted_blob_is_ignored_and_rewritten(self, tmp_path):
+        baseline = make_runner(tmp_path).balance("CG-16", uniform_gear_set(6))
+        blobs = list(tmp_path.glob("*.pkl"))
+        assert blobs
+        for blob in blobs:
+            blob.write_bytes(b"\x00garbage, not a pickle")
+
+        runner = make_runner(tmp_path)
+        recomputed = runner.balance("CG-16", uniform_gear_set(6))
+        assert runner.cache.hits == 0
+        assert runner.cache.misses == 2
+        assert recomputed.row() == baseline.row()
+
+        # the recompute rewrote good blobs: a third runner hits again
+        third = make_runner(tmp_path)
+        assert third.balance("CG-16", uniform_gear_set(6)).row() == baseline.row()
+        assert third.cache.hits == 1
+
+    def test_missing_dir_is_created_lazily(self, tmp_path):
+        cache = ResultCache(tmp_path / "does" / "not" / "exist")
+        assert cache.get("report", {"k": 1}) is None
+        cache.put("report", {"k": 1}, {"v": 2})
+        assert cache.get("report", {"k": 1}) == {"v": 2}
+
+
+class TestCampaignJobs:
+    EXPERIMENTS = ("table_gears", "fig3", "table3")
+    CONFIG = RunnerConfig(iterations=2, apps=("BT-MZ-32", "CG-32"))
+
+    @staticmethod
+    def _normalized(manifest):
+        m = copy.deepcopy(manifest)
+        m.pop("wall_seconds")
+        m.pop("jobs")
+        for entry in m["experiments"].values():
+            entry.pop("seconds")
+        return m
+
+    def test_jobs4_manifest_matches_jobs1(self, tmp_path):
+        quiet = lambda *args: None  # noqa: E731
+        serial = reproduce_all(
+            tmp_path / "serial", self.CONFIG,
+            experiments=self.EXPERIMENTS, echo=quiet, jobs=1,
+        )
+        parallel = reproduce_all(
+            tmp_path / "parallel", self.CONFIG,
+            experiments=self.EXPERIMENTS, echo=quiet, jobs=4,
+        )
+        assert parallel["jobs"] == 4
+        assert self._normalized(serial) == self._normalized(parallel)
+        # artifacts are byte-identical, not just the manifest
+        for name in ["REPORT.md", *(f"{e}.csv" for e in self.EXPERIMENTS),
+                     *(f"{e}.txt" for e in self.EXPERIMENTS)]:
+            assert (tmp_path / "serial" / name).read_bytes() == (
+                tmp_path / "parallel" / name
+            ).read_bytes(), name
+
+    def test_failing_experiment_is_isolated(self, tmp_path):
+        bad = RunnerConfig(iterations=2, apps=("NO-SUCH-APP-32",))
+        manifest = reproduce_all(
+            tmp_path, bad, experiments=("table_gears", "fig3"),
+            echo=lambda *args: None,
+        )
+        assert manifest["errors"] == 1
+        assert "error" in manifest["experiments"]["fig3"]
+        assert "traceback" in manifest["experiments"]["fig3"]
+        # the app-independent experiment still completed and wrote files
+        assert "error" not in manifest["experiments"]["table_gears"]
+        assert (tmp_path / "table_gears.csv").exists()
+        assert "FAILED" in (tmp_path / "REPORT.md").read_text()
+        written = json.loads((tmp_path / "manifest.json").read_text())
+        assert written["errors"] == 1
+
+    def test_parallel_failure_is_isolated_too(self, tmp_path):
+        bad = RunnerConfig(iterations=2, apps=("NO-SUCH-APP-32",))
+        manifest = reproduce_all(
+            tmp_path, bad, experiments=("table_gears", "fig3"),
+            echo=lambda *args: None, jobs=2,
+        )
+        assert manifest["errors"] == 1
+        assert "error" in manifest["experiments"]["fig3"]
+        assert "error" not in manifest["experiments"]["table_gears"]
+
+    def test_cache_dir_that_is_a_file_rejected_upfront(self, tmp_path):
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        with pytest.raises(ValueError, match="not a directory"):
+            reproduce_all(
+                tmp_path / "out", self.CONFIG, experiments=("table_gears",),
+                echo=lambda *args: None, cache_dir=blocker,
+            )
+
+    def test_campaign_cache_stats_reported(self, tmp_path):
+        quiet = lambda *args: None  # noqa: E731
+        cold = reproduce_all(
+            tmp_path / "cold", self.CONFIG, experiments=("fig3",),
+            echo=quiet, cache_dir=tmp_path / "cache",
+        )
+        warm = reproduce_all(
+            tmp_path / "warm", self.CONFIG, experiments=("fig3",),
+            echo=quiet, cache_dir=tmp_path / "cache",
+        )
+        assert cold["cache"]["enabled"] and warm["cache"]["enabled"]
+        assert cold["cache"]["misses"] > 0
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hits"] > 0
+        rows = (tmp_path / "cold" / "fig3.csv").read_bytes()
+        assert rows == (tmp_path / "warm" / "fig3.csv").read_bytes()

@@ -125,6 +125,33 @@ class TestCommands:
         assert (out / "REPORT.md").exists()
         assert (out / "manifest.json").exists()
 
+    def test_reproduce_all_parallel_with_cache(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "res"
+        argv = ["reproduce-all", "--out", str(out), "--iterations", "2",
+                "--apps", "CG-16,IS-16", "--experiments", "table_gears,fig3",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["jobs"] == 2
+        assert manifest["errors"] == 0
+        assert manifest["cache"]["enabled"] is True
+        assert manifest["cache"]["misses"] > 0
+
+    def test_reproduce_all_no_cache(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "res"
+        assert main(
+            ["reproduce-all", "--out", str(out), "--iterations", "2",
+             "--apps", "CG-16", "--experiments", "table_gears", "--no-cache"]
+        ) == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["cache"] == {
+            "enabled": False, "dir": None, "hits": 0, "misses": 0,
+        }
+
     def test_info_on_written_trace(self, capsys, tmp_path):
         path = tmp_path / "t.jsonl"
         main(["trace", "MG-8", "-o", str(path), "--iterations", "2"])

@@ -7,14 +7,7 @@ from repro.netsim.decomposed import COLL_TAG_BASE, decompose
 from repro.netsim.platform import PlatformConfig
 from repro.netsim.simulator import MpiSimulator
 from repro.simx.errors import ProcessFailure, SimulationError
-from repro.traces.records import (
-    COLLECTIVE_OPS,
-    CollectiveRecord,
-    IsendRecord,
-    RecvRecord,
-    SendRecord,
-)
-from repro.traces.trace import Trace
+from repro.traces.records import COLLECTIVE_OPS, CollectiveRecord
 
 BASE = dict(
     latency=1e-5, bandwidth=1e8, send_overhead=0.0, recv_overhead=0.0,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.gearopt import GearSetOptimizer, workload_energy
-from repro.core.gears import DiscreteGearSet, exponential_gear_set, uniform_gear_set
+from repro.core.gears import exponential_gear_set, uniform_gear_set
 from repro.core.power import CpuPowerModel, CpuState
 from repro.core.timemodel import BetaTimeModel
 

@@ -114,14 +114,23 @@ class TestExamplesRun:
         ],
     )
     def test_example_runs_clean(self, script, args, tmp_path):
+        import os
         import pathlib
 
         root = pathlib.Path(__file__).resolve().parents[1]
         cmd = [sys.executable, str(root / "examples" / script), *args]
         if script == "gear_set_design.py":
             cmd += ["--svg", str(tmp_path / "out.svg")]
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
         proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=600, cwd=tmp_path
+            cmd, capture_output=True, text=True, timeout=600, cwd=tmp_path,
+            env=env,
         )
         assert proc.returncode == 0, proc.stderr
         assert proc.stdout.strip()

@@ -1,8 +1,6 @@
 """Unit tests for the trace linter."""
 
-import pytest
-
-from repro.apps import build_app, vmpi
+from repro.apps import build_app
 from repro.netsim.platform import PlatformConfig
 from repro.netsim.simulator import MpiSimulator
 from repro.traces.lint import lint_trace
