@@ -10,7 +10,7 @@ two allreduces per iteration plus a halo exchange push PE down to
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

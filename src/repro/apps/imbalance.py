@@ -18,7 +18,7 @@ pins the *degree* of imbalance to Table 3.
 from __future__ import annotations
 
 import zlib
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -122,7 +122,7 @@ def calibrate_phases(
         return [1.0 - gamma * (1.0 - s) for s in norm]
 
     def total_lb(gamma: float) -> float:
-        total = sum(d * w for d, w in zip(dur, blended(gamma)))
+        total = sum(d * w for d, w in zip(dur, blended(gamma), strict=True))
         return load_balance_of(total)
 
     # γ upper bound: keep every phase's lightest rank above the floor

@@ -11,7 +11,7 @@ unlimited continuous set beats the limited one.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

@@ -10,7 +10,7 @@ exponential gears.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

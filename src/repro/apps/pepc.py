@@ -16,7 +16,7 @@ calibrated to the Table 3 totals (LB 76.12%, PE 67.78% at 128 ranks).
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Type
+from typing import Any
 
 from repro.apps.base import AppSkeleton
 from repro.apps.btmz import BtMzSkeleton
@@ -32,7 +32,7 @@ __all__ = [
     "table3_targets",
 ]
 
-APP_FAMILIES: dict[str, Type[AppSkeleton]] = {
+APP_FAMILIES: dict[str, type[AppSkeleton]] = {
     "BT-MZ": BtMzSkeleton,
     "CG": CgSkeleton,
     "MG": MgSkeleton,

@@ -11,7 +11,7 @@ outlier that over-clocks 53% of its CPUs.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

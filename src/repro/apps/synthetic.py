@@ -22,7 +22,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 

@@ -15,7 +15,7 @@ irecvs, then all isends, then a waitall.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.traces.records import (
     ANY_SOURCE,

@@ -8,6 +8,7 @@
     repro balance BT-MZ-32 --gears uniform:6 --algorithm max
     repro trace CG-32 -o cg32.jsonl     # record a skeleton trace
     repro timeline BT-MZ-32             # ASCII Fig.1-style timeline
+    repro lint --format sarif           # static analysis (see docs/diagnostics.md)
 
 Also runnable as ``python -m repro``.
 """
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["main", "build_gear_set"]
 
@@ -298,6 +299,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.diagnostics.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.apps import build_app
     from repro.netsim.simulator import MpiSimulator
@@ -398,6 +405,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_tr.add_argument("-o", "--output", default="trace.jsonl")
     p_tr.add_argument("--iterations", type=int, default=6)
     p_tr.set_defaults(fn=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: traces, gear sets, platform, models, results",
+    )
+    from repro.diagnostics.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_tl = sub.add_parser("timeline", help="ASCII timeline of one run")
     p_tl.add_argument("app")

@@ -23,7 +23,7 @@ than the target (modulo an unattainable target, which is flagged).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class FrequencyAssignment:
         return np.array(
             [
                 model.scale(t, g.frequency)
-                for t, g in zip(compute_times, self.gears)
+                for t, g in zip(compute_times, self.gears, strict=True)
             ]
         )
 

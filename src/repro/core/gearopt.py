@@ -28,7 +28,7 @@ much headroom the paper's hand-designed sets leave.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

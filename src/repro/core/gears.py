@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 __all__ = [
     "ContinuousGearSet",
@@ -193,7 +193,7 @@ class DiscreteGearSet(GearSet):
         if len(set(freqs)) != len(freqs):
             raise ValueError(f"duplicate gear frequencies: {freqs}")
         voltages = [g.voltage for g in sorted_gears]
-        if any(b <= a for a, b in zip(voltages, voltages[1:])):
+        if any(b <= a for a, b in zip(voltages, voltages[1:], strict=False)):
             raise ValueError("gear voltages must increase with frequency")
         self.gears: tuple[Gear, ...] = tuple(sorted_gears)
         self.name = name or f"discrete[{len(self.gears)}]"

@@ -1,0 +1,78 @@
+"""Cross-layer static-analysis engine (``repro lint``).
+
+One diagnostics framework for every silent precondition the paper's
+conclusions hang on: a common :class:`~repro.diagnostics.model.Diagnostic`
+finding model, a rule registry with ``--select``/``--ignore`` semantics,
+and four rule packs —
+
+* **traces** (``TR``): the migrated advisory linter plus a real static
+  deadlock detector (:mod:`repro.diagnostics.deadlock`);
+* **gears/platform** (``GR``/``PL``): DVFS-law monotonicity, the paper's
+  2.6 GHz / 1.6 V over-clock point, interconnect sanity;
+* **models** (``MD``): β range, T(f) monotonicity, energy additivity,
+  static-power calibration;
+* **results** (``RS``): campaign manifests, NaN/negative metrics,
+  golden-snapshot drift.
+
+Renderers: text, JSON, and SARIF 2.1.0 (:mod:`repro.diagnostics.sarif`);
+adoption support via a baseline ratchet
+(:mod:`repro.diagnostics.baseline`).  The CLI front end is
+``repro lint`` (:mod:`repro.diagnostics.cli`).
+"""
+
+from repro.diagnostics.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.diagnostics.deadlock import DeadlockReport, analyze_deadlock
+from repro.diagnostics.engine import (
+    LintConfig,
+    exit_code,
+    lint_gear_set,
+    lint_manifest,
+    lint_models,
+    lint_platform,
+    lint_trace_subject,
+    max_severity,
+    run_domain,
+    severity_counts,
+)
+from repro.diagnostics.model import Diagnostic, Severity
+from repro.diagnostics.registry import (
+    Rule,
+    all_rules,
+    get_rule,
+    is_selected,
+    rule,
+    rules_for_domain,
+)
+from repro.diagnostics.sarif import to_sarif, to_sarif_json
+
+__all__ = [
+    "DeadlockReport",
+    "Diagnostic",
+    "LintConfig",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_deadlock",
+    "apply_baseline",
+    "exit_code",
+    "get_rule",
+    "is_selected",
+    "lint_gear_set",
+    "lint_manifest",
+    "lint_models",
+    "lint_platform",
+    "lint_trace_subject",
+    "load_baseline",
+    "max_severity",
+    "rule",
+    "rules_for_domain",
+    "run_domain",
+    "severity_counts",
+    "to_sarif",
+    "to_sarif_json",
+    "write_baseline",
+]

@@ -1,0 +1,65 @@
+"""Baseline ratchet: adopt the linter on a codebase with findings.
+
+A baseline file records the *accepted* findings (by stable fingerprint,
+with a count), so ``repro lint --baseline FILE`` only fails on findings
+that are **new** relative to the accepted set — the classic ratchet
+that lets a rule land at ERROR severity without first fixing the world.
+Fixing a finding and regenerating shrinks the baseline; it can never
+silently grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+from repro.diagnostics.model import Diagnostic
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+_FORMAT = "repro-lint-baseline/v1"
+
+
+def load_baseline(path: str | os.PathLike) -> Counter[str]:
+    """Read accepted fingerprints (fingerprint -> count)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path} is not a repro-lint baseline (expected format "
+            f"{_FORMAT!r})"
+        )
+    findings = data.get("findings", {})
+    return Counter(
+        {str(fp): int(count) for fp, count in findings.items() if count > 0}
+    )
+
+
+def write_baseline(
+    path: str | os.PathLike, diagnostics: list[Diagnostic]
+) -> None:
+    """Accept the given findings as the new baseline."""
+    counts = Counter(diag.fingerprint() for diag in diagnostics)
+    payload = {
+        "format": _FORMAT,
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: Counter[str]
+) -> list[Diagnostic]:
+    """Drop findings covered by the baseline (up to the accepted count)."""
+    remaining = Counter(baseline)
+    out = []
+    for diag in diagnostics:
+        fp = diag.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            continue
+        out.append(diag)
+    return out

@@ -1,0 +1,308 @@
+"""The ``repro lint`` subcommand.
+
+Without targets, audits the whole project surface: every built-in
+application trace, the default gear sets, the platform, and the model
+invariants.  With targets, audits exactly the given artifacts — trace
+files (``.jsonl`` / ``.jsonl.gz``) and campaign manifests
+(``manifest.json`` or any ``.json`` with an ``experiments`` key)::
+
+    repro lint                                   # whole-project audit
+    repro lint cg32.jsonl results/manifest.json  # specific artifacts
+    repro lint --select TR --ignore TR006        # rule selection
+    repro lint --format sarif -o lint.sarif      # code-scanning upload
+    repro lint --baseline lint-baseline.json     # ratchet adoption
+
+Exit status: 0 clean (below the ``--fail-on`` threshold), 1 findings at
+or above the threshold, 2 usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.diagnostics.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.diagnostics.engine import (
+    LintConfig,
+    exit_code,
+    lint_gear_set,
+    lint_manifest,
+    lint_models,
+    lint_platform,
+    lint_trace_subject,
+)
+from repro.diagnostics.model import Diagnostic, Severity, sort_key
+from repro.diagnostics.sarif import to_sarif_json
+
+__all__ = ["DEFAULT_GEAR_SPECS", "add_lint_arguments", "run_lint"]
+
+#: Gear-set specs audited by the no-target whole-project run.
+DEFAULT_GEAR_SPECS = (
+    "uniform:6",
+    "exponential:6",
+    "limited",
+    "unlimited",
+    "avg-discrete",
+)
+
+_SEVERITIES = {
+    "error": Severity.ERROR,
+    "warning": Severity.WARNING,
+    "info": Severity.INFO,
+}
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register ``repro lint`` arguments on a subcommand parser."""
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="trace files (.jsonl/.jsonl.gz) and/or campaign manifest "
+        ".json files; default: audit every built-in app + gear sets + "
+        "platform + models",
+    )
+    parser.add_argument(
+        "--apps",
+        help="comma-separated built-in instance subset for the no-target "
+        "audit (default: the paper's twelve)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=2,
+        help="iterations when generating built-in app traces (default 2; "
+        "lint findings are iteration-insensitive)",
+    )
+    parser.add_argument(
+        "--beta", type=float, default=0.5, help="β audited by the model rules"
+    )
+    parser.add_argument(
+        "--gears",
+        help="comma-separated gear-set specs to audit (default: "
+        + ",".join(DEFAULT_GEAR_SPECS) + ")",
+    )
+    parser.add_argument("--platform", help="platform JSON file to audit")
+    parser.add_argument(
+        "--golden",
+        help="golden snapshot JSON to compare manifests against "
+        "(default: tests/golden_results.json when present)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="only run rules whose code starts with one of these "
+        "comma-separated prefixes (e.g. TR,GR003)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="skip rules whose code starts with one of these prefixes",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="exit non-zero when a finding at or above this severity "
+        "survives filtering (default error)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file: accepted findings are filtered out before "
+        "--fail-on is evaluated",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="write the report here instead of stdout",
+    )
+
+
+def _split_csv(values: Sequence[str]) -> tuple[str, ...]:
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return tuple(out)
+
+
+def _load_target(path: str):
+    """Classify a target path as ('trace'|'manifest', payload)."""
+    if path.endswith((".jsonl", ".jsonl.gz")):
+        return "trace", path
+    if path.endswith(".json"):
+        return "manifest", path
+    raise ValueError(
+        f"cannot lint {path!r}: expected a .jsonl/.jsonl.gz trace or a "
+        "manifest .json"
+    )
+
+
+def _builtin_subjects(args, platform, config):
+    """Findings for the no-target whole-project audit."""
+    from repro.apps import build_app
+    from repro.apps.registry import TABLE3_INSTANCES
+    from repro.cli import build_gear_set
+    from repro.netsim.simulator import MpiSimulator
+
+    diagnostics: list[Diagnostic] = []
+    apps = (
+        tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        if args.apps
+        else TABLE3_INSTANCES
+    )
+    simulator = MpiSimulator(platform=platform)
+    for name in apps:
+        app = build_app(name, iterations=args.iterations)
+        trace = simulator.run(
+            app.programs(), record_trace=True, meta={"name": app.name}
+        ).trace
+        diagnostics += lint_trace_subject(trace, platform, name, config)
+
+    specs = (
+        _split_csv([args.gears]) if args.gears else DEFAULT_GEAR_SPECS
+    )
+    audited = set()
+    for spec in specs:
+        gear_set = build_gear_set(spec)
+        if gear_set.name in audited:
+            continue
+        audited.add(gear_set.name)
+        diagnostics += lint_gear_set(gear_set, config=config)
+    return diagnostics
+
+
+def _render(diagnostics: list[Diagnostic], fmt: str) -> str:
+    if fmt == "sarif":
+        return to_sarif_json(diagnostics)
+    if fmt == "json":
+        payload = [
+            {
+                "code": d.code,
+                "severity": str(d.severity),
+                "domain": d.domain,
+                "subject": d.subject,
+                "rank": d.rank,
+                "index": d.index,
+                "message": d.message,
+                "fix": d.fix,
+                "fingerprint": d.fingerprint(),
+            }
+            for d in diagnostics
+        ]
+        return json.dumps(payload, indent=2) + "\n"
+    lines = [str(d) for d in diagnostics]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit status."""
+    from repro.diagnostics.engine import severity_counts
+
+    config = LintConfig(
+        select=_split_csv(args.select),
+        ignore=_split_csv(args.ignore),
+        fail_on=_SEVERITIES[args.fail_on],
+    )
+
+    if args.platform:
+        from repro.netsim.config import load_platform
+
+        platform = load_platform(args.platform)
+        platform_subject = args.platform
+    else:
+        from repro.netsim.platform import MYRINET_LIKE
+
+        platform = MYRINET_LIKE
+        platform_subject = platform.name
+
+    golden_path = args.golden
+    if golden_path is None:
+        import pathlib
+
+        candidate = pathlib.Path("tests/golden_results.json")
+        golden_path = str(candidate) if candidate.is_file() else None
+
+    diagnostics: list[Diagnostic] = []
+    try:
+        if args.targets:
+            for target in args.targets:
+                kind, path = _load_target(target)
+                if kind == "trace":
+                    from repro.traces.jsonio import read_trace
+
+                    trace = read_trace(path)
+                    trace.validate()
+                    diagnostics += lint_trace_subject(
+                        trace, platform, path, config
+                    )
+                else:
+                    diagnostics += lint_manifest(path, golden_path, config)
+        else:
+            diagnostics += _builtin_subjects(args, platform, config)
+            diagnostics += lint_platform(platform, platform_subject, config)
+            diagnostics += lint_models(beta=args.beta, config=config)
+    except (OSError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    diagnostics.sort(key=sort_key)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "repro lint: --write-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(args.baseline, diagnostics)
+        print(
+            f"wrote {len(diagnostics)} accepted finding(s) to "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        diagnostics = apply_baseline(diagnostics, accepted)
+
+    text = _render(diagnostics, args.format)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    counts = severity_counts(diagnostics)
+    print(
+        f"repro lint: {counts['error']} error(s), {counts['warning']} "
+        f"warning(s), {counts['info']} info(s)",
+        file=sys.stderr,
+    )
+    return exit_code(diagnostics, config.fail_on)

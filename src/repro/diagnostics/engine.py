@@ -1,0 +1,172 @@
+"""Engine: run rule packs over subjects, filter, and aggregate.
+
+The engine is deliberately small — rules carry their own metadata and
+contexts carry their own data, so "run a domain" is: select the rules,
+execute them against the context, apply per-subject suppression, and
+sort deterministically.  A rule that *crashes* becomes a DX000 ERROR
+finding instead of taking the whole lint run down (a broken check must
+never mask the findings of the working ones).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.diagnostics.model import Diagnostic, Severity, sort_key
+from repro.diagnostics.registry import is_selected, rules_for_domain
+from repro.diagnostics.rules_gears import GearSetContext, PlatformContext
+from repro.diagnostics.rules_models import ModelContext
+from repro.diagnostics.rules_results import ResultsContext
+from repro.diagnostics.rules_traces import TraceContext
+
+__all__ = [
+    "LintConfig",
+    "exit_code",
+    "lint_gear_set",
+    "lint_manifest",
+    "lint_models",
+    "lint_platform",
+    "lint_trace_subject",
+    "max_severity",
+    "run_domain",
+    "severity_counts",
+]
+
+#: Pseudo-code for internal rule failures (not in the registry).
+INTERNAL_CODE = "DX000"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Selection and failure policy shared by every lint entry point."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    fail_on: Severity = Severity.ERROR
+
+
+def run_domain(
+    domain: str,
+    ctx: object,
+    config: LintConfig | None = None,
+    suppress: Sequence[str] = (),
+) -> list[Diagnostic]:
+    """Run every selected rule of ``domain`` against ``ctx``."""
+    config = config or LintConfig()
+    subject = str(getattr(ctx, "subject", ""))
+    out: list[Diagnostic] = []
+    for rule in rules_for_domain(domain):
+        if not is_selected(rule.code, config.select, config.ignore):
+            continue
+        if any(rule.code.startswith(code) for code in suppress if code):
+            continue
+        try:
+            out.extend(rule.run(ctx))
+        except Exception as exc:
+            out.append(
+                Diagnostic(
+                    code=INTERNAL_CODE,
+                    severity=Severity.ERROR,
+                    domain=domain,
+                    message=(
+                        f"rule {rule.code} crashed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    subject=subject,
+                )
+            )
+    return sorted(out, key=sort_key)
+
+
+# ----------------------------------------------------------------------
+# Domain entry points
+# ----------------------------------------------------------------------
+
+def lint_trace_subject(
+    trace,
+    platform=None,
+    subject: str | None = None,
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """Lint one trace; honours the trace's ``meta["lint-ignore"]`` list."""
+    ctx = TraceContext(trace, platform, subject)
+    return run_domain("traces", ctx, config, suppress=ctx.suppressed_codes())
+
+
+def lint_gear_set(
+    gear_set, subject: str | None = None, config: LintConfig | None = None
+) -> list[Diagnostic]:
+    return run_domain("gears", GearSetContext(gear_set, subject), config)
+
+
+def lint_platform(
+    platform, subject: str | None = None, config: LintConfig | None = None
+) -> list[Diagnostic]:
+    return run_domain("platform", PlatformContext(platform, subject), config)
+
+
+def lint_models(
+    beta: float = 0.5,
+    fmax: float | None = None,
+    power_model=None,
+    gear_set=None,
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    from repro.core.gears import NOMINAL_FMAX
+
+    ctx = ModelContext(
+        beta=beta,
+        fmax=NOMINAL_FMAX if fmax is None else fmax,
+        power_model=power_model,
+        gear_set=gear_set,
+    )
+    return run_domain("models", ctx, config)
+
+
+def lint_manifest(
+    path,
+    golden_path=None,
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    ctx = ResultsContext.from_path(path, golden_path)
+    return run_domain("results", ctx, config)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Severity | None:
+    """The worst severity present, or None for a clean run."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def severity_counts(diagnostics: Sequence[Diagnostic]) -> dict[str, int]:
+    counts = dict.fromkeys(("error", "warning", "info"), 0)
+    for diag in diagnostics:
+        counts[str(diag.severity)] += 1
+    return counts
+
+
+def exit_code(
+    diagnostics: Sequence[Diagnostic], fail_on: Severity = Severity.ERROR
+) -> int:
+    """1 when any finding reaches the failure threshold, else 0."""
+    worst = max_severity(diagnostics)
+    return 1 if worst is not None and worst >= fail_on else 0
+
+
+@dataclass
+class LintSummary:
+    """Bookkeeping for one full lint run (used by the CLI)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    subjects: int = 0
+
+    def extend(self, found: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+        self.subjects += 1
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=sort_key)

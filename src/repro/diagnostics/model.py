@@ -1,0 +1,105 @@
+"""Diagnostic model shared by every rule pack.
+
+A :class:`Diagnostic` is one finding of the static-analysis engine: a
+stable rule code (``TR008``), a severity, the domain the rule belongs
+to, a human-readable message, and an optional location (subject +
+rank + record index) plus a fix hint.  The model is deliberately
+output-agnostic — the text, JSON and SARIF renderers all consume the
+same objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "Severity", "sort_key"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is meaningful (ERROR > WARNING > INFO)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` for this severity."""
+        return {
+            Severity.ERROR: "error",
+            Severity.WARNING: "warning",
+            Severity.INFO: "note",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the diagnostics engine.
+
+    ``subject`` names what was analysed (an app instance, a trace file,
+    a gear-set name, ``manifest.json`` …); ``rank``/``index`` narrow the
+    location inside a trace when applicable.  ``fix`` is a short hint on
+    how to resolve the finding.
+    """
+
+    code: str
+    severity: Severity
+    domain: str
+    message: str
+    subject: str = ""
+    rank: int | None = None
+    index: int | None = None
+    fix: str | None = None
+
+    def location(self) -> str:
+        """Human-readable location suffix (may be empty)."""
+        parts = []
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.index is not None:
+            parts.append(f"record {self.index}")
+        return ", ".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline ratchet.
+
+        Excludes the message (counts inside messages drift run-to-run);
+        a finding is identified by where it fired, not how it printed.
+        """
+        return "|".join(
+            (
+                self.code,
+                self.domain,
+                self.subject,
+                "-" if self.rank is None else str(self.rank),
+                "-" if self.index is None else str(self.index),
+            )
+        )
+
+    def __str__(self) -> str:
+        where = self.location()
+        loc = f" ({where})" if where else ""
+        head = f"{self.code} {self.severity} [{self.domain}]"
+        subject = f" {self.subject}" if self.subject else ""
+        return f"{head}{subject}{loc}: {self.message}"
+
+
+def sort_key(diag: Diagnostic) -> tuple:
+    """Deterministic ordering: subject, then code, then location.
+
+    Subject-wide findings (no rank) sort before per-rank findings of
+    the same code; ranks never collide with ``rank is None``.
+    """
+    return (
+        diag.subject,
+        diag.code,
+        diag.rank is not None,
+        diag.rank or 0,
+        diag.index is not None,
+        diag.index or 0,
+        diag.message,
+    )

@@ -1,0 +1,259 @@
+"""Gear-set (``GR...``) and platform (``PL...``) rule packs.
+
+The paper's DVFS scenario assumes voltage grows with frequency along
+the linear law through (0.8 GHz, 1.0 V) and (2.3 GHz, 1.5 V), with the
+AVG over-clock extension point at (2.6 GHz, 1.6 V).  Gear sets that
+violate those assumptions silently change every energy number, so the
+rules here check them *before* any simulation runs:
+
+=====  ========  ========================================================
+code   severity  finding
+=====  ========  ========================================================
+GR001  ERROR     frequency/voltage pairs not strictly monotone
+GR002  WARNING   gears below the validated DVFS range (0.8 GHz / 1.0 V)
+GR003  WARNING   over-clock gear off the paper's voltage line (2.6/1.6)
+GR004  INFO      top gear below the nominal 2.3 GHz reference
+PL001  WARNING   eager-threshold outside the plausible protocol range
+PL002  WARNING   latency/bandwidth outside plausible interconnect ranges
+PL003  WARNING   per-message CPU overhead exceeds the wire latency
+PL004  INFO      intra-node speedup configured but unused
+=====  ========  ========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.gears import (
+    NOMINAL_FMAX,
+    NOMINAL_FMIN,
+    VOLTAGE_AT_FMIN,
+    ContinuousGearSet,
+    DiscreteGearSet,
+    Gear,
+    GearSet,
+)
+from repro.diagnostics.model import Diagnostic, Severity
+from repro.diagnostics.registry import Maker, rule
+from repro.netsim.platform import PlatformConfig
+
+__all__ = ["GearSetContext", "PlatformContext"]
+
+#: Tolerance for voltage-law comparisons (volts).
+_V_TOL = 1e-9
+#: The paper's AVG over-clock operating point (§5.3.6).
+_OC_POINT = (2.6, 1.6)
+#: Number of samples when auditing a continuous set.
+_SAMPLES = 13
+
+
+class GearSetContext:
+    """What the gear rules see: a gear set and its display name."""
+
+    def __init__(self, gear_set: GearSet, subject: str | None = None):
+        self.gear_set = gear_set
+        self.subject = subject or gear_set.name
+
+    def operating_points(self) -> tuple[Gear, ...]:
+        """The concrete gears, or evenly spaced samples of a continuous set."""
+        gs = self.gear_set
+        if isinstance(gs, DiscreteGearSet):
+            return gs.gears
+        if isinstance(gs, ContinuousGearSet):
+            span = gs.fmax - gs.fmin
+            freqs = [
+                gs.fmin + span * i / (_SAMPLES - 1) for i in range(_SAMPLES)
+            ]
+            return tuple(gs.law.gear(f) for f in freqs)
+        # unknown custom set: audit its extreme points via select()
+        return (gs.select(0.0).gear, gs.select(gs.fmax).gear)
+
+
+class PlatformContext:
+    """What the platform rules see: a platform config and its name."""
+
+    def __init__(self, platform: PlatformConfig, subject: str | None = None):
+        self.platform = platform
+        self.subject = subject or platform.name
+
+
+# ----------------------------------------------------------------------
+# GR: gear sets
+# ----------------------------------------------------------------------
+
+@rule(
+    "GR001",
+    severity=Severity.ERROR,
+    domain="gears",
+    summary="frequency/voltage pairs not strictly monotone",
+    fix="voltage must strictly increase with frequency under the DVFS law",
+)
+def _gr001(ctx: GearSetContext, make: Maker) -> Iterator[Diagnostic]:
+    points = ctx.operating_points()
+    for a, b in zip(points, points[1:], strict=False):
+        if b.frequency > a.frequency and b.voltage <= a.voltage + _V_TOL:
+            yield make(
+                f"non-monotone f/V: {a} then {b} (voltage does not "
+                "increase with frequency)",
+                subject=ctx.subject,
+            )
+
+
+@rule(
+    "GR002",
+    severity=Severity.WARNING,
+    domain="gears",
+    summary="gears below the validated DVFS range",
+    fix=f"keep gear frequencies >= {NOMINAL_FMIN} GHz "
+        f"(voltage law validated down to {VOLTAGE_AT_FMIN} V)",
+)
+def _gr002(ctx: GearSetContext, make: Maker) -> Iterator[Diagnostic]:
+    low = [
+        g for g in ctx.operating_points()
+        if g.frequency < NOMINAL_FMIN - 1e-12
+    ]
+    if low:
+        slowest = min(low, key=lambda g: g.frequency)
+        yield make(
+            f"{len(low)} operating point(s) below the validated DVFS range "
+            f"(slowest {slowest}); the linear voltage law is extrapolated "
+            f"below {NOMINAL_FMIN} GHz / {VOLTAGE_AT_FMIN} V",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "GR003",
+    severity=Severity.WARNING,
+    domain="gears",
+    summary="over-clock gear off the paper's voltage line",
+    fix=f"over-clock gears must sit on the linear law; the paper "
+        f"validates {_OC_POINT[0]} GHz / {_OC_POINT[1]} V",
+)
+def _gr003(ctx: GearSetContext, make: Maker) -> Iterator[Diagnostic]:
+    gs = ctx.gear_set
+    law = getattr(gs, "law", None)
+    for gear in ctx.operating_points():
+        if gear.frequency <= NOMINAL_FMAX + 1e-12:
+            continue
+        if law is not None:
+            expected = law.voltage(gear.frequency)
+        else:
+            # slope of the default law through the paper's OC point
+            expected = VOLTAGE_AT_FMIN + (gear.frequency - NOMINAL_FMIN) / 3.0
+        if abs(gear.voltage - expected) > 1e-6:
+            yield make(
+                f"over-clock gear {gear} is off the DVFS voltage line "
+                f"(expected {expected:.4g} V); the paper's validated "
+                f"point is {_OC_POINT[0]} GHz / {_OC_POINT[1]} V",
+                subject=ctx.subject,
+            )
+
+
+@rule(
+    "GR004",
+    severity=Severity.INFO,
+    domain="gears",
+    summary="top gear below the nominal reference frequency",
+    fix="results are normalized to the nominal top frequency; a lower "
+        "ceiling changes the baseline",
+)
+def _gr004(ctx: GearSetContext, make: Maker) -> Iterator[Diagnostic]:
+    if ctx.gear_set.fmax < NOMINAL_FMAX - 1e-12:
+        yield make(
+            f"top gear {ctx.gear_set.fmax:g} GHz is below the nominal "
+            f"{NOMINAL_FMAX} GHz reference; normalized baselines shift",
+            subject=ctx.subject,
+        )
+
+
+# ----------------------------------------------------------------------
+# PL: platforms
+# ----------------------------------------------------------------------
+
+@rule(
+    "PL001",
+    severity=Severity.WARNING,
+    domain="platform",
+    summary="eager threshold outside the plausible protocol range",
+    fix="typical MPI eager thresholds sit between 1 KiB and 1 MiB",
+)
+def _pl001(ctx: PlatformContext, make: Maker) -> Iterator[Diagnostic]:
+    threshold = ctx.platform.eager_threshold
+    if threshold == 0:
+        yield make(
+            "eager threshold is 0: every message rendezvous-blocks, which "
+            "exaggerates synchronisation delay",
+            subject=ctx.subject,
+        )
+    elif threshold > 1 << 20:
+        yield make(
+            f"eager threshold {threshold} B (> 1 MiB): effectively no "
+            "rendezvous protocol; sender-side blocking disappears",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "PL002",
+    severity=Severity.WARNING,
+    domain="platform",
+    summary="latency/bandwidth outside plausible interconnect ranges",
+    fix="HPC interconnects: latency 1 ns - 10 ms, bandwidth 1 MB/s - 1 TB/s",
+)
+def _pl002(ctx: PlatformContext, make: Maker) -> Iterator[Diagnostic]:
+    p = ctx.platform
+    if p.latency > 0.0 and not (1e-9 <= p.latency <= 1e-2):
+        yield make(
+            f"latency {p.latency:g} s is outside the plausible "
+            "interconnect range [1 ns, 10 ms]",
+            subject=ctx.subject,
+        )
+    if not (1e6 <= p.bandwidth <= 1e12):
+        yield make(
+            f"bandwidth {p.bandwidth:g} B/s is outside the plausible "
+            "interconnect range [1 MB/s, 1 TB/s]",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "PL003",
+    severity=Severity.WARNING,
+    domain="platform",
+    summary="per-message CPU overhead exceeds the wire latency",
+    fix="check send_overhead/recv_overhead; overhead-dominated platforms "
+        "drown the network model",
+)
+def _pl003(ctx: PlatformContext, make: Maker) -> Iterator[Diagnostic]:
+    p = ctx.platform
+    if p.latency <= 0.0:
+        return
+    for name, value in (
+        ("send_overhead", p.send_overhead),
+        ("recv_overhead", p.recv_overhead),
+    ):
+        if value > p.latency:
+            yield make(
+                f"{name} {value:g} s exceeds the wire latency "
+                f"{p.latency:g} s: the CPU, not the network, paces "
+                "messaging",
+                subject=ctx.subject,
+            )
+
+
+@rule(
+    "PL004",
+    severity=Severity.INFO,
+    domain="platform",
+    summary="intra-node speedup configured but unused",
+    fix="with one CPU per node there are no intra-node pairs",
+)
+def _pl004(ctx: PlatformContext, make: Maker) -> Iterator[Diagnostic]:
+    p = ctx.platform
+    if p.cpus_per_node == 1 and p.intra_node_speedup > 1.0:
+        yield make(
+            f"intra_node_speedup {p.intra_node_speedup:g} has no effect: "
+            "cpus_per_node is 1, every message is inter-node",
+            subject=ctx.subject,
+        )

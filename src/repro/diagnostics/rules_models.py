@@ -1,0 +1,209 @@
+"""Model-invariant rule pack (codes ``MD...``).
+
+The β time model (Eq. 3) and the power model (Eq. 1–2) carry physical
+preconditions the rest of the pipeline silently assumes.  These rules
+probe the *configured* models — the exact objects a study would run
+with — and report violations before any experiment executes:
+
+=====  ========  ========================================================
+code   severity  finding
+=====  ========  ========================================================
+MD001  ERROR     β outside [0, 1]
+MD002  ERROR     T(f) not monotone non-increasing in f (or T(fmax) != 1)
+MD003  ERROR     negative or non-additive energy accounting
+MD004  ERROR     static-power calibration drifts from the configured
+                 static fraction contract
+=====  ========  ========================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from collections.abc import Iterator
+
+from repro.core.gears import NOMINAL_FMAX, GearSet, uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+from repro.diagnostics.model import Diagnostic, Severity
+from repro.diagnostics.registry import Maker, rule
+
+__all__ = ["ModelContext"]
+
+#: Relative tolerance for energy-additivity and calibration checks.
+_REL_TOL = 1e-9
+#: Frequency sample count for the monotonicity probe.
+_SAMPLES = 17
+
+
+class ModelContext:
+    """What the model rules see: raw β/fmax plus the power model.
+
+    ``beta`` and ``fmax`` are carried as plain floats (not a constructed
+    :class:`BetaTimeModel`) so the rules can report out-of-range values
+    instead of crashing on them.
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.5,
+        fmax: float = NOMINAL_FMAX,
+        power_model: CpuPowerModel | None = None,
+        gear_set: GearSet | None = None,
+        subject: str = "models",
+    ):
+        self.beta = beta
+        self.fmax = fmax
+        self.power_model = power_model or CpuPowerModel()
+        self.gear_set = gear_set or uniform_gear_set(6)
+        self.subject = subject
+
+    def sample_frequencies(self) -> list[float]:
+        lo = max(min(self.gear_set.fmin, self.fmax), 1e-6)
+        hi = max(self.gear_set.fmax, self.fmax)
+        return [
+            lo + (hi - lo) * i / (_SAMPLES - 1) for i in range(_SAMPLES)
+        ]
+
+
+@rule(
+    "MD001",
+    severity=Severity.ERROR,
+    domain="models",
+    summary="β outside [0, 1]",
+    fix="β is a memory-boundedness fraction; clamp it to [0, 1]",
+)
+def _md001(ctx: ModelContext, make: Maker) -> Iterator[Diagnostic]:
+    if not (0.0 <= ctx.beta <= 1.0) or not math.isfinite(ctx.beta):
+        yield make(
+            f"beta={ctx.beta!r} is outside [0, 1]: Eq. 3 loses its "
+            "physical meaning (negative or superlinear slowdown)",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "MD002",
+    severity=Severity.ERROR,
+    domain="models",
+    summary="T(f) not monotone non-increasing in f",
+    fix="time_ratio must satisfy T(fmax)=1 and decrease toward higher f",
+)
+def _md002(ctx: ModelContext, make: Maker) -> Iterator[Diagnostic]:
+    from repro.core.timemodel import time_ratio
+
+    if not (0.0 <= ctx.beta <= 1.0) or ctx.fmax <= 0.0:
+        return  # MD001 owns the range finding; avoid cascading noise
+    freqs = ctx.sample_frequencies()
+    previous = None
+    for f in freqs:
+        ratio = time_ratio(f, ctx.fmax, ctx.beta)
+        if not math.isfinite(ratio) or ratio < 1.0 - ctx.beta - _REL_TOL:
+            yield make(
+                f"T({f:g})/T(fmax) = {ratio!r} breaks the model floor "
+                f"1 - beta = {1.0 - ctx.beta:g}",
+                subject=ctx.subject,
+            )
+            return
+        if previous is not None and ratio > previous + _REL_TOL:
+            yield make(
+                f"T(f) is not monotone: ratio rises from {previous:g} to "
+                f"{ratio:g} as f increases to {f:g} GHz",
+                subject=ctx.subject,
+            )
+            return
+        previous = ratio
+    at_fmax = time_ratio(ctx.fmax, ctx.fmax, ctx.beta)
+    if abs(at_fmax - 1.0) > _REL_TOL:
+        yield make(
+            f"T(fmax)/T(fmax) = {at_fmax!r} instead of 1: the model is "
+            "not anchored at the top frequency",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "MD003",
+    severity=Severity.ERROR,
+    domain="models",
+    summary="negative or non-additive energy accounting",
+    fix="E_total must equal E_dyn + E_static and every component must "
+        "be non-negative",
+)
+def _md003(ctx: ModelContext, make: Maker) -> Iterator[Diagnostic]:
+    from repro.core.energy import EnergyAccountant
+
+    accountant = EnergyAccountant(ctx.power_model)
+    top = ctx.gear_set.top_gear()
+    slow = ctx.gear_set.select(0.0).gear
+    breakdown = accountant.run_energy(
+        compute_times=[0.75, 0.5], execution_time=1.0, gears=[top, slow]
+    )
+    components = {
+        "compute": breakdown.compute_energy,
+        "comm": breakdown.comm_energy,
+        "static": breakdown.static_energy,
+        "dynamic": breakdown.dynamic_energy,
+        "total": breakdown.total,
+    }
+    for name, value in components.items():
+        if not math.isfinite(value) or value < 0.0:
+            yield make(
+                f"probe run yields non-physical {name} energy {value!r}",
+                subject=ctx.subject,
+            )
+            return
+    total = breakdown.total
+    if abs(total - (breakdown.compute_energy + breakdown.comm_energy)) > (
+        _REL_TOL * max(total, 1.0)
+    ):
+        yield make(
+            "E_total != E_compute + E_comm on a probe run",
+            subject=ctx.subject,
+        )
+    if abs(total - (breakdown.dynamic_energy + breakdown.static_energy)) > (
+        _REL_TOL * max(total, 1.0)
+    ):
+        yield make(
+            f"E_total ({total:g}) != E_dyn + E_static "
+            f"({breakdown.dynamic_energy:g} + {breakdown.static_energy:g}) "
+            "on a probe run",
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "MD004",
+    severity=Severity.ERROR,
+    domain="models",
+    summary="static-power calibration drift",
+    fix="alpha must keep static power at the configured fraction of total "
+        "power at the nominal top gear",
+)
+def _md004(ctx: ModelContext, make: Maker) -> Iterator[Diagnostic]:
+    pm = ctx.power_model
+    reference = pm.reference_power()
+    if reference <= 0.0:
+        yield make(
+            f"reference power {reference!r} is not positive",
+            subject=ctx.subject,
+        )
+        return
+    top = pm.law.gear(pm.nominal_fmax)
+    actual = pm.static_power(top) / reference
+    if abs(actual - pm.static_fraction) > 1e-6:
+        yield make(
+            f"static power is {actual:.4%} of total at the calibration "
+            f"point but static_fraction promises {pm.static_fraction:.4%}",
+            subject=ctx.subject,
+        )
+    # Eq. 1 sanity at the calibration point: dynamic power must grow
+    # with frequency (f * V(f)^2 is strictly increasing on the law).
+    slow = pm.law.gear(max(pm.nominal_fmax / 2.0, 1e-3))
+    if pm.dynamic_power(top, CpuState.COMPUTE) <= pm.dynamic_power(
+        slow, CpuState.COMPUTE
+    ):
+        yield make(
+            "dynamic power does not grow with frequency under the "
+            "configured voltage law",
+            subject=ctx.subject,
+        )

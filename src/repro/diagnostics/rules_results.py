@@ -1,0 +1,199 @@
+"""Campaign-results rule pack (codes ``RS...``).
+
+``repro reproduce-all`` writes a ``manifest.json`` plus per-experiment
+CSVs; figures are generated straight from those artifacts.  This pack
+statically audits a results directory so broken numbers cannot feed a
+figure silently:
+
+=====  ========  ========================================================
+code   severity  finding
+=====  ========  ========================================================
+RS001  ERROR     experiment failed inside the campaign (error entry)
+RS002  ERROR     NaN/inf anywhere, or negative values in metric columns
+RS003  WARNING   campaign incomplete (known experiment ids missing)
+RS004  WARNING   drift against the committed golden snapshot at a
+                 matching configuration
+=====  ========  ========================================================
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.diagnostics.model import Diagnostic, Severity
+from repro.diagnostics.registry import Maker, rule
+
+__all__ = ["ResultsContext"]
+
+#: Column-name fragments treated as metrics that must be non-negative.
+_METRIC_FRAGMENTS = ("energy", "time", "edp", "pct", "power", "frequency")
+#: Tolerance (percentage points) for golden comparisons — mirrors
+#: tests/test_golden.py.
+_GOLDEN_TOL = 0.05
+
+
+class ResultsContext:
+    """What the results rules see: a parsed manifest and its directory."""
+
+    def __init__(
+        self,
+        manifest: dict[str, Any],
+        manifest_dir: str | os.PathLike,
+        subject: str = "manifest.json",
+        golden: dict[str, Any] | None = None,
+    ):
+        self.manifest = manifest
+        self.manifest_dir = Path(manifest_dir)
+        self.subject = subject
+        self.golden = golden
+
+    @classmethod
+    def from_path(
+        cls,
+        path: str | os.PathLike,
+        golden_path: str | os.PathLike | None = None,
+    ) -> "ResultsContext":
+        path = Path(path)
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(manifest, dict) or "experiments" not in manifest:
+            raise ValueError(
+                f"{path} does not look like a campaign manifest "
+                "(no 'experiments' key)"
+            )
+        golden = None
+        if golden_path is not None:
+            golden = json.loads(Path(golden_path).read_text(encoding="utf-8"))
+        return cls(manifest, path.parent, subject=str(path), golden=golden)
+
+    def experiments(self) -> dict[str, Any]:
+        entries = self.manifest.get("experiments", {})
+        return entries if isinstance(entries, dict) else {}
+
+    def csv_rows(self, eid: str) -> list[dict[str, str]]:
+        """Rows of an experiment's CSV artifact ([] when absent)."""
+        path = self.manifest_dir / f"{eid}.csv"
+        if not path.is_file():
+            return []
+        with open(path, newline="", encoding="utf-8") as fh:
+            return list(csv.DictReader(fh))
+
+
+@rule(
+    "RS001",
+    severity=Severity.ERROR,
+    domain="results",
+    summary="experiment failed inside the campaign",
+    fix="rerun the campaign; see the traceback stored in manifest.json",
+)
+def _rs001(ctx: ResultsContext, make: Maker) -> Iterator[Diagnostic]:
+    for eid, entry in sorted(ctx.experiments().items()):
+        if isinstance(entry, dict) and "error" in entry:
+            yield make(
+                f"{eid} failed: {entry['error']}",
+                subject=ctx.subject,
+            )
+
+
+@rule(
+    "RS002",
+    severity=Severity.ERROR,
+    domain="results",
+    summary="non-finite or negative metric values",
+    fix="a NaN/negative metric means a model violation upstream; do not "
+        "plot these results",
+)
+def _rs002(ctx: ResultsContext, make: Maker) -> Iterator[Diagnostic]:
+    for eid, entry in sorted(ctx.experiments().items()):
+        if not isinstance(entry, dict) or "error" in entry:
+            continue
+        for row_number, row in enumerate(ctx.csv_rows(eid)):
+            for column, raw in row.items():
+                if column is None or raw is None:
+                    continue
+                try:
+                    value = float(raw)
+                except ValueError:
+                    continue  # non-numeric column (names, labels)
+                if not math.isfinite(value):
+                    yield make(
+                        f"{eid}.csv row {row_number}: {column} = {raw}",
+                        subject=ctx.subject,
+                    )
+                elif value < 0.0 and any(
+                    fragment in column.lower()
+                    for fragment in _METRIC_FRAGMENTS
+                ):
+                    yield make(
+                        f"{eid}.csv row {row_number}: negative metric "
+                        f"{column} = {raw}",
+                        subject=ctx.subject,
+                    )
+
+
+@rule(
+    "RS003",
+    severity=Severity.WARNING,
+    domain="results",
+    summary="campaign incomplete",
+    fix="rerun reproduce-all without --experiments to refresh every figure",
+)
+def _rs003(ctx: ResultsContext, make: Maker) -> Iterator[Diagnostic]:
+    from repro.experiments import EXPERIMENT_IDS
+
+    present = set(ctx.experiments())
+    missing = [eid for eid in EXPERIMENT_IDS if eid not in present]
+    if missing:
+        yield make(
+            f"{len(missing)} experiment(s) missing from the campaign: "
+            + ", ".join(missing),
+            subject=ctx.subject,
+        )
+
+
+@rule(
+    "RS004",
+    severity=Severity.WARNING,
+    domain="results",
+    summary="drift against the committed golden snapshot",
+    fix="if the change is deliberate, regenerate the snapshot with "
+        "tests/regen_golden.py and commit the diff",
+)
+def _rs004(ctx: ResultsContext, make: Maker) -> Iterator[Diagnostic]:
+    golden = ctx.golden
+    if not golden:
+        return
+    golden_config = golden.get("config", {})
+    config = ctx.manifest.get("config", {})
+    if config.get("iterations") != golden_config.get("iterations") or (
+        config.get("beta") != golden_config.get("beta")
+    ):
+        return  # different configuration: numbers legitimately differ
+    table = golden.get("table3", {})
+    for row in ctx.csv_rows("table3"):
+        app = row.get("application")
+        if app not in table:
+            continue
+        expected_lb, expected_pe = table[app]
+        for column, expected in (
+            ("load_balance_pct", expected_lb),
+            ("parallel_efficiency_pct", expected_pe),
+        ):
+            raw = row.get(column)
+            if raw is None:
+                continue
+            try:
+                actual = float(raw)
+            except ValueError:
+                continue
+            if abs(actual - expected) > _GOLDEN_TOL:
+                yield make(
+                    f"table3 {app} {column} = {actual:g} drifts from the "
+                    f"golden snapshot value {expected:g}",
+                    subject=ctx.subject,
+                )

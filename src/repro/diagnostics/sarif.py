@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for the diagnostics engine.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what lets
+``repro lint`` findings land in code-review UIs — GitHub code scanning
+ingests exactly this shape.  One run object carries the tool metadata
+(every registered rule with its severity as ``defaultConfiguration``)
+plus one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.diagnostics.model import Diagnostic
+from repro.diagnostics.registry import Rule, all_rules
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "to_sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    descriptor: dict[str, Any] = {
+        "id": rule.code,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": rule.severity.sarif_level},
+        "properties": {"domain": rule.domain},
+    }
+    if rule.fix:
+        descriptor["help"] = {"text": rule.fix}
+    return descriptor
+
+
+def _location(diag: Diagnostic) -> dict[str, Any]:
+    logical_name = diag.subject or diag.domain
+    where = diag.location()
+    if where:
+        logical_name = f"{logical_name} ({where})"
+    location: dict[str, Any] = {
+        "logicalLocations": [{"name": logical_name}]
+    }
+    if diag.subject and (
+        "/" in diag.subject
+        or diag.subject.endswith((".json", ".jsonl", ".jsonl.gz"))
+    ):
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": diag.subject.replace("\\", "/")}
+        }
+    return location
+
+
+def to_sarif(diagnostics: list[Diagnostic]) -> dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log (a plain dict)."""
+    from repro import __version__
+
+    rule_index = {rule.code: i for i, rule in enumerate(all_rules())}
+    results = []
+    for diag in diagnostics:
+        result: dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "locations": [_location(diag)],
+            "partialFingerprints": {"reproLint/v1": diag.fingerprint()},
+        }
+        if diag.code in rule_index:
+            result["ruleIndex"] = rule_index[diag.code]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                        ),
+                        "rules": [
+                            _rule_descriptor(rule) for rule in all_rules()
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(diagnostics: list[Diagnostic]) -> str:
+    """The SARIF log serialised as stable, indented JSON."""
+    return json.dumps(to_sarif(diagnostics), indent=2, sort_keys=False) + "\n"

@@ -25,6 +25,7 @@ are simply never hit again.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -181,10 +182,8 @@ class ResultCache:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
         self.stores += 1
         _PROCESS_STATS["stores"] += 1

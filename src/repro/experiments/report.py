@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import IO, Any, Mapping, Sequence, Union
+from collections.abc import Mapping, Sequence
+from typing import IO, Any
 
 __all__ = [
     "bar_chart_svg",
@@ -42,10 +43,10 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
     lines.append(sep)
     for r in body:
-        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -65,7 +66,7 @@ def format_markdown(
 
 
 def write_csv(
-    path_or_file: Union[str, os.PathLike, IO[str]],
+    path_or_file: str | os.PathLike | IO[str],
     columns: Sequence[str],
     rows: Sequence[Mapping[str, Any]],
 ) -> None:

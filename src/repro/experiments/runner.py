@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.apps.registry import TABLE3_INSTANCES, build_app
 from repro.core.algorithms import FrequencyAlgorithm, MaxAlgorithm

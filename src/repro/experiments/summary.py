@@ -7,7 +7,7 @@ the quickest way to confirm an installation reproduces the paper.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.experiments.runner import ExperimentResult, RunnerConfig, get_experiment
 
@@ -103,7 +103,7 @@ CLAIMS: list[tuple[str, str, str, Callable]] = [
             res.rows[i][f"energy_b{a:g}_pct"]
             <= res.rows[i][f"energy_b{b:g}_pct"] + 0.5
             for i in range(len(res.rows))
-            for a, b in zip((0.3, 0.5, 0.8), (0.5, 0.8, 1.0))
+            for a, b in zip((0.3, 0.5, 0.8), (0.5, 0.8, 1.0), strict=True)
         ),
     ),
     (
@@ -113,7 +113,7 @@ CLAIMS: list[tuple[str, str, str, Callable]] = [
         lambda res: all(
             res.rows[i][f"energy_sf{a}_pct"] <= res.rows[i][f"energy_sf{b}_pct"] + 1e-9
             for i in range(len(res.rows))
-            for a, b in zip((0, 30, 60), (30, 60, 90))
+            for a, b in zip((0, 30, 60), (30, 60, 90), strict=True)
         ),
     ),
     (

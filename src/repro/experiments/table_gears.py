@@ -30,7 +30,7 @@ def run(config: RunnerConfig | None = None) -> ExperimentResult:
         ("uniform-6 (Table 1)", uniform_gear_set(6), PAPER_TABLE1),
         ("exponential-6 (Table 2)", exponential_gear_set(6), PAPER_TABLE2),
     ):
-        for gear, (pf, pv) in zip(gear_set, paper):
+        for gear, (pf, pv) in zip(gear_set, paper, strict=True):
             rows.append(
                 {
                     "set": name,

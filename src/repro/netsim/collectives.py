@@ -38,7 +38,7 @@ the paper's energy argument relies on (early ranks *wait*).
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from repro.netsim.platform import PlatformConfig
 from repro.traces.records import COLLECTIVE_OPS

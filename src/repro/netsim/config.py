@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import IO, Any, Union
+from typing import IO, Any
 
 from repro.netsim.platform import PlatformConfig
 from repro.netsim.topology import (
@@ -90,7 +90,9 @@ def platform_to_dict(platform: PlatformConfig) -> dict[str, Any]:
     return out
 
 
-def load_platform(path_or_file: Union[str, os.PathLike, IO[str]]) -> PlatformConfig:
+def load_platform(
+    path_or_file: str | os.PathLike | IO[str],
+) -> PlatformConfig:
     """Load a platform from a JSON file."""
     if hasattr(path_or_file, "read"):
         data = json.load(path_or_file)  # type: ignore[arg-type]
@@ -103,7 +105,7 @@ def load_platform(path_or_file: Union[str, os.PathLike, IO[str]]) -> PlatformCon
 
 
 def save_platform(
-    platform: PlatformConfig, path_or_file: Union[str, os.PathLike, IO[str]]
+    platform: PlatformConfig, path_or_file: str | os.PathLike | IO[str]
 ) -> None:
     """Write a platform to a JSON file (round-trips with load)."""
     data = platform_to_dict(platform)

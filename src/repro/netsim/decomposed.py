@@ -39,7 +39,7 @@ a collective fragment; the linter's W004 flags such traces.
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.traces.records import (
     IrecvRecord,

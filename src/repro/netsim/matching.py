@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.traces.records import ANY_SOURCE, ANY_TAG
 
@@ -138,7 +138,7 @@ class Matcher:
         tag: int,
         nbytes: int,
         on_matched: Callable[[], None],
-    ) -> Optional[ReadySend]:
+    ) -> ReadySend | None:
         """A rendezvous sender announces itself at ``dst``.
 
         Returns the queued :class:`ReadySend` when no receive matched
@@ -158,8 +158,10 @@ class Matcher:
         return None
 
     # ------------------------------------------------------------------
-    def _earliest_recv(self, dst: int, src: int, tag: int) -> Optional[PostedRecv]:
-        best: Optional[PostedRecv] = None
+    def _earliest_recv(
+        self, dst: int, src: int, tag: int
+    ) -> PostedRecv | None:
+        best: PostedRecv | None = None
         for recv in self._recvs[dst]:
             if recv.matches(src, tag) and (best is None or recv.seq < best.seq):
                 best = recv

@@ -10,7 +10,7 @@ protocol and collective models set) are what matter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 __all__ = ["PlatformConfig", "MYRINET_LIKE"]
 

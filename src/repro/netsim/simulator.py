@@ -17,7 +17,8 @@ over a :class:`~repro.netsim.platform.PlatformConfig`:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 

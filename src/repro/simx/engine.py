@@ -17,7 +17,8 @@ from __future__ import annotations
 import heapq
 import math
 from itertools import count
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.simx.errors import ScheduleError
 

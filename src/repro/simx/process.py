@@ -19,7 +19,8 @@ blocking communication events.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable
+from collections.abc import Generator, Iterable
+from typing import Any
 
 from repro.simx.engine import Engine
 from repro.simx.errors import ProcessFailure, SimulationError

@@ -99,7 +99,7 @@ def _pattern_drift(times: np.ndarray) -> float:
     if times.shape[0] < 2:
         return 0.0
     drifts = []
-    for a, b in zip(times, times[1:]):
+    for a, b in zip(times, times[1:], strict=False):
         sa, sb = a.std(), b.std()
         if sa == 0.0 or sb == 0.0:
             drifts.append(0.0)

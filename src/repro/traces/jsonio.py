@@ -18,7 +18,7 @@ import gzip
 import io
 import json
 import os
-from typing import IO, Any, Union
+from typing import IO, Any
 
 from repro.traces.records import record_from_dict, record_to_dict
 from repro.traces.trace import Trace
@@ -28,7 +28,7 @@ __all__ = ["read_trace", "write_trace", "dumps_trace", "loads_trace"]
 FORMAT_NAME = "repro-trace"
 FORMAT_VERSION = 1
 
-PathOrFile = Union[str, os.PathLike, IO[str]]
+PathOrFile = str | os.PathLike | IO[str]
 
 
 def _open(path_or_file: PathOrFile, mode: str) -> tuple[IO[str], bool]:

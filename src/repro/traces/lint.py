@@ -1,22 +1,28 @@
-"""Trace linting: structural validity is necessary, not sufficient.
+"""Trace linting: compatibility front end of the diagnostics engine.
 
-:func:`lint_trace` inspects a structurally valid trace for the issues
-that bite in practice — the checks a performance engineer runs before
-trusting a trace-driven study:
+The checks historically lived here as W001–W007; they are now rules
+TR001–TR007 of :mod:`repro.diagnostics.rules_traces`, joined by the
+static deadlock analysis (TR008–TR010).  :func:`lint_trace` keeps the
+original advisory API — including the legacy ``W00x`` codes — for
+callers like ``repro info``; new code should prefer
+:func:`repro.diagnostics.lint_trace_subject`, which returns full
+:class:`~repro.diagnostics.model.Diagnostic` objects with severities.
 
 ====  ==============================================================
 code  finding
 ====  ==============================================================
 W001  no iteration markers (region cutting and Jitter unavailable)
 W002  ranks that never compute (suspicious decomposition)
-W003  unmatched point-to-point traffic (replay will deadlock or
-      leave messages undelivered)
+W003  unmatched point-to-point traffic (pair counts differ)
 W004  any-source receives (matching becomes timing-dependent)
 W005  messages just above the eager threshold (rendezvous cliff)
 W006  collective contribution spread > 3× across ranks (the
       synchronised cost is paced by the largest)
 W007  compute bursts shorter than the network latency (the trace is
       overhead-dominated; consider coalescing)
+TR008 circular wait between ranks (replay deadlock)
+TR009 orphaned operation / undelivered messages
+TR010 ranks disagree on collective operation order
 ====  ==============================================================
 
 Warnings are advisory — many are legitimate in specific designs (IS's
@@ -27,20 +33,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
-from repro.traces.records import (
-    ANY_SOURCE,
-    CollectiveRecord,
-    ComputeBurst,
-    IrecvRecord,
-    IsendRecord,
-    MarkerRecord,
-    RecvRecord,
-    SendRecord,
-)
+from repro.netsim.platform import PlatformConfig
+
 from repro.traces.trace import Trace
 
 __all__ = ["LintWarning", "lint_trace"]
+
+#: Diagnostics codes mapped back to their historical advisory names.
+_LEGACY_CODES = {f"TR00{i}": f"W00{i}" for i in range(1, 8)}
 
 
 @dataclass(frozen=True)
@@ -59,167 +59,22 @@ class LintWarning:
 def lint_trace(
     trace: Trace, platform: PlatformConfig | None = None
 ) -> list[LintWarning]:
-    """Run every check; returns findings sorted by code then rank."""
-    platform = platform or MYRINET_LIKE
-    warnings: list[LintWarning] = []
-    warnings += _check_markers(trace)
-    warnings += _check_idle_ranks(trace)
-    warnings += _check_matching(trace)
-    warnings += _check_wildcards(trace)
-    warnings += _check_eager_cliff(trace, platform)
-    warnings += _check_collective_spread(trace)
-    warnings += _check_tiny_bursts(trace, platform)
-    return sorted(warnings, key=lambda w: (w.code, -1 if w.rank is None else w.rank))
+    """Run every trace check; returns findings in deterministic order.
 
+    Findings are sorted by ``(code, rank is not None, rank)`` so
+    trace-wide findings always precede per-rank findings of the same
+    code and never collide with rank 0.
+    """
+    from repro.diagnostics.engine import lint_trace_subject
 
-def _check_markers(trace: Trace) -> list[LintWarning]:
-    has_markers = any(
-        isinstance(rec, MarkerRecord) and rec.iteration >= 0
-        for rec in trace[0]
-    )
-    if has_markers:
-        return []
-    return [
+    warnings = [
         LintWarning(
-            "W001",
-            "no iteration markers: region cutting, per-iteration stats and "
-            "the Jitter runtime will be unavailable",
+            code=_LEGACY_CODES.get(diag.code, diag.code),
+            message=diag.message,
+            rank=diag.rank,
         )
+        for diag in lint_trace_subject(trace, platform)
     ]
-
-
-def _check_idle_ranks(trace: Trace) -> list[LintWarning]:
-    return [
-        LintWarning("W002", "rank never computes", rank=stream.rank)
-        for stream in trace
-        if stream.compute_time() == 0.0
-    ]
-
-
-def _check_matching(trace: Trace) -> list[LintWarning]:
-    sends: dict[tuple[int, int], int] = {}
-    recvs: dict[tuple[int, int], int] = {}
-    wildcard_recv_ranks = set()
-    for stream in trace:
-        for rec in stream:
-            if isinstance(rec, (SendRecord, IsendRecord)):
-                key = (stream.rank, rec.dst)
-                sends[key] = sends.get(key, 0) + 1
-            elif isinstance(rec, (RecvRecord, IrecvRecord)):
-                if rec.src == ANY_SOURCE:
-                    wildcard_recv_ranks.add(stream.rank)
-                    continue  # cannot be attributed to a pair
-                key = (rec.src, stream.rank)
-                recvs[key] = recvs.get(key, 0) + 1
-    out = []
-    for key in sorted(set(sends) | set(recvs)):
-        n_send = sends.get(key, 0)
-        n_recv = recvs.get(key, 0)
-        if key[1] in wildcard_recv_ranks:
-            continue  # wildcards may absorb the difference
-        if n_send != n_recv:
-            out.append(
-                LintWarning(
-                    "W003",
-                    f"pair r{key[0]}->r{key[1]}: {n_send} send(s) vs "
-                    f"{n_recv} recv(s)",
-                )
-            )
-    return out
-
-
-def _check_wildcards(trace: Trace) -> list[LintWarning]:
-    out = []
-    for stream in trace:
-        n = sum(
-            1
-            for rec in stream
-            if isinstance(rec, (RecvRecord, IrecvRecord))
-            and rec.src == ANY_SOURCE
-        )
-        if n:
-            out.append(
-                LintWarning(
-                    "W004",
-                    f"{n} any-source receive(s): matching becomes "
-                    "timing-dependent",
-                    rank=stream.rank,
-                )
-            )
-    return out
-
-
-def _check_eager_cliff(trace: Trace, platform: PlatformConfig) -> list[LintWarning]:
-    threshold = platform.eager_threshold
-    if threshold <= 0:
-        return []
-    out = []
-    for stream in trace:
-        n = sum(
-            1
-            for rec in stream
-            if isinstance(rec, (SendRecord, IsendRecord))
-            and threshold < rec.nbytes <= int(threshold * 1.1)
-        )
-        if n:
-            out.append(
-                LintWarning(
-                    "W005",
-                    f"{n} message(s) just above the {threshold}-byte eager "
-                    "threshold: rendezvous cliff",
-                    rank=stream.rank,
-                )
-            )
-    return out
-
-
-def _check_collective_spread(trace: Trace) -> list[LintWarning]:
-    # align per-rank collective sequences (validate() ensured equal counts)
-    sequences = [
-        [rec for rec in stream if isinstance(rec, CollectiveRecord)]
-        for stream in trace
-    ]
-    if not sequences or not sequences[0]:
-        return []
-    out = []
-    flagged_ops = set()
-    for idx in range(len(sequences[0])):
-        sizes = [seq[idx].nbytes for seq in sequences if idx < len(seq)]
-        positive = [s for s in sizes if s > 0]
-        if not positive:
-            continue
-        if max(positive) > 3 * max(min(positive), 1):
-            op = sequences[0][idx].op
-            if op not in flagged_ops:
-                flagged_ops.add(op)
-                out.append(
-                    LintWarning(
-                        "W006",
-                        f"{op} contributions spread >3x across ranks "
-                        "(cost is paced by the largest)",
-                    )
-                )
-    return out
-
-
-def _check_tiny_bursts(trace: Trace, platform: PlatformConfig) -> list[LintWarning]:
-    latency = platform.latency
-    if latency <= 0.0:
-        return []
-    out = []
-    for stream in trace:
-        tiny = sum(
-            1
-            for rec in stream
-            if isinstance(rec, ComputeBurst) and 0.0 < rec.duration < latency
-        )
-        if tiny > len(stream) // 4:
-            out.append(
-                LintWarning(
-                    "W007",
-                    f"{tiny} compute burst(s) shorter than the network "
-                    f"latency ({latency:g}s): overhead-dominated trace",
-                    rank=stream.rank,
-                )
-            )
-    return out
+    return sorted(
+        warnings, key=lambda w: (w.code, w.rank is not None, w.rank or 0)
+    )

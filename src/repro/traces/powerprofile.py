@@ -16,7 +16,7 @@ the test suite checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -149,7 +149,7 @@ def power_svg(
     peak = max(float(watts.max(initial=0.0)), 1e-12)
 
     points = [f"{margin_l},{margin_t + plot_h}"]
-    for c, w in zip(centers, watts):
+    for c, w in zip(centers, watts, strict=True):
         x = margin_l + (c / profile.horizon if profile.horizon else 0) * plot_w
         y = margin_t + plot_h * (1 - w / (peak * 1.1))
         points.append(f"{x:.1f},{y:.1f}")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import IO, Union
+from typing import IO
 
 from repro.netsim.record import Interval, RunResult
 
@@ -48,7 +48,9 @@ class PrvTrace:
         return sum(iv.duration for iv in self.intervals[rank] if iv.kind == kind)
 
 
-def write_prv(result: RunResult, path_or_file: Union[str, os.PathLike, IO[str]]) -> None:
+def write_prv(
+    result: RunResult, path_or_file: str | os.PathLike | IO[str]
+) -> None:
     """Export a run (simulated with ``record_intervals=True``) as .prv."""
     if result.intervals is None:
         raise ValueError(
@@ -77,7 +79,7 @@ def write_prv(result: RunResult, path_or_file: Union[str, os.PathLike, IO[str]])
             stream.close()
 
 
-def parse_prv(path_or_file: Union[str, os.PathLike, IO[str]]) -> PrvTrace:
+def parse_prv(path_or_file: str | os.PathLike | IO[str]) -> PrvTrace:
     """Parse a file produced by :func:`write_prv`."""
     own = False
     if hasattr(path_or_file, "read"):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Union
+from typing import Any, ClassVar
 
 __all__ = [
     "ANY_SOURCE",
@@ -211,17 +211,17 @@ class MarkerRecord:
     kind: ClassVar[str] = "marker"
 
 
-Record = Union[
-    ComputeBurst,
-    SendRecord,
-    RecvRecord,
-    IsendRecord,
-    IrecvRecord,
-    WaitRecord,
-    WaitallRecord,
-    CollectiveRecord,
-    MarkerRecord,
-]
+Record = (
+    ComputeBurst
+    | SendRecord
+    | RecvRecord
+    | IsendRecord
+    | IrecvRecord
+    | WaitRecord
+    | WaitallRecord
+    | CollectiveRecord
+    | MarkerRecord
+)
 
 _RECORD_TYPES: dict[str, type] = {
     cls.kind: cls

@@ -15,7 +15,7 @@ these renderings, and :func:`compute_fraction` quantifies it.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.netsim.record import Interval, RunResult
 

@@ -9,7 +9,7 @@ the modified trace is replayed.  :func:`scale_compute` is that rewrite.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
