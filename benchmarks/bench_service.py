@@ -1,0 +1,129 @@
+"""Simulation service — cold vs cache-hit vs coalesced throughput.
+
+Three measurements against one in-process :class:`ServiceThread`
+(real HTTP over loopback, thread-pool workers so the numbers measure
+the service, not process spawn):
+
+* ``cold``      — first-ever request: full simulate-and-replay;
+* ``cache_hit`` — identical repeat: content-addressed cache fast path;
+* ``coalesced`` — a burst of identical concurrent requests riding one
+  in-flight simulation (single-flight followers).
+
+The cache-hit path must beat the cold path by at least 10× (it skips
+the trace simulation and both replays; only JSON serving remains).
+Timings land in pytest-benchmark like every other ``bench_*`` module;
+``benchmarks/baselines/service.json`` records a reference run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceThread
+
+SPEC = {
+    "app": "BT-MZ-32",
+    "gears": "uniform:6",
+    "algorithm": "max",
+    "beta": 0.5,
+    "iterations": 3,
+}
+BURST = 8
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    from concurrent.futures import ThreadPoolExecutor
+
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        queue_limit=BURST + 4,
+        cache_dir=str(tmp_path_factory.mktemp("service-bench-cache")),
+    )
+    with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+        yield svc
+
+
+def _balance(svc, **extra):
+    response = svc.client.balance(**{**SPEC, **extra})
+    assert response.status == 200, response.body
+    return response
+
+
+def _timed(label: str, fn):
+    """Run ``fn`` once, recording wall time (works with
+    ``--benchmark-disable``, where ``benchmark.stats`` is unset)."""
+    start = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - start
+    _TIMINGS[label] = min(_TIMINGS.get(label, elapsed), elapsed)
+    return out
+
+
+def test_service_cold(benchmark, service):
+    response = benchmark.pedantic(
+        lambda: _timed("cold", lambda: _balance(service)),
+        rounds=1, iterations=1,
+    )
+    assert response.headers["X-Cache"] == "miss"
+
+
+def test_service_cache_hit(benchmark, service):
+    _balance(service)  # ensure primed even when run standalone
+    response = benchmark.pedantic(
+        lambda: _timed("cache_hit", lambda: _balance(service)),
+        rounds=5, iterations=1,
+    )
+    assert response.headers["X-Cache"] == "hit"
+
+    cold = _TIMINGS.get("cold")
+    if cold is not None:  # full-file run: assert the headline speedup
+        hit = _TIMINGS["cache_hit"]
+        assert hit * 10.0 <= cold, (
+            f"cache-hit request ({hit * 1e3:.2f} ms) is not 10x faster "
+            f"than the cold request ({cold * 1e3:.2f} ms)"
+        )
+
+
+def test_service_coalesced_burst(benchmark, service):
+    # a *fresh* spec per measurement round so the burst is never a
+    # plain cache hit: vary iterations (4, 5, ... are all uncached)
+    fresh = iter(range(4, 1000))
+
+    def burst():
+        iterations = next(fresh)
+        results = [None] * BURST
+
+        def fire(i):
+            results[i] = _balance(service, iterations=iterations)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(BURST)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        states = sorted(r.headers["X-Cache"] for r in results)
+        assert states.count("miss") == 1
+        assert states.count("coalesced") == BURST - 1
+        return results
+
+    benchmark.pedantic(
+        lambda: _timed("coalesced_burst", burst), rounds=3, iterations=1
+    )
+
+    cold = _TIMINGS.get("cold")
+    if cold is not None:
+        per_request = _TIMINGS["coalesced_burst"] / BURST
+        assert per_request <= cold, (
+            f"coalesced per-request time ({per_request * 1e3:.2f} ms) "
+            f"should amortize below one cold request ({cold * 1e3:.2f} ms)"
+        )

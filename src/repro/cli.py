@@ -9,6 +9,8 @@
     repro trace CG-32 -o cg32.jsonl     # record a skeleton trace
     repro timeline BT-MZ-32             # ASCII Fig.1-style timeline
     repro lint --format sarif           # static analysis (see docs/diagnostics.md)
+    repro serve --port 8080 --workers 2 # simulation service (docs/service.md)
+    repro cache stats                   # persistent result-cache maintenance
 
 Also runnable as ``python -m repro``.
 """
@@ -129,29 +131,93 @@ def _cmd_platform(args: argparse.Namespace) -> int:
 
 
 def _cmd_balance(args: argparse.Namespace) -> int:
-    from repro.apps import build_app
-    from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
-    from repro.core.balancer import PowerAwareLoadBalancer
-    from repro.core.timemodel import BetaTimeModel
+    import json
 
-    algorithm = {"max": MaxAlgorithm, "avg": AvgAlgorithm}[args.algorithm]()
-    balancer = PowerAwareLoadBalancer(
-        gear_set=build_gear_set(args.gears),
-        algorithm=algorithm,
-        time_model=BetaTimeModel(fmax=2.3, beta=args.beta),
-    )
-    app = build_app(args.app, iterations=args.iterations)
-    report = balancer.balance_app(app)
-    print(report)
-    for key, value in sorted(report.row().items()):
-        print(f"  {key:28s} {value}")
+    # Shared with the service's worker pool, so `repro balance --json`
+    # is byte-identical to the `POST /v1/balance` response body.
+    from repro.service.workers import execute_balance
+
+    spec = {
+        "app": args.app,
+        "gears": args.gears,
+        "algorithm": args.algorithm,
+        "beta": args.beta,
+        "iterations": args.iterations,
+        "base_compute": 0.02,
+    }
+    if args.cache_dir:
+        spec["cache_dir"] = args.cache_dir
+    try:
+        report, _runner = execute_balance(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report)
+        for key, value in sorted(report.row().items()):
+            print(f"  {key:28s} {value}")
     if args.save_assignment:
-        import json
-
         with open(args.save_assignment, "w", encoding="utf-8") as fh:
             json.dump(report.assignment.to_dict(), fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.save_assignment}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from repro.service.app import ServiceApp, ServiceConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s %(message)s",
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        iterations=args.iterations,
+        beta=args.beta,
+    )
+    return asyncio.run(ServiceApp(config).run())
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.experiments.cache import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"cache dir:   {stats['cache_dir']}")
+        print(f"entries:     {stats['entries']}")
+        print(f"total bytes: {stats['total_bytes']}")
+        for kind, count in stats["kinds"].items():
+            print(f"  {kind:14s} {count}")
+        if stats["oldest_mtime"] is not None:
+            age_days = (time.time() - stats["oldest_mtime"]) / 86400.0
+            print(f"oldest:      {age_days:.1f} day(s)")
+        return 0
+    if args.cache_command == "gc":
+        out = cache.gc(args.max_age)
+        print(
+            f"removed {out['removed']} blob(s), freed {out['freed_bytes']} "
+            f"bytes from {cache.cache_dir}"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} blob(s) from {cache.cache_dir}")
     return 0
 
 
@@ -387,10 +453,61 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_bal.add_argument("--beta", type=float, default=0.5)
     p_bal.add_argument("--iterations", type=int, default=6)
     p_bal.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON (the service wire format)",
+    )
+    p_bal.add_argument(
+        "--cache-dir",
+        help="use a persistent result cache (shared with serve/reproduce-all)",
+    )
+    p_bal.add_argument(
         "--save-assignment",
         help="write the per-rank frequency assignment as JSON",
     )
     p_bal.set_defaults(fn=_cmd_balance)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the simulation service (HTTP/JSON, asyncio)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8080)
+    p_srv.add_argument(
+        "--workers", type=int, default=2,
+        help="simulation worker processes (default 2)",
+    )
+    p_srv.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admitted jobs beyond which requests get 429 (default 16)",
+    )
+    p_srv.add_argument(
+        "--cache-dir",
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    p_srv.add_argument("--iterations", type=int, default=6)
+    p_srv.add_argument("--beta", type=float, default=0.5)
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent result cache"
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cs = cache_sub.add_parser("stats", help="entry/byte totals by kind")
+    p_cs.add_argument("--json", action="store_true")
+    p_cs.set_defaults(fn=_cmd_cache)
+    p_cg = cache_sub.add_parser("gc", help="drop blobs older than --max-age")
+    p_cg.add_argument(
+        "--max-age", type=float, default=30.0, metavar="DAYS",
+        help="age threshold in days (default 30)",
+    )
+    p_cg.set_defaults(fn=_cmd_cache)
+    cache_sub.add_parser("clear", help="remove every cache blob") \
+        .set_defaults(fn=_cmd_cache)
 
     p_cmp = sub.add_parser(
         "compare", help="side-by-side DVFS strategies for one application"

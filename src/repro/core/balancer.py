@@ -37,6 +37,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["BalanceReport", "PowerAwareLoadBalancer"]
 
 
+def _plain(value: Any) -> Any:
+    """A built-in scalar for ``json.dumps`` (numpy floats sneak into rows)."""
+    if isinstance(value, float):
+        return float(value)  # demotes numpy float subclasses
+    if hasattr(value, "item"):  # other numpy scalars
+        return value.item()
+    return value
+
+
 @dataclass
 class BalanceReport:
     """Everything the paper reports for one (app, algorithm, gear set) cell."""
@@ -88,6 +97,35 @@ class BalanceReport:
             "normalized_time": self.normalized_time,
             "normalized_edp": self.normalized_edp,
             "overclocked_pct": self.overclocked_pct,
+        }
+
+    def to_json(self) -> dict[str, Any]:
+        """The report as plain JSON-able data (service/CLI wire format).
+
+        A strict superset of :meth:`row` — adds absolute times/energies
+        and the per-rank frequency assignment; drops nothing, so the
+        service response and ``repro balance --json`` can share it
+        byte-for-byte.  Everything is coerced to built-in scalars so
+        ``json.dumps`` never sees numpy types.
+        """
+        return {
+            **{k: _plain(v) for k, v in self.row().items()},
+            "energy_savings_pct": float(self.energy_savings_pct),
+            "original_time_s": float(self.original_time),
+            "new_time_s": float(self.new_time),
+            "original_energy_j": float(self.original_energy.total),
+            "new_energy_j": float(self.new_energy.total),
+            "assignment": {
+                "target_time_s": float(self.assignment.target_time),
+                "frequencies_ghz": [
+                    float(g.frequency) for g in self.assignment.gears
+                ],
+                "voltages_v": [
+                    float(g.voltage) for g in self.assignment.gears
+                ],
+                "overclocked": [bool(x) for x in self.assignment.overclocked],
+                "attained": [bool(x) for x in self.assignment.attained],
+            },
         }
 
     def __str__(self) -> str:

@@ -13,10 +13,13 @@ result:
 Keys are digests of canonical JSON, so two configs hash equal exactly
 when every physical parameter matches — gear *frequencies*, not just
 the set's display name, and the full platform dict, not just its
-label.  Blobs are pickles written atomically (temp file + rename), so
-a concurrent ``--jobs N`` campaign never observes a half-written
-entry; a corrupted or unreadable blob is treated as a miss and
-rewritten on the next store.
+label.  Blobs are framed pickles (magic + SHA-256 of the pickle body)
+written atomically (temp file + rename), so a concurrent ``--jobs N``
+campaign never observes a half-written entry; on read the body digest
+is re-verified, and a blob that fails framing, digest or unpickling is
+counted as a *corrupt* miss (``stats()["corrupt"]``, a subset of
+``misses``) and rewritten on the next store — so silent bit-rot in a
+long-lived cache directory is visible, not just slow.
 
 Bump :data:`CACHE_VERSION` whenever a model change makes old blobs
 meaningless — the version is salted into every key, so stale entries
@@ -31,6 +34,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -50,14 +54,21 @@ __all__ = [
 ]
 
 #: Salted into every key; bump on any change that invalidates old blobs.
-CACHE_VERSION = 1
+#: v2: digest-framed blob format (magic + SHA-256 of the pickle body).
+CACHE_VERSION = 2
+
+#: Every blob starts with this magic; the version byte tracks the
+#: framing format, not :data:`CACHE_VERSION` (which salts the *keys*).
+_BLOB_MAGIC = b"RPRC\x02"
+_DIGEST_BYTES = 32
 
 #: Process-wide hit/miss counters, aggregated across every
 #: :class:`ResultCache` instance (each experiment builds its own
 #: ``Runner``, hence its own cache handle — the campaign driver reads
 #: these to report per-experiment stats without threading the handle
-#: through every ``run()`` signature).
-_PROCESS_STATS = {"hits": 0, "misses": 0, "stores": 0}
+#: through every ``run()`` signature).  ``corrupt`` counts the subset
+#: of ``misses`` caused by blobs that failed digest verification.
+_PROCESS_STATS = {"hits": 0, "misses": 0, "corrupt": 0, "stores": 0}
 
 
 def process_cache_stats() -> dict[str, int]:
@@ -142,6 +153,7 @@ class ResultCache:
         self.cache_dir = Path(cache_dir).expanduser()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self.stores = 0
 
     # ------------------------------------------------------------------
@@ -152,21 +164,44 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
+    def _decode(self, raw: bytes) -> Any | None:
+        """Unframe + digest-check + unpickle; ``None`` means corrupt."""
+        header = len(_BLOB_MAGIC) + _DIGEST_BYTES
+        if len(raw) < header or raw[: len(_BLOB_MAGIC)] != _BLOB_MAGIC:
+            return None
+        digest = raw[len(_BLOB_MAGIC):header]
+        body = raw[header:]
+        if hashlib.sha256(body).digest() != digest:
+            return None
+        try:
+            return pickle.loads(body)
+        except Exception:
+            return None
+
     def get(self, kind: str, payload: Any) -> Any | None:
-        """The cached object, or ``None`` on miss *or* corrupted blob."""
+        """The cached object, or ``None`` on a cold or corrupt miss.
+
+        Every blob's body digest is re-verified on read; a blob that
+        fails framing, digest or unpickling counts in both ``misses``
+        and ``corrupt`` (cold misses = ``misses - corrupt``).
+        """
         path = self._path(self.key(kind, payload))
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            raw = path.read_bytes()
         except FileNotFoundError:
-            value = None
-        except Exception:
-            # truncated/garbled blob: a miss; the recompute's put() below
-            # overwrites it with a good one
-            value = None
-        if value is None:
+            raw = None
+        except OSError:
+            raw = b""  # unreadable existing blob: corrupt, not cold
+        if raw is None:
             self.misses += 1
             _PROCESS_STATS["misses"] += 1
+            return None
+        value = self._decode(raw)
+        if value is None:
+            self.misses += 1
+            self.corrupt += 1
+            _PROCESS_STATS["misses"] += 1
+            _PROCESS_STATS["corrupt"] += 1
             return None
         self.hits += 1
         _PROCESS_STATS["hits"] += 1
@@ -176,10 +211,12 @@ class ResultCache:
         """Atomically persist ``value``; concurrent writers are safe."""
         path = self._path(self.key(kind, payload))
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _BLOB_MAGIC + hashlib.sha256(body).digest() + body
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(blob)
             os.replace(tmp, path)
         except BaseException:
             with contextlib.suppress(OSError):
@@ -191,13 +228,83 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
 
     def entry_count(self) -> int:
         try:
             return sum(1 for _ in self.cache_dir.glob("*.pkl"))
         except OSError:
             return 0
+
+    # ------------------------------------------------------------------
+    # disk maintenance (``repro cache`` CLI)
+    def disk_stats(self) -> dict[str, Any]:
+        """What is on disk: entry/byte totals and a per-kind breakdown."""
+        entries = 0
+        total_bytes = 0
+        kinds: dict[str, int] = {}
+        oldest: float | None = None
+        for path in self._blobs():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            kind = path.stem.rsplit("-", 1)[0]
+            kinds[kind] = kinds.get(kind, 0) + 1
+            if oldest is None or stat.st_mtime < oldest:
+                oldest = stat.st_mtime
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "kinds": dict(sorted(kinds.items())),
+            "oldest_mtime": oldest,
+        }
+
+    def gc(self, max_age_days: float) -> dict[str, int]:
+        """Drop blobs not touched for ``max_age_days``; stray temp files
+        always go.  Returns ``{"removed": n, "freed_bytes": n}``."""
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = 0
+        freed = 0
+        for path in self._blobs():
+            try:
+                stat = path.stat()
+                if stat.st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+                    freed += stat.st_size
+            except OSError:
+                continue
+        for tmp in self.cache_dir.glob("*.tmp"):
+            with contextlib.suppress(OSError):
+                size = tmp.stat().st_size
+                tmp.unlink()
+                removed += 1
+                freed += size
+        return {"removed": removed, "freed_bytes": freed}
+
+    def clear(self) -> int:
+        """Remove every blob (and temp file); returns how many."""
+        removed = 0
+        for path in list(self._blobs()) + list(self.cache_dir.glob("*.tmp")):
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def _blobs(self):
+        try:
+            yield from self.cache_dir.glob("*.pkl")
+        except OSError:
+            return
 
 
 def platform_payload(platform: PlatformConfig) -> dict[str, Any]:

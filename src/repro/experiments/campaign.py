@@ -77,7 +77,9 @@ def run_one_experiment(eid: str, config: RunnerConfig) -> dict[str, Any]:
         payload = {"eid": eid, "ok": False, "error": traceback.format_exc()}
     after = process_cache_stats()
     payload["seconds"] = time.perf_counter() - start
-    payload["cache"] = {k: after[k] - before[k] for k in ("hits", "misses")}
+    payload["cache"] = {
+        k: after[k] - before[k] for k in ("hits", "misses", "corrupt")
+    }
     return payload
 
 
@@ -101,7 +103,7 @@ def _collect(ids, config, jobs):
                     "ok": False,
                     "error": traceback.format_exc(),
                     "seconds": 0.0,
-                    "cache": {"hits": 0, "misses": 0},
+                    "cache": {"hits": 0, "misses": 0, "corrupt": 0},
                 }
 
 
@@ -165,13 +167,13 @@ def reproduce_all(
     ]
 
     wall_start = time.perf_counter()
-    cache_totals = {"hits": 0, "misses": 0}
+    cache_totals = {"hits": 0, "misses": 0, "corrupt": 0}
     errors = 0
     for payload in _collect(ids, config, jobs):
         eid = payload["eid"]
         elapsed = payload["seconds"]
         for key in cache_totals:
-            cache_totals[key] += payload["cache"][key]
+            cache_totals[key] += payload["cache"].get(key, 0)
 
         if not payload["ok"]:
             errors += 1

@@ -1,0 +1,26 @@
+"""Simulation-as-a-service layer (``repro serve``).
+
+An asyncio HTTP/JSON front-end over the power-aware load-balancing
+simulator: bounded admission queue with explicit 429 backpressure,
+single-flight coalescing of identical in-flight requests, a process
+worker pool, and the content-addressed result cache shared with the
+offline CLI and campaign runner.  Pure stdlib — no third-party server
+dependencies.
+
+Entry points:
+
+- :class:`repro.service.app.ServiceApp` / ``repro serve`` — the server
+- :class:`repro.service.client.ServiceClient` — a thin blocking client
+- :class:`repro.service.client.ServiceThread` — in-process test harness
+"""
+
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.client import ServiceClient, ServiceResponse, ServiceThread
+
+__all__ = [
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResponse",
+    "ServiceThread",
+]

@@ -1,0 +1,69 @@
+"""Single-flight request coalescing.
+
+Identical in-flight requests collapse onto one computation: the first
+caller for a key becomes the *leader* and actually runs the thunk;
+every concurrent caller with the same key becomes a *follower* and
+awaits the leader's future.  Combined with the content-addressed
+result cache this gives the classic inference-server behaviour — a
+thundering herd of N identical requests costs one simulation, and the
+N-1 followers add only a future await.
+
+Failures propagate: if the leader raises (including a 429 from
+admission control), every follower sees the same exception — they
+would have met the same fate, and retry policy belongs to clients.
+
+Keys are caller-provided canonical strings (the service uses the
+SHA-256 cache key of the fully resolved request), so "identical" means
+physically identical, not merely textually identical JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable
+from typing import Any, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """In-flight deduplication keyed by canonical request identity."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future[Any]] = {}
+        self.leaders_total = 0
+        self.followers_total = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def do(
+        self, key: str, thunk: Callable[[], Awaitable[T]]
+    ) -> tuple[T, bool]:
+        """Run ``thunk`` once per concurrent key; returns (result, led).
+
+        ``led`` is True for the leader that actually executed the thunk
+        and False for coalesced followers.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.followers_total += 1
+            return await asyncio.shield(existing), False
+
+        future: asyncio.Future[T] = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders_total += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # mark retrieved so a follower-less failure doesn't warn
+            future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result, True
+        finally:
+            del self._inflight[key]

@@ -1,0 +1,116 @@
+"""Async job tracking for long-running requests.
+
+``POST /v1/balance`` and ``POST /v1/experiments/{eid}`` normally wait
+for the result, but a client that would rather poll (long experiment
+campaigns, aggressive client-side timeouts) sends ``"async": true``
+and gets a job id back immediately (HTTP 202); ``GET /v1/jobs/{id}``
+reports the state machine ``queued -> running -> done | failed``.
+
+The table is in-memory and process-local (the service is a cache-backed
+stateless tier — a restarted server forgets jobs but re-serves their
+results from the persistent cache).  Finished jobs are retained for
+``ttl_seconds`` and pruned lazily on access, so the table is bounded
+without a background reaper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Job", "JobTable"]
+
+#: States a job can be in; terminal states keep their result/error.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One asynchronously executed request."""
+
+    id: str
+    kind: str
+    status: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    result: Any = None
+    error: dict[str, Any] | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created": self.created,
+        }
+        if self.started is not None:
+            payload["started"] = self.started
+        if self.finished is not None:
+            payload["finished"] = self.finished
+            payload["seconds"] = round(
+                self.finished - (self.started or self.created), 6
+            )
+        if self.status == DONE:
+            payload["result"] = self.result
+        if self.status == FAILED and self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobTable:
+    """Create/lookup/transition jobs; prune terminal ones past TTL."""
+
+    def __init__(self, ttl_seconds: float = 3600.0):
+        self.ttl_seconds = ttl_seconds
+        self._jobs: dict[str, Job] = {}
+        self._counter = itertools.count(1)
+        self.created_total = 0
+
+    def create(self, kind: str) -> Job:
+        job_id = f"{kind}-{next(self._counter):06d}-{os.urandom(3).hex()}"
+        job = Job(id=job_id, kind=kind)
+        self._jobs[job_id] = job
+        self.created_total += 1
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        self.prune()
+        return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    def mark_running(self, job: Job) -> None:
+        job.status = RUNNING
+        job.started = time.time()
+
+    def mark_done(self, job: Job, result: Any) -> None:
+        job.status = DONE
+        job.result = result
+        job.finished = time.time()
+
+    def mark_failed(self, job: Job, error: dict[str, Any]) -> None:
+        job.status = FAILED
+        job.error = error
+        job.finished = time.time()
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(
+            1 for j in self._jobs.values() if j.status in (QUEUED, RUNNING)
+        )
+
+    def prune(self) -> None:
+        cutoff = time.time() - self.ttl_seconds
+        stale = [
+            jid
+            for jid, job in self._jobs.items()
+            if job.finished is not None and job.finished < cutoff
+        ]
+        for jid in stale:
+            del self._jobs[jid]

@@ -1,0 +1,245 @@
+"""Minimal Prometheus-style metrics registry (text exposition format).
+
+The service exports counters, gauges and histograms over ``GET
+/metrics`` in the Prometheus 0.0.4 text format.  Three twists keep
+this stdlib-only and allocation-free on the hot path:
+
+* all mutation happens on the event-loop thread, so no locks;
+* gauges (and counters whose source of truth lives elsewhere, e.g. the
+  :class:`~repro.experiments.cache.ResultCache` hit counters) may be
+  *callback-backed*: the value is sampled at scrape time;
+* rendering is deterministic — metrics in registration order, label
+  sets in first-seen order — so scrapes diff cleanly in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Latency buckets (seconds) sized for a cache-hit floor of ~100 µs and
+#: a cold-simulation ceiling of a few seconds.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{v}"' for n, v in zip(names, values, strict=True)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        fn: Callable[[], float] | None = None,
+    ):
+        super().__init__(name, help_text, labelnames)
+        if fn is not None and labelnames:
+            raise ValueError("callback-backed counters cannot have labels")
+        self._fn = fn
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        if self._fn is not None:
+            lines.append(f"{self.name} {_fmt(float(self._fn()))}")
+            return lines
+        if not self._values and not self.labelnames:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key, val in self._values.items():
+            lines.append(f"{self.name}{_labels(self.labelnames, key)} {_fmt(val)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; may be callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        fn: Callable[[], float] | None = None,
+    ):
+        super().__init__(name, help_text, ())
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        self._value = float(value)
+
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def render(self) -> list[str]:
+        return [*self._header(), f"{self.name} {_fmt(self.value())}"]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count`` series."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        empty = (0,) * (len(self.buckets) + 1)  # + the +Inf bucket
+        self._empty = empty
+        self._counts: dict[tuple[str, ...], list[int]] = {}
+        self._sums: dict[tuple[str, ...], float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        counts = self._counts.setdefault(key, list(self._empty))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        return sum(self._counts.get(key, self._empty))
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key, counts in self._counts.items():
+            cumulative = 0
+            for bound, n in zip(
+                (*self.buckets, math.inf), counts, strict=True
+            ):
+                cumulative += n
+                names = (*self.labelnames, "le")
+                values = (*key, _fmt(bound))
+                lines.append(
+                    f"{self.name}_bucket{_labels(names, values)} {cumulative}"
+                )
+            labels = _labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{labels} {_fmt(self._sums[key])}")
+            lines.append(f"{self.name}_count{labels} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Create-and-register factory plus the text renderer."""
+
+    def __init__(self) -> None:
+        self._metrics: list[_Metric] = []
+        self._names: set[str] = set()
+
+    def _register(self, metric: _Metric) -> None:
+        if metric.name in self._names:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._names.add(metric.name)
+        self._metrics.append(metric)
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        fn: Callable[[], float] | None = None,
+    ) -> Counter:
+        metric = Counter(name, help_text, labelnames, fn)
+        self._register(metric)
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str, fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        metric = Gauge(name, help_text, fn)
+        self._register(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = Histogram(name, help_text, labelnames, buckets)
+        self._register(metric)
+        return metric
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for metric in self._metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

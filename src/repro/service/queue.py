@@ -1,0 +1,91 @@
+"""Admission control: a bounded job queue with explicit backpressure.
+
+The service never buffers unbounded work.  ``limit`` caps the number of
+*admitted* jobs (queued + running in the worker pool); a request that
+arrives past the cap is rejected immediately with HTTP 429 and a
+``Retry-After`` estimate instead of blocking its connection or growing
+an invisible backlog — the inference-server discipline: fail fast at
+the front door, keep tail latency bounded for everyone already inside.
+
+``Retry-After`` is an honest estimate, not a constant: an exponential
+moving average of recent job durations times the number of queue
+drains the backlog needs at the configured worker parallelism.
+
+Single-threaded by design — every method runs on the event-loop
+thread, so plain attributes need no locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from repro.service.errors import QueueFull
+
+__all__ = ["AdmissionController"]
+
+#: EMA smoothing for job durations (~last 5 jobs dominate).
+_EMA_ALPHA = 0.3
+#: Retry-After estimate before any job has completed (seconds).
+_DEFAULT_JOB_SECONDS = 1.0
+
+
+class AdmissionController:
+    """Counting semaphore with rejection instead of waiting."""
+
+    def __init__(self, limit: int, workers: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.workers = max(1, workers)
+        self.depth = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self._ema_seconds: float | None = None
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        """Admit one job or raise :class:`QueueFull` (never blocks)."""
+        if self.depth >= self.limit:
+            self.rejected_total += 1
+            raise QueueFull(self.retry_after(), self.depth, self.limit)
+        self.depth += 1
+        self.admitted_total += 1
+        self._idle.clear()
+
+    def release(self, job_seconds: float | None = None) -> None:
+        """Mark one admitted job finished; feed its duration to the EMA."""
+        if self.depth <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self.depth -= 1
+        if job_seconds is not None and job_seconds >= 0.0:
+            if self._ema_seconds is None:
+                self._ema_seconds = job_seconds
+            else:
+                self._ema_seconds += _EMA_ALPHA * (
+                    job_seconds - self._ema_seconds
+                )
+        if self.depth == 0:
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    def retry_after(self) -> int:
+        """Whole seconds until a queue slot is plausibly free."""
+        per_job = self._ema_seconds or _DEFAULT_JOB_SECONDS
+        waves = math.ceil(max(self.depth, 1) / self.workers)
+        return max(1, math.ceil(waves * per_job))
+
+    async def drain(self) -> None:
+        """Wait until every admitted job has been released."""
+        await self._idle.wait()
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "depth": self.depth,
+            "limit": self.limit,
+            "admitted": self.admitted_total,
+            "rejected": self.rejected_total,
+            "ema_job_seconds": self._ema_seconds or 0.0,
+        }

@@ -1,0 +1,392 @@
+"""HTTP surface of the simulation service: types, validation, handlers.
+
+Request lifecycle for the compute endpoints::
+
+    parse JSON -> validate fields -> resolve gear set / platform
+      -> lint gate (diagnostics engine, PR 2)
+      -> cache fast path / single-flight / admission control (app.py)
+      -> worker pool -> JSON response
+
+Validation is strict — unknown body keys are rejected like typos in a
+platform file — and the lint gate runs *before* any admission so a
+malformed gear set or an unphysical β never burns a queue slot, let
+alone a worker.
+
+Response JSON is rendered with ``indent=2, sort_keys=True`` plus a
+trailing newline: byte-identical to ``repro balance --json``, which is
+the contract the round-trip tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.service.errors import (
+    LintRejected,
+    NotFound,
+    ServiceError,
+    ValidationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import ServiceApp
+
+__all__ = [
+    "HttpRequest",
+    "Response",
+    "error_response",
+    "json_response",
+    "match_route",
+]
+
+#: Cap accepted request bodies (a platform dict is < 1 KiB; 1 MiB is
+#: generous and keeps a hostile client from ballooning the heap).
+MAX_BODY_BYTES = 1 << 20
+
+_BALANCE_KEYS = {
+    "app", "gears", "algorithm", "beta", "iterations", "base_compute",
+    "platform", "strict", "async",
+}
+_EXPERIMENT_KEYS = {
+    "iterations", "beta", "base_compute", "apps", "platform", "strict",
+    "async",
+}
+_ITERATION_RANGE = (1, 10_000)
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+    request_id: str
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object ({} when empty)."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"body must be a JSON object, got {type(data).__name__}"
+            )
+        return data
+
+
+@dataclass
+class Response:
+    """One response ready for the wire."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    status: int, payload: Any, headers: dict[str, str] | None = None
+) -> Response:
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return Response(status, text.encode(), "application/json", headers or {})
+
+
+def error_response(err: ServiceError) -> Response:
+    return json_response(err.status, err.to_payload(), err.headers())
+
+
+# ----------------------------------------------------------------------
+# Validation helpers
+# ----------------------------------------------------------------------
+
+def _check_keys(body: dict[str, Any], allowed: set[str], what: str) -> None:
+    unknown = set(body) - allowed
+    if unknown:
+        raise ValidationError(
+            f"unknown {what} field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _number(body: dict[str, Any], key: str, default: float) -> float:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int(body: dict[str, Any], key: str, default: int,
+         lo: int, hi: int) -> int:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{key!r} must be an integer, got {value!r}")
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{key!r} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _flag(body: dict[str, Any], key: str) -> bool:
+    value = body.get(key, False)
+    if not isinstance(value, bool):
+        raise ValidationError(f"{key!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _app_name(value: Any) -> str:
+    from repro.apps.registry import parse_name
+
+    if not isinstance(value, str):
+        raise ValidationError(f"'app' must be a string, got {value!r}")
+    try:
+        parse_name(value)
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from None
+    return value
+
+
+def _platform_dict(value: Any):
+    """Validate + resolve an inline platform dict (None = reference)."""
+    from repro.netsim.config import platform_from_dict
+
+    if value is None:
+        return None
+    if not isinstance(value, dict):
+        raise ValidationError(f"'platform' must be an object, got {value!r}")
+    try:
+        return platform_from_dict(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"bad platform: {exc}") from None
+
+
+def _lint_gate(gear_set, beta: float, platform=None, strict: bool = False):
+    """Reject configurations the diagnostics engine flags (PR 2).
+
+    ``strict`` lowers the rejection threshold from ERROR to WARNING —
+    useful for gating production traffic on fully clean configs.
+    """
+    from repro.diagnostics.engine import (
+        lint_gear_set,
+        lint_models,
+        lint_platform,
+    )
+    from repro.diagnostics.model import Severity
+
+    diagnostics = list(lint_gear_set(gear_set))
+    diagnostics += lint_models(beta=beta, gear_set=gear_set)
+    if platform is not None:
+        diagnostics += lint_platform(platform)
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    offending = [d for d in diagnostics if d.severity >= threshold]
+    if offending:
+        raise LintRejected(offending)
+
+
+def parse_balance_request(
+    body: dict[str, Any], defaults: Any
+) -> tuple[dict[str, Any], bool]:
+    """Validate a balance body into a worker spec; returns (spec, async).
+
+    The spec is exactly what :func:`repro.service.workers.execute_balance`
+    consumes, with the platform kept as a plain dict so it pickles to
+    worker processes.
+    """
+    from repro.experiments.cache import platform_payload
+    from repro.service.workers import resolve_gear_set
+
+    _check_keys(body, _BALANCE_KEYS, "balance")
+    if "app" not in body:
+        raise ValidationError("'app' is required (e.g. \"BT-MZ-32\")")
+    app_name = _app_name(body["app"])
+    gears = body.get("gears", "uniform:6")
+    try:
+        gear_set = resolve_gear_set(gears)
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from None
+    algorithm = body.get("algorithm", "max")
+    if algorithm not in ("max", "avg"):
+        raise ValidationError(
+            f"'algorithm' must be 'max' or 'avg', got {algorithm!r}"
+        )
+    beta = _number(body, "beta", defaults.beta)
+    iterations = _int(
+        body, "iterations", defaults.iterations, *_ITERATION_RANGE
+    )
+    base_compute = _number(body, "base_compute", defaults.base_compute)
+    if base_compute <= 0:
+        raise ValidationError(
+            f"'base_compute' must be positive, got {base_compute}"
+        )
+    platform = _platform_dict(body.get("platform"))
+
+    _lint_gate(gear_set, beta, platform, strict=_flag(body, "strict"))
+
+    spec: dict[str, Any] = {
+        "app": app_name,
+        "gears": gears,
+        "algorithm": algorithm,
+        "beta": beta,
+        "iterations": iterations,
+        "base_compute": base_compute,
+    }
+    if platform is not None:
+        spec["platform"] = platform_payload(platform)
+    return spec, _flag(body, "async")
+
+
+def parse_experiment_request(
+    eid: str, body: dict[str, Any], defaults: Any
+) -> tuple[dict[str, Any], bool]:
+    """Validate an experiment body into a worker spec; (spec, async)."""
+    from repro.experiments import EXPERIMENT_IDS
+    from repro.experiments.cache import platform_payload
+
+    if eid not in EXPERIMENT_IDS:
+        raise NotFound(
+            f"unknown experiment {eid!r}; see GET /v1/experiments"
+        )
+    _check_keys(body, _EXPERIMENT_KEYS, "experiment")
+    beta = _number(body, "beta", defaults.beta)
+    iterations = _int(
+        body, "iterations", defaults.iterations, *_ITERATION_RANGE
+    )
+    base_compute = _number(body, "base_compute", defaults.base_compute)
+    if base_compute <= 0:
+        raise ValidationError(
+            f"'base_compute' must be positive, got {base_compute}"
+        )
+    apps = body.get("apps")
+    if apps is not None:
+        if not isinstance(apps, list) or not apps:
+            raise ValidationError(
+                f"'apps' must be a non-empty list of instance names, "
+                f"got {apps!r}"
+            )
+        apps = [_app_name(a) for a in apps]
+    platform = _platform_dict(body.get("platform"))
+
+    from repro.core.gears import uniform_gear_set
+
+    _lint_gate(
+        uniform_gear_set(6), beta, platform, strict=_flag(body, "strict")
+    )
+
+    spec: dict[str, Any] = {
+        "eid": eid,
+        "beta": beta,
+        "iterations": iterations,
+        "base_compute": base_compute,
+        "apps": apps,
+    }
+    if platform is not None:
+        spec["platform"] = platform_payload(platform)
+    return spec, _flag(body, "async")
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+async def handle_healthz(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    return json_response(200, app.health_payload())
+
+
+async def handle_metrics(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    return Response(
+        200,
+        app.metrics.render().encode(),
+        "text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+async def handle_experiment_index(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    from repro.experiments import EXPERIMENT_IDS
+
+    return json_response(200, {"experiments": list(EXPERIMENT_IDS)})
+
+
+async def handle_balance(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    spec, is_async = parse_balance_request(request.json(), app.config)
+    if is_async:
+        job = app.submit_job("balance", spec)
+        return json_response(
+            202,
+            {"job": {"id": job.id, "status": job.status,
+                     "poll": f"/v1/jobs/{job.id}"}},
+        )
+    result, cache_state = await app.perform("balance", spec)
+    return json_response(200, result, {"X-Cache": cache_state})
+
+
+async def handle_experiment(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    spec, is_async = parse_experiment_request(
+        params["eid"], request.json(), app.config
+    )
+    if is_async:
+        job = app.submit_job("experiment", spec)
+        return json_response(
+            202,
+            {"job": {"id": job.id, "status": job.status,
+                     "poll": f"/v1/jobs/{job.id}"}},
+        )
+    result, cache_state = await app.perform("experiment", spec)
+    return json_response(200, result, {"X-Cache": cache_state})
+
+
+async def handle_job(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    job = app.jobs.get(params["job_id"])
+    if job is None:
+        raise NotFound(f"no such job {params['job_id']!r} (expired or never "
+                       "created)")
+    return json_response(200, {"job": job.to_payload()})
+
+
+#: (method, compiled path pattern, route name, handler).
+ROUTES = (
+    ("GET", re.compile(r"^/healthz$"), "healthz", handle_healthz),
+    ("GET", re.compile(r"^/metrics$"), "metrics", handle_metrics),
+    ("POST", re.compile(r"^/v1/balance$"), "balance", handle_balance),
+    ("GET", re.compile(r"^/v1/experiments$"), "experiments",
+     handle_experiment_index),
+    ("POST", re.compile(r"^/v1/experiments/(?P<eid>[A-Za-z0-9_\-]+)$"),
+     "experiment", handle_experiment),
+    ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[A-Za-z0-9_\-]+)$"), "job",
+     handle_job),
+)
+
+
+def match_route(method: str, path: str):
+    """Resolve ``(name, handler, params)``; raises 404/405 ServiceErrors."""
+    path_matched = False
+    for route_method, pattern, name, handler in ROUTES:
+        m = pattern.match(path)
+        if not m:
+            continue
+        path_matched = True
+        if route_method == method:
+            return name, handler, m.groupdict()
+    if path_matched:
+        err = ServiceError(f"method {method} not allowed on {path}")
+        err.status = 405
+        err.code = "method-not-allowed"
+        raise err
+    raise NotFound(f"no route for {method} {path}")

@@ -1,0 +1,200 @@
+"""The worker pool and the simulation jobs it executes.
+
+Job functions are top-level and take/return plain picklable data, so
+they run unchanged in a ``ProcessPoolExecutor`` worker, in a thread
+(tests inject a ``ThreadPoolExecutor``), or inline (the CLI calls
+:func:`execute_balance` directly — which is what guarantees that a
+service response is byte-identical to ``repro balance --json``).
+
+Each job builds a :class:`repro.experiments.runner.Runner` pointed at
+the service's shared on-disk :class:`~repro.experiments.cache.ResultCache`,
+so worker processes populate the same content-addressed store the
+front-end probes for its fast path, and a campaign-warmed cache serves
+the service (and vice versa) with zero extra plumbing.
+
+The returned envelope carries the JSON-able result plus the worker-side
+cache counters, which the parent folds into ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any
+
+__all__ = [
+    "SimulationPool",
+    "execute_balance",
+    "resolve_algorithm",
+    "resolve_gear_set",
+    "run_balance_job",
+    "run_experiment_job",
+]
+
+
+def resolve_gear_set(spec: Any):
+    """A gear set from a request value: a spec string or [[f, V], ...].
+
+    Raises ``ValueError`` on anything unbuildable; the diagnostics
+    engine separately audits what *was* built.
+    """
+    import argparse
+
+    from repro.cli import build_gear_set
+    from repro.core.gears import DiscreteGearSet, Gear
+
+    if isinstance(spec, str):
+        try:
+            return build_gear_set(spec)
+        except argparse.ArgumentTypeError as exc:
+            raise ValueError(str(exc)) from None
+    if isinstance(spec, (list, tuple)):
+        try:
+            gears = [Gear(float(f), float(v)) for f, v in spec]
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad gear list {spec!r}: expected [[frequency_ghz, "
+                f"voltage_v], ...] ({exc})"
+            ) from None
+        return DiscreteGearSet(gears, name=f"custom[{len(gears)}]")
+    raise ValueError(
+        f"bad gears value {spec!r}: expected a spec string like "
+        "'uniform:6' or a [[frequency, voltage], ...] list"
+    )
+
+
+def resolve_algorithm(name: str):
+    from repro.core.algorithms import AvgAlgorithm, MaxAlgorithm
+
+    try:
+        return {"max": MaxAlgorithm, "avg": AvgAlgorithm}[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; expected 'max' or 'avg'"
+        ) from None
+
+
+def _resolve_platform(platform_dict: dict[str, Any] | None):
+    from repro.netsim.config import platform_from_dict
+    from repro.netsim.platform import MYRINET_LIKE
+
+    if platform_dict is None:
+        return MYRINET_LIKE
+    return platform_from_dict(platform_dict)
+
+
+def _runner_config(spec: dict[str, Any]):
+    from repro.experiments.runner import RunnerConfig
+
+    return RunnerConfig(
+        iterations=spec["iterations"],
+        base_compute=spec["base_compute"],
+        beta=spec["beta"],
+        apps=tuple(spec["apps"]) if spec.get("apps") else None,
+        platform=_resolve_platform(spec.get("platform")),
+        cache_dir=spec.get("cache_dir"),
+    )
+
+
+def execute_balance(spec: dict[str, Any]):
+    """Run one balance request; returns the :class:`BalanceReport`.
+
+    ``spec`` keys: ``app``, ``gears``, ``algorithm``, ``beta``,
+    ``iterations``, ``base_compute``, and optionally ``platform`` (a
+    platform dict) and ``cache_dir``.
+    """
+    from repro.experiments.runner import Runner
+
+    runner = Runner(_runner_config(spec))
+    return runner.balance(
+        spec["app"],
+        resolve_gear_set(spec["gears"]),
+        resolve_algorithm(spec["algorithm"]),
+        beta=spec["beta"],
+    ), runner
+
+
+def run_balance_job(spec: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: balance → ``{"result": ..., "cache": ...}``."""
+    report, runner = execute_balance(spec)
+    cache = runner.cache.stats() if runner.cache is not None else {}
+    return {"result": report.to_json(), "cache": cache}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and tuples) so ``json.dumps`` never chokes."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def run_experiment_job(spec: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: run a registered experiment, JSON-ably.
+
+    ``spec`` keys: ``eid`` plus the :func:`_runner_config` keys.  The
+    heavy ``series`` payloads (SVG strings, raw arrays) stay server-side;
+    clients get the tabular result, which is what the campaign writes
+    to disk too.
+    """
+    from repro.experiments.cache import process_cache_stats
+    from repro.experiments.runner import get_experiment
+
+    before = process_cache_stats()
+    result = get_experiment(spec["eid"])(_runner_config(spec))
+    after = process_cache_stats()
+    return {
+        "result": {
+            "eid": result.eid,
+            "title": result.title,
+            "columns": list(result.columns),
+            "rows": _jsonable(result.rows),
+            "notes": list(result.notes),
+        },
+        "cache": {k: after[k] - before[k] for k in after},
+    }
+
+
+class SimulationPool:
+    """Async façade over a (process) executor, with utilization stats.
+
+    The executor is created lazily on first use so ``ServiceApp`` can
+    be constructed (and its routes unit-tested) without forking, and
+    tests may inject any :class:`concurrent.futures.Executor` — the
+    deterministic backpressure/coalescing tests use a gated thread
+    pool instead of real subprocesses.
+    """
+
+    def __init__(self, workers: int, executor: Executor | None = None):
+        self.workers = max(1, workers)
+        self._executor = executor
+        self._owned = executor is None
+        self.busy = 0
+        self.jobs_total = 0
+
+    def _ensure(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    async def run(self, fn: Any, *args: Any) -> Any:
+        """Run ``fn(*args)`` on the pool; tracks busy-worker count."""
+        loop = asyncio.get_running_loop()
+        self.busy += 1
+        self.jobs_total += 1
+        try:
+            return await loop.run_in_executor(self._ensure(), fn, *args)
+        finally:
+            self.busy -= 1
+
+    def shutdown(self) -> None:
+        if self._owned and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

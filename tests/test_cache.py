@@ -36,7 +36,9 @@ class TestCacheHits:
         make_runner(tmp_path).trace("IS-16")
         runner = make_runner(tmp_path)
         runner.trace("IS-16")
-        assert runner.cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+        assert runner.cache.stats() == {
+            "hits": 1, "misses": 0, "corrupt": 0, "stores": 0,
+        }
 
     def test_changed_beta_misses(self, tmp_path):
         make_runner(tmp_path).balance("CG-16", uniform_gear_set(6), beta=0.5)
@@ -88,18 +90,122 @@ class TestCorruption:
         recomputed = runner.balance("CG-16", uniform_gear_set(6))
         assert runner.cache.hits == 0
         assert runner.cache.misses == 2
+        # both misses were corruption, not cold cache
+        assert runner.cache.corrupt == 2
         assert recomputed.row() == baseline.row()
 
         # the recompute rewrote good blobs: a third runner hits again
         third = make_runner(tmp_path)
         assert third.balance("CG-16", uniform_gear_set(6)).row() == baseline.row()
         assert third.cache.hits == 1
+        assert third.cache.corrupt == 0
+
+    def test_cold_miss_is_not_counted_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("report", {"k": 1}) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "corrupt": 0, "stores": 0,
+        }
+
+    def test_flipped_bit_in_body_fails_digest_check(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("report", {"k": 1}, {"v": 2})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one bit inside the pickle body
+        path.write_bytes(bytes(raw))
+        assert cache.get("report", {"k": 1}) is None
+        assert cache.corrupt == 1
+
+    def test_truncated_blob_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("report", {"k": 1}, {"v": 2})
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("report", {"k": 1}) is None
+        assert cache.corrupt == 1
 
     def test_missing_dir_is_created_lazily(self, tmp_path):
         cache = ResultCache(tmp_path / "does" / "not" / "exist")
         assert cache.get("report", {"k": 1}) is None
         cache.put("report", {"k": 1}, {"v": 2})
         assert cache.get("report", {"k": 1}) == {"v": 2}
+
+
+class TestDiskMaintenance:
+    def test_disk_stats_counts_by_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("trace", {"a": 1}, [1, 2, 3])
+        cache.put("report", {"a": 1}, {"x": 1})
+        cache.put("report", {"a": 2}, {"x": 2})
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["kinds"] == {"report": 2, "trace": 1}
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_mtime"] is not None
+
+    def test_gc_drops_only_old_blobs(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        old = cache.put("report", {"a": 1}, {"x": 1})
+        new = cache.put("report", {"a": 2}, {"x": 2})
+        stale = time.time() - 10 * 86400
+        os.utime(old, (stale, stale))
+        out = cache.gc(max_age_days=5)
+        assert out["removed"] == 1 and out["freed_bytes"] > 0
+        assert not old.exists() and new.exists()
+
+    def test_gc_sweeps_stray_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("report", {"a": 1}, {"x": 1})
+        (tmp_path / "leftover.tmp").write_bytes(b"half-written")
+        out = cache.gc(max_age_days=365)
+        assert out["removed"] == 1
+        assert cache.entry_count() == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("trace", {"a": 1}, [1])
+        cache.put("report", {"a": 1}, {"x": 1})
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.disk_stats()["entries"] == 0
+
+
+class TestCacheCli:
+    def _run(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_stats_and_clear(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put("report", {"a": 1}, {"x": 1})
+        assert self._run("cache", "--cache-dir", str(tmp_path), "stats") == 0
+        out = capsys.readouterr().out
+        assert "entries:     1" in out and "report" in out
+
+        assert self._run(
+            "cache", "--cache-dir", str(tmp_path), "stats", "--json"
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1 and stats["kinds"] == {"report": 1}
+
+        assert self._run("cache", "--cache-dir", str(tmp_path), "clear") == 0
+        assert "removed 1 blob(s)" in capsys.readouterr().out
+        assert cache.entry_count() == 0
+
+    def test_gc_respects_max_age(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put("report", {"a": 1}, {"x": 1})
+        assert self._run(
+            "cache", "--cache-dir", str(tmp_path), "gc", "--max-age", "30"
+        ) == 0
+        assert "removed 0 blob(s)" in capsys.readouterr().out
+        assert self._run(
+            "cache", "--cache-dir", str(tmp_path), "gc", "--max-age", "0"
+        ) == 0
+        assert "removed 1 blob(s)" in capsys.readouterr().out
 
 
 class TestCampaignJobs:
