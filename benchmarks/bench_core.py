@@ -6,14 +6,27 @@ the building blocks every figure benchmark exercises, useful to track
 performance of the simulation infrastructure itself.
 """
 
+import time
+
 import numpy as np
 
 from repro.apps import build_app, vmpi
 from repro.core.algorithms import MaxAlgorithm
 from repro.core.gears import uniform_gear_set
 from repro.core.timemodel import BetaTimeModel
+from repro.netsim.compiled import CompiledReplayEngine
 from repro.netsim.simulator import MpiSimulator
 from repro.traces.jsonio import dumps_trace, loads_trace
+
+
+def _mean_seconds(benchmark, fn) -> float:
+    """Per-call seconds: benchmark stats, or one manual timing under
+    ``--benchmark-disable`` (where ``benchmark.stats`` is unset)."""
+    if benchmark.stats:
+        return benchmark.stats["mean"]
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def test_simulator_event_throughput(benchmark):
@@ -26,8 +39,30 @@ def test_simulator_event_throughput(benchmark):
     result = benchmark(run)
     assert result.events > 1000
     benchmark.extra_info["events"] = result.events
-    benchmark.extra_info["events_per_sec"] = (
-        result.events / benchmark.stats["mean"] if benchmark.stats else None
+    benchmark.extra_info["events_per_sec"] = result.events / _mean_seconds(
+        benchmark, run
+    )
+
+
+def test_compiled_kernel_throughput(benchmark):
+    """Assignment evaluations/second of the compiled replay kernel."""
+    engine = CompiledReplayEngine()
+    app = build_app("MG-32", iterations=6)
+    recorded = MpiSimulator().run(app.programs(), record_trace=True).trace
+    program = engine.compile_trace(recorded)
+    rng = np.random.default_rng(7)
+    freqs = rng.uniform(0.8, 2.3, size=(100, recorded.nproc))
+
+    def run():
+        return program.evaluate_many(freqs)
+
+    batch = benchmark(run)
+    assert batch["execution_time"].shape == (100,)
+    mean = _mean_seconds(benchmark, run)
+    benchmark.extra_info["instructions"] = program.n_instructions
+    benchmark.extra_info["evals_per_sec"] = 100 / mean
+    benchmark.extra_info["instructions_per_sec"] = (
+        program.n_instructions * 100 / mean
     )
 
 

@@ -1,0 +1,129 @@
+"""Compiled replay kernel vs the DES on an assignment sweep.
+
+The perf claim of the compiled engine is *amortisation*: compile one
+world once, then price many frequency assignments without the event
+heap.  This benchmark replays one recorded BT-MZ-32 trace under
+``SWEEP`` (≥ 50) per-rank frequency vectors two ways:
+
+* ``des_loop``   — ``MpiSimulator.run_trace(trace, frequencies=f)``
+  once per assignment (what every sweep did before the kernel);
+* ``compiled``   — ``compile_trace`` + one vectorised
+  ``evaluate_many`` pass, compile time *included*.
+
+Both produce bit-identical makespans (asserted), and the compiled
+path must be ≥ 10× faster — the acceptance criterion recorded in
+``benchmarks/baselines/replay.json``.  Runs standalone in CI smoke
+mode (``--benchmark-disable``) via the ``_timed`` wall-clock ledger.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps import build_app
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.compiled import CompiledReplayEngine
+from repro.netsim.simulator import MpiSimulator
+from repro.netsim.platform import MYRINET_LIKE
+
+APP = "BT-MZ-32"
+ITERATIONS = 4
+SWEEP = 60  # assignments per sweep (acceptance floor is 50)
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+_WORLD: dict[str, object] = {}
+
+
+def _world():
+    """(trace, frequency matrix) for the sweep, built once per session."""
+    if not _WORLD:
+        app = build_app(APP, iterations=ITERATIONS)
+        sim = MpiSimulator(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+        trace = sim.run(app.programs(), record_trace=True).trace
+        rng = np.random.default_rng(2009)
+        _WORLD["trace"] = trace
+        _WORLD["freqs"] = rng.uniform(0.8, 2.3, size=(SWEEP, trace.nproc))
+    return _WORLD["trace"], _WORLD["freqs"]
+
+
+def _timed(label: str, fn):
+    """Run ``fn`` once, recording wall time (works with
+    ``--benchmark-disable``, where ``benchmark.stats`` is unset)."""
+    start = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - start
+    _TIMINGS[label] = min(_TIMINGS.get(label, elapsed), elapsed)
+    return out
+
+
+def test_des_assignment_sweep(benchmark):
+    """The pre-kernel baseline: one full DES replay per assignment."""
+    trace, freqs = _world()
+    sim = MpiSimulator(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+
+    def sweep():
+        return np.array(
+            [sim.run_trace(trace, frequencies=f).execution_time
+             for f in freqs]
+        )
+
+    makespans = benchmark.pedantic(
+        lambda: _timed("des_loop", sweep), rounds=1, iterations=1
+    )
+    assert makespans.shape == (SWEEP,)
+    _WORLD["des_makespans"] = makespans
+
+
+def test_compiled_assignment_sweep(benchmark):
+    """Compile once + one vectorised pass; compile time included."""
+    trace, freqs = _world()
+
+    def sweep():
+        engine = CompiledReplayEngine(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+        # Fresh trace object each round so the per-trace compile cache
+        # never hides the compile cost we claim to include.
+        fresh = type(trace).from_streams(
+            (s.records for s in trace), meta=trace.meta
+        )
+        return engine.evaluate_assignments(fresh, freqs)["execution_time"]
+
+    makespans = benchmark.pedantic(
+        lambda: _timed("compiled", sweep), rounds=3, iterations=1
+    )
+    assert makespans.shape == (SWEEP,)
+
+    des_makespans = _WORLD.get("des_makespans")
+    if des_makespans is not None:  # full-file run: exactness + speedup
+        assert np.array_equal(makespans, des_makespans), (
+            "compiled sweep diverged from the DES loop"
+        )
+        des, compiled = _TIMINGS["des_loop"], _TIMINGS["compiled"]
+        benchmark.extra_info["sweep_assignments"] = SWEEP
+        benchmark.extra_info["speedup_vs_des"] = round(des / compiled, 1)
+        assert compiled * 10.0 <= des, (
+            f"compiled sweep ({compiled * 1e3:.1f} ms) is not 10x faster "
+            f"than the DES loop ({des * 1e3:.1f} ms) over {SWEEP} "
+            "assignments"
+        )
+
+
+def test_compiled_scalar_evaluations(benchmark):
+    """The balancer path: per-assignment scalar evaluate on one compile."""
+    trace, freqs = _world()
+    engine = CompiledReplayEngine(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+    program = engine.compile_trace(trace)
+
+    def sweep():
+        return [program.evaluate(f).execution_time for f in freqs]
+
+    makespans = benchmark.pedantic(
+        lambda: _timed("compiled_scalar", sweep), rounds=3, iterations=1
+    )
+    assert len(makespans) == SWEEP
+    des_makespans = _WORLD.get("des_makespans")
+    if des_makespans is not None:
+        assert np.array_equal(np.array(makespans), des_makespans)

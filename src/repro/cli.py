@@ -70,6 +70,8 @@ def _config_from(args: argparse.Namespace):
         from repro.netsim.config import load_platform
 
         kwargs["platform"] = load_platform(args.platform)
+    if getattr(args, "engine", None):
+        kwargs["engine"] = args.engine
     return RunnerConfig(**kwargs)
 
 
@@ -144,6 +146,7 @@ def _cmd_balance(args: argparse.Namespace) -> int:
         "beta": args.beta,
         "iterations": args.iterations,
         "base_compute": 0.02,
+        "engine": args.engine,
     }
     if args.cache_dir:
         spec["cache_dir"] = args.cache_dir
@@ -402,6 +405,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_run.add_argument("--platform", help="platform JSON file (see 'platform')")
     p_run.add_argument("--decimals", type=int, default=2)
     p_run.add_argument("--md", action="store_true", help="markdown table output")
+    p_run.add_argument(
+        "--engine", choices=("auto", "des", "compiled"), default=None,
+        help="replay engine (default auto: compiled kernel with DES "
+             "fallback; results are identical)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_all = sub.add_parser(
@@ -412,6 +420,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_all.add_argument("--beta", type=float, default=None)
     p_all.add_argument("--apps", help="comma-separated instance subset")
     p_all.add_argument("--platform", help="platform JSON file")
+    p_all.add_argument(
+        "--engine", choices=("auto", "des", "compiled"), default=None,
+        help="replay engine (default auto; identical results, "
+             "engine counters land in manifest.json)",
+    )
     p_all.add_argument(
         "--experiments", help="comma-separated experiment-id subset"
     )
@@ -452,6 +465,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_bal.add_argument("--algorithm", choices=("max", "avg"), default="max")
     p_bal.add_argument("--beta", type=float, default=0.5)
     p_bal.add_argument("--iterations", type=int, default=6)
+    p_bal.add_argument(
+        "--engine", choices=("auto", "des", "compiled"), default="auto",
+        help="replay engine; 'auto' (default) and 'des' produce "
+             "byte-identical --json output",
+    )
     p_bal.add_argument(
         "--json",
         action="store_true",

@@ -150,6 +150,10 @@ class PowerAwareLoadBalancer:
         The β time model and the CPU power model (paper defaults).
     platform:
         Replay platform; ``None`` uses the Myrinet-like reference.
+    engine:
+        Replay engine: ``"des"``, ``"compiled"`` or ``"auto"`` (the
+        default — compiled kernel when the world supports it, DES
+        otherwise; results are identical either way).
     """
 
     def __init__(
@@ -159,20 +163,34 @@ class PowerAwareLoadBalancer:
         power_model: CpuPowerModel | None = None,
         time_model: BetaTimeModel | None = None,
         platform: "Any | None" = None,
+        engine: str = "auto",
     ):
-        from repro.netsim.simulator import MpiSimulator
+        from repro.netsim.engines import make_engine
 
         self.gear_set = gear_set
         self.algorithm = algorithm or MaxAlgorithm()
         self.power_model = power_model or CpuPowerModel()
         self.time_model = time_model or BetaTimeModel(fmax=NOMINAL_FMAX)
-        self.simulator = MpiSimulator(platform=platform, time_model=self.time_model)
+        self.engine = engine
+        self.simulator = make_engine(
+            engine, platform=platform, time_model=self.time_model
+        )
         self.accountant = EnergyAccountant(self.power_model)
 
     # ------------------------------------------------------------------
     def trace_app(self, app: "Any") -> "Trace":
-        """Run an application skeleton once at nominal speed, recording."""
-        result = self.simulator.run(
+        """Run an application skeleton once at nominal speed, recording.
+
+        Recording is inherently a DES activity (a compiled tape cannot
+        emit a trace), so this step always runs on the DES whatever the
+        replay-engine selection — results are engine-independent.
+        """
+        recorder = getattr(self.simulator, "des", self.simulator)
+        if recorder.name != "des":
+            from repro.netsim.simulator import MpiSimulator
+
+            recorder = MpiSimulator(self.simulator.platform, self.time_model)
+        result = recorder.run(
             app.programs(), record_trace=True, meta={"name": app.name}
         )
         trace = result.trace
@@ -191,7 +209,6 @@ class PowerAwareLoadBalancer:
     ) -> BalanceReport:
         """The full §4 pipeline on a recorded trace."""
         from repro.traces.analysis import compute_times, load_balance_from_times
-        from repro.traces.transform import scale_compute
 
         algorithm = algorithm or self.algorithm
         nominal_gear = self.power_model.law.gear(self.time_model.fmax)
@@ -205,9 +222,14 @@ class PowerAwareLoadBalancer:
         # 2. frequency assignment
         assignment = algorithm.assign(comp, self.gear_set, self.time_model)
 
-        # 3. tracefile rewrite + 4. replay of the modified trace
-        scaled = scale_compute(trace, assignment.frequencies, self.time_model)
-        modified = self.simulator.run_trace(scaled)
+        # 3+4. replay the trace under the assignment.  Scaling bursts in
+        # the simulator is float-identical to the paper's tracefile
+        # rewrite (same duration × time_ratio product; pinned by
+        # tests/test_integration.py) and lets one compiled program serve
+        # both replays.
+        modified = self.simulator.run_trace(
+            trace, frequencies=assignment.frequencies
+        )
 
         # 5. energy integration
         original_energy = self.accountant.run_energy(
@@ -286,11 +308,18 @@ class PowerAwareLoadBalancer:
         """Original + modified replays for a given assignment (Fig. 1).
 
         Both runs record state intervals so they can be rendered with
-        :mod:`repro.traces.timeline`.
+        :mod:`repro.traces.timeline` — which, like trace recording, is
+        DES-only, so these replays run on the DES for every engine
+        selection.
         """
         from repro.traces.transform import scale_compute
 
-        original = self.simulator.run_trace(trace, record_intervals=True)
+        recorder = getattr(self.simulator, "des", self.simulator)
+        if recorder.name != "des":
+            from repro.netsim.simulator import MpiSimulator
+
+            recorder = MpiSimulator(self.simulator.platform, self.time_model)
+        original = recorder.run_trace(trace, record_intervals=True)
         scaled = scale_compute(trace, assignment.frequencies, self.time_model)
-        modified = self.simulator.run_trace(scaled, record_intervals=True)
+        modified = recorder.run_trace(scaled, record_intervals=True)
         return original, modified

@@ -111,8 +111,9 @@ class JitterRuntime:
         platform: Any | None = None,
         predictor: str = "last",
         ewma_alpha: float = 0.5,
+        engine: str = "auto",
     ):
-        from repro.netsim.simulator import MpiSimulator
+        from repro.netsim.engines import make_engine
 
         if predictor not in ("last", "ewma"):
             raise ValueError(
@@ -124,7 +125,9 @@ class JitterRuntime:
         self.algorithm = algorithm or MaxAlgorithm()
         self.power_model = power_model or CpuPowerModel()
         self.time_model = time_model or BetaTimeModel(fmax=NOMINAL_FMAX)
-        self.simulator = MpiSimulator(platform=platform, time_model=self.time_model)
+        self.simulator = make_engine(
+            engine, platform=platform, time_model=self.time_model
+        )
         self.accountant = EnergyAccountant(self.power_model)
         self.predictor = predictor
         self.ewma_alpha = ewma_alpha
@@ -134,7 +137,7 @@ class JitterRuntime:
     # ------------------------------------------------------------------
     def run(self, trace: "Any") -> DynamicReport:
         from repro.traces.analysis import compute_times, iteration_count
-        from repro.traces.transform import cut_iterations, scale_compute
+        from repro.traces.transform import cut_iterations
 
         niter = iteration_count(trace)
         if niter < 2:
@@ -182,8 +185,11 @@ class JitterRuntime:
                     prev_times, self.gear_set, self.time_model
                 )
             assignments.append(assignment)
-            scaled = scale_compute(region, assignment.frequencies, self.time_model)
-            run = self.simulator.run_trace(scaled)
+            # replay-time scaling is float-identical to the tracefile
+            # rewrite (warmup gears are all fmax ⇒ ratio exactly 1.0)
+            run = self.simulator.run_trace(
+                region, frequencies=assignment.frequencies
+            )
             total_time += run.execution_time
             total_energy += self.accountant.run_energy(
                 run.compute_times, run.execution_time, list(assignment.gears)
@@ -228,8 +234,9 @@ class CommPhaseScalingRuntime:
         time_model: BetaTimeModel | None = None,
         platform: Any | None = None,
         switch_overhead: float = 0.0,
+        engine: str = "auto",
     ):
-        from repro.netsim.simulator import MpiSimulator
+        from repro.netsim.engines import make_engine
 
         if low_gear is None:
             if gear_set is None:
@@ -240,7 +247,9 @@ class CommPhaseScalingRuntime:
         self.low_gear = low_gear
         self.power_model = power_model or CpuPowerModel()
         self.time_model = time_model or BetaTimeModel(fmax=NOMINAL_FMAX)
-        self.simulator = MpiSimulator(platform=platform, time_model=self.time_model)
+        self.simulator = make_engine(
+            engine, platform=platform, time_model=self.time_model
+        )
         self.switch_overhead = switch_overhead
 
     def _mpi_regions(self, trace: "Any") -> np.ndarray:

@@ -67,8 +67,10 @@ def run_one_experiment(eid: str, config: RunnerConfig) -> dict[str, Any]:
     "error": <traceback>, ...}`` plus timing and cache statistics.
     """
     from repro.experiments.cache import process_cache_stats
+    from repro.netsim.enginestats import process_engine_stats
 
     before = process_cache_stats()
+    engines_before = process_engine_stats()
     start = time.perf_counter()
     try:
         result = get_experiment(eid)(config)
@@ -76,9 +78,14 @@ def run_one_experiment(eid: str, config: RunnerConfig) -> dict[str, Any]:
     except Exception:
         payload = {"eid": eid, "ok": False, "error": traceback.format_exc()}
     after = process_cache_stats()
+    engines_after = process_engine_stats()
     payload["seconds"] = time.perf_counter() - start
     payload["cache"] = {
         k: after[k] - before[k] for k in ("hits", "misses", "corrupt")
+    }
+    payload["engines"] = {
+        k: round(engines_after[k] - engines_before[k], 6)
+        for k in engines_after
     }
     return payload
 
@@ -98,12 +105,15 @@ def _collect(ids, config, jobs):
             except Exception:
                 # pool-level failure (e.g. a worker died): isolate it
                 # exactly like an in-experiment crash
+                from repro.netsim.enginestats import ENGINE_STAT_KEYS
+
                 yield {
                     "eid": eid,
                     "ok": False,
                     "error": traceback.format_exc(),
                     "seconds": 0.0,
                     "cache": {"hits": 0, "misses": 0, "corrupt": 0},
+                    "engines": dict.fromkeys(ENGINE_STAT_KEYS, 0),
                 }
 
 
@@ -166,14 +176,19 @@ def reproduce_all(
         "",
     ]
 
+    from repro.netsim.enginestats import ENGINE_STAT_KEYS, engine_rates
+
     wall_start = time.perf_counter()
     cache_totals = {"hits": 0, "misses": 0, "corrupt": 0}
+    engine_totals: dict[str, float] = dict.fromkeys(ENGINE_STAT_KEYS, 0)
     errors = 0
     for payload in _collect(ids, config, jobs):
         eid = payload["eid"]
         elapsed = payload["seconds"]
         for key in cache_totals:
             cache_totals[key] += payload["cache"].get(key, 0)
+        for key in engine_totals:
+            engine_totals[key] += payload.get("engines", {}).get(key, 0)
 
         if not payload["ok"]:
             errors += 1
@@ -207,6 +222,7 @@ def reproduce_all(
             "files": [txt_path.name, csv_path.name, *svgs],
             "notes": result.notes,
             "cache": payload["cache"],
+            "engines": payload["engines"],
         }
         report_md += [
             f"## {eid} — {result.title}",
@@ -224,6 +240,11 @@ def reproduce_all(
         "enabled": bool(config.cache_dir),
         "dir": config.cache_dir,
         **cache_totals,
+    }
+    manifest["engines"] = {
+        "engine": config.engine,
+        **{k: round(v, 6) for k, v in engine_totals.items()},
+        **{k: round(v, 3) for k, v in engine_rates(engine_totals).items()},
     }
 
     (out / "REPORT.md").write_text("\n".join(report_md), encoding="utf-8")

@@ -56,6 +56,9 @@ class RunnerConfig:
     platform: PlatformConfig = MYRINET_LIKE
     #: Directory for the persistent result cache; ``None`` disables it.
     cache_dir: str | None = None
+    #: Replay engine: "des", "compiled" or "auto" (identical results;
+    #: never part of cache identities or report payloads).
+    engine: str = "auto"
 
     def app_list(self) -> tuple[str, ...]:
         return self.apps if self.apps is not None else TABLE3_INSTANCES
@@ -171,6 +174,7 @@ class Runner:
                 beta=self.config.beta if beta is None else beta,
             ),
             platform=self.config.platform,
+            engine=self.config.engine,
         )
 
     def balance(

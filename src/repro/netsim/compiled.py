@@ -1,0 +1,918 @@
+"""Compiled replay kernel: compile a world once, price assignments fast.
+
+The DES (:class:`~repro.netsim.simulator.MpiSimulator`) re-executes the
+whole generator/heap machinery for every frequency assignment even
+though only compute-burst durations change between what-ifs.  This
+module separates *understanding the world* from *pricing an
+assignment*:
+
+* :func:`compile_world` runs an abstract interpretation of the rank
+  programs (a worklist over ranks, no virtual clock) and emits a flat
+  instruction tape in dependency order: compute bursts with their base
+  durations and β, point-to-point edges with pre-computed eager or
+  rendezvous wire costs, collective barriers with their analytic cost,
+  and wait joins resolved to the message slots they synchronise on.
+* :class:`CompiledProgram.evaluate` replays the tape with plain float
+  arithmetic (no event heap, no generators); ``evaluate_many`` replays
+  it once for *K* assignments simultaneously with ``(K,)``-vectorised
+  numpy lanes, which is what makes gear-set sweeps cheap.
+
+Equivalence guarantee
+---------------------
+On the worlds it accepts, the kernel is *bit-identical* to the DES,
+not merely close: every DES completion time is a max/plus formula over
+compile-time constants (wire times, overheads, collective costs) and
+frequency-scaled burst durations, and the tape replays those formulas
+with the same operands in the same order (per-rank sequential
+accumulation; no pairwise summation).  The capability check therefore
+rejects — with :class:`UnsupportedWorldError` — exactly the features
+that couple message pairing or costs to the timeline:
+
+=========================================  ==============================
+world feature                              why it needs the DES
+=========================================  ==============================
+``platform.buses`` contention              transfer cost depends on the
+                                           global schedule
+``platform.decompose_collectives``         emits timing-dependent p2p
+``ANY_SOURCE`` / ``ANY_TAG`` receives      match depends on arrival order
+mixed eager/rendezvous on one channel      matcher interleaving is
+                                           timing-dependent
+shrinking eager sizes on one channel       later sends could overtake
+interval / trace recording                 DES-only instrumentation
+=========================================  ==============================
+
+Structurally broken worlds (mismatched send/recv counts, request
+reuse, collective shape mismatch, cyclic blocking) raise
+:class:`CompileError`; ``engine="auto"`` falls back to the DES so the
+*authentic* runtime error (``DeadlockError``/``SimulationError``)
+surfaces.  :meth:`CompiledProgram.assert_equivalent` is the validation
+mode: it replays the same world through the DES and asserts exact
+agreement of makespan and per-rank compute/comm/end times.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.collectives import collective_time
+from repro.netsim.enginestats import add_engine_stats
+from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
+from repro.netsim.record import Marker, RunResult
+from repro.traces.records import Record
+from repro.traces.trace import Trace
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "CompiledReplayEngine",
+    "UnsupportedWorldError",
+    "compile_world",
+]
+
+
+class UnsupportedWorldError(Exception):
+    """The world needs DES features outside the compiled subset."""
+
+
+class CompileError(UnsupportedWorldError):
+    """The world is structurally broken; the DES owns the real error."""
+
+
+# Instruction opcodes (tuples on the tape start with one of these).
+_COMPUTE = 0        # (op, rank, burst_index)
+_SEND_EAGER = 1     # (op, rank, slot)   blocking eager send or eager isend
+_SEND_RDV_POST = 2  # (op, rank, slot)   blocking rendezvous send: post
+_SEND_RDV_DONE = 3  # (op, rank, slot)   blocking rendezvous send: complete
+_ISEND_RDV = 4      # (op, rank, slot)
+_RECV_EAGER = 5     # (op, rank, slot)
+_RECV_RDV = 6       # (op, rank, slot)
+_IRECV_EAGER = 7    # (op, rank)
+_IRECV_RDV = 8      # (op, rank, slot)
+_WAIT = 9           # (op, rank, ((valkind, slot), ...))
+_COLL = 10          # (op, coll_index)
+_MARKER = 11        # (op, rank, label, iteration)
+
+#: wait-value kinds: eager arrival slot vs rendezvous max(sp,rp)+wire.
+_VAL_ARR = 0
+_VAL_RDV = 1
+
+
+class _Msg:
+    """One pre-paired point-to-point message (k-th send ↔ k-th recv)."""
+
+    __slots__ = ("eager", "slot", "wire", "sender_done", "sender_posted",
+                 "recv_posted")
+
+    def __init__(self, eager: bool, slot: int, wire: float):
+        self.eager = eager
+        self.slot = slot
+        self.wire = wire
+        self.sender_done = False    # eager: wire arrival is on the tape
+        self.sender_posted = False  # rendezvous: sp slot is written
+        self.recv_posted = False    # rendezvous: rp slot is written
+
+
+class _Coll:
+    """One collective instance, filled as ranks arrive at compile time."""
+
+    __slots__ = ("op", "root", "nbytes", "arrived", "emitted")
+
+    def __init__(self, op: str, root: int):
+        self.op = op
+        self.root = root
+        self.nbytes = 0
+        self.arrived = 0
+        self.emitted = False
+
+
+def _scan_channels(
+    programs: list[list[Record]], platform: PlatformConfig
+) -> tuple[dict[tuple[int, int, int], list[_Msg]], list[float], list[float]]:
+    """Pair every p2p message and fix its protocol + wire cost.
+
+    With wildcards rejected, the DES matcher pairs the k-th send on a
+    (src, dst, tag) channel with the k-th recv posted for it — FIFO on
+    both sides — *provided* pairing cannot depend on timing.  That
+    holds when a channel speaks one protocol and eager arrivals cannot
+    overtake (non-decreasing sizes ⇒ non-decreasing wire times).
+    """
+    sends: dict[tuple[int, int, int], list[int]] = {}
+    recvs: dict[tuple[int, int, int], int] = {}
+    for rank, ops in enumerate(programs):
+        for op in ops:
+            kind = op.kind
+            if kind in ("send", "isend"):
+                if op.dst == rank:
+                    raise CompileError(f"rank {rank}: self-send")
+                sends.setdefault((rank, op.dst, op.tag), []).append(op.nbytes)
+            elif kind in ("recv", "irecv"):
+                if op.src < 0 or op.tag < 0:
+                    raise UnsupportedWorldError(
+                        f"rank {rank}: ANY_SOURCE/ANY_TAG receive — matching "
+                        "depends on arrival order; DES required"
+                    )
+                if op.src == rank:
+                    raise CompileError(f"rank {rank}: self-recv")
+                key = (op.src, rank, op.tag)
+                recvs[key] = recvs.get(key, 0) + 1
+
+    for key in recvs:
+        if key not in sends:
+            raise CompileError(
+                f"channel {key}: {recvs[key]} recv(s) but no sends"
+            )
+    channels: dict[tuple[int, int, int], list[_Msg]] = {}
+    wire_eager: list[float] = []
+    wire_rdv: list[float] = []
+    threshold = platform.eager_threshold
+    for key, sizes in sends.items():
+        nrecv = recvs.get(key, 0)
+        if len(sizes) != nrecv:
+            raise CompileError(
+                f"channel {key}: {len(sizes)} send(s) vs {nrecv} recv(s)"
+            )
+        eager_flags = [nb <= threshold for nb in sizes]
+        if any(eager_flags) and not all(eager_flags):
+            raise UnsupportedWorldError(
+                f"channel {key}: mixes eager and rendezvous messages — "
+                "matcher interleaving is timing-dependent; DES required"
+            )
+        if all(eager_flags) and any(
+            a > b for a, b in zip(sizes, sizes[1:])
+        ):
+            raise UnsupportedWorldError(
+                f"channel {key}: eager sizes decrease in program order — "
+                "later messages could overtake; DES required"
+            )
+        src, dst, _tag = key
+        msgs = []
+        for nb, eager in zip(sizes, eager_flags):
+            wire = platform.transfer_time(nb, src, dst)
+            if eager:
+                msgs.append(_Msg(True, len(wire_eager), wire))
+                wire_eager.append(wire)
+            else:
+                msgs.append(_Msg(False, len(wire_rdv), wire))
+                wire_rdv.append(wire)
+        channels[key] = msgs
+    return channels, wire_eager, wire_rdv
+
+
+def compile_world(
+    programs: Sequence[Iterable[Record]],
+    platform: PlatformConfig | None = None,
+    time_model: BetaTimeModel | None = None,
+) -> "CompiledProgram":
+    """Compile one world into a :class:`CompiledProgram`.
+
+    Raises :class:`UnsupportedWorldError` when the world needs the DES
+    (see the module capability matrix) and :class:`CompileError` when
+    it is structurally invalid — ``engine="auto"`` treats both as
+    "route to the DES".
+    """
+    platform = platform or MYRINET_LIKE
+    time_model = time_model or BetaTimeModel(fmax=2.3)
+    mats = [list(p) for p in programs]
+    nproc = len(mats)
+    if nproc == 0:
+        raise CompileError("need at least one rank program")
+    if platform.buses:
+        raise UnsupportedWorldError(
+            "bus contention couples wire time to the global schedule; "
+            "DES required"
+        )
+    if platform.decompose_collectives:
+        raise UnsupportedWorldError(
+            "decomposed collectives emit timing-dependent point-to-point "
+            "rounds; DES required"
+        )
+
+    channels, wire_eager, wire_rdv = _scan_channels(mats, platform)
+    send_k: dict[tuple[int, int, int], int] = {}
+    recv_k: dict[tuple[int, int, int], int] = {}
+
+    instrs: list[tuple[Any, ...]] = []
+    dur: list[float] = []
+    beta: list[float] = []
+    brank: list[int] = []
+    coll_costs: list[float] = []
+    colls: list[_Coll] = []
+
+    pos = [0] * nproc
+    pending_rdv = [None] * nproc  # type: list[_Msg | None]
+    coll_idx = [0] * nproc
+    coll_counted = [False] * nproc
+    requests: list[dict[int, tuple[str, _Msg]]] = [{} for _ in range(nproc)]
+    default_beta = time_model.beta
+
+    def _next_msg(key: tuple[int, int, int], counters: dict) -> _Msg:
+        k = counters.get(key, 0)
+        counters[key] = k + 1
+        return channels[key][k]
+
+    def _register(rank: int, req: int, entry: tuple[str, _Msg]) -> None:
+        if req in requests[rank]:
+            raise CompileError(f"rank {rank}: request id {req} reused")
+        requests[rank][req] = entry
+
+    def _req_ready(entry: tuple[str, _Msg]) -> bool:
+        origin, msg = entry
+        if origin == "ise":
+            return True
+        if origin == "isr":
+            return msg.recv_posted
+        if origin == "ire":
+            return msg.sender_done
+        return msg.sender_posted  # "irr"
+
+    def _req_val(entry: tuple[str, _Msg]) -> tuple[int, int] | None:
+        origin, msg = entry
+        if origin == "ise":  # eager isend buffers: completes on post
+            return None
+        if origin == "ire":
+            return (_VAL_ARR, msg.slot)
+        return (_VAL_RDV, msg.slot)
+
+    def _advance(rank: int) -> bool:
+        """Emit as many of this rank's instructions as dependencies allow."""
+        emitted = False
+        ops = mats[rank]
+        while True:
+            blocked_send = pending_rdv[rank]
+            if blocked_send is not None:
+                if not blocked_send.recv_posted:
+                    return emitted
+                instrs.append((_SEND_RDV_DONE, rank, blocked_send.slot))
+                pending_rdv[rank] = None
+                emitted = True
+            if pos[rank] >= len(ops):
+                if requests[rank]:
+                    raise CompileError(
+                        f"rank {rank} finished with outstanding requests "
+                        f"{sorted(requests[rank])}"
+                    )
+                return emitted
+            op = ops[pos[rank]]
+            kind = op.kind
+
+            if kind == "compute":
+                instrs.append((_COMPUTE, rank, len(dur)))
+                dur.append(op.duration)
+                beta.append(op.beta if op.beta is not None else default_beta)
+                brank.append(rank)
+
+            elif kind == "marker":
+                instrs.append((_MARKER, rank, op.label, op.iteration))
+
+            elif kind == "send":
+                msg = _next_msg((rank, op.dst, op.tag), send_k)
+                if msg.eager:
+                    instrs.append((_SEND_EAGER, rank, msg.slot))
+                    msg.sender_done = True
+                else:
+                    instrs.append((_SEND_RDV_POST, rank, msg.slot))
+                    msg.sender_posted = True
+                    pending_rdv[rank] = msg
+                    pos[rank] += 1
+                    emitted = True
+                    continue  # completion handled at the top of the loop
+
+            elif kind == "isend":
+                msg = _next_msg((rank, op.dst, op.tag), send_k)
+                if msg.eager:
+                    _register(rank, op.request, ("ise", msg))
+                    instrs.append((_SEND_EAGER, rank, msg.slot))
+                    msg.sender_done = True
+                else:
+                    _register(rank, op.request, ("isr", msg))
+                    instrs.append((_ISEND_RDV, rank, msg.slot))
+                    msg.sender_posted = True
+
+            elif kind == "recv":
+                key = (op.src, rank, op.tag)
+                k = recv_k.get(key, 0)
+                if k >= len(channels.get(key, ())):
+                    raise CompileError(f"channel {key}: recv without a send")
+                msg = channels[key][k]
+                if msg.eager:
+                    if not msg.sender_done:
+                        return emitted
+                    instrs.append((_RECV_EAGER, rank, msg.slot))
+                else:
+                    if not msg.sender_posted:
+                        return emitted
+                    instrs.append((_RECV_RDV, rank, msg.slot))
+                    msg.recv_posted = True
+                recv_k[key] = k + 1
+
+            elif kind == "irecv":
+                msg = _next_msg((op.src, rank, op.tag), recv_k)
+                if msg.eager:
+                    _register(rank, op.request, ("ire", msg))
+                    instrs.append((_IRECV_EAGER, rank))
+                else:
+                    _register(rank, op.request, ("irr", msg))
+                    instrs.append((_IRECV_RDV, rank, msg.slot))
+                    msg.recv_posted = True
+
+            elif kind in ("wait", "waitall"):
+                ids = (op.request,) if kind == "wait" else tuple(op.requests)
+                entries = []
+                for req in ids:
+                    entry = requests[rank].get(req)
+                    if entry is None:
+                        raise CompileError(
+                            f"rank {rank}: wait on unknown request {req}"
+                        )
+                    entries.append(entry)
+                if not all(_req_ready(e) for e in entries):
+                    return emitted
+                vals = tuple(
+                    v for v in (_req_val(e) for e in entries) if v is not None
+                )
+                instrs.append((_WAIT, rank, vals))
+                for req in ids:
+                    del requests[rank][req]
+
+            elif kind == "collective":
+                index = coll_idx[rank]
+                while index >= len(colls):
+                    colls.append(_Coll(op.op, op.root))
+                inst = colls[index]
+                if inst.op != op.op or inst.root != op.root:
+                    raise CompileError(
+                        f"collective mismatch at instance {index}: rank "
+                        f"{rank} calls {op.op}(root={op.root}) but earlier "
+                        f"ranks called {inst.op}(root={inst.root})"
+                    )
+                if not coll_counted[rank]:
+                    inst.nbytes = max(inst.nbytes, op.nbytes)
+                    inst.arrived += 1
+                    coll_counted[rank] = True
+                    if inst.arrived == nproc:
+                        try:
+                            cost = collective_time(
+                                inst.op, inst.nbytes, nproc, platform
+                            )
+                        except Exception as exc:
+                            raise CompileError(
+                                f"collective {inst.op}: {exc}"
+                            ) from None
+                        instrs.append((_COLL, len(coll_costs)))
+                        coll_costs.append(cost)
+                        inst.emitted = True
+                        emitted = True
+                if not inst.emitted:
+                    return emitted
+                coll_idx[rank] += 1
+                coll_counted[rank] = False
+                pos[rank] += 1
+                continue
+
+            else:
+                raise CompileError(
+                    f"rank {rank}: unknown record kind {kind!r}"
+                )
+
+            pos[rank] += 1
+            emitted = True
+
+    remaining = True
+    while remaining:
+        progress = False
+        remaining = False
+        for rank in range(nproc):
+            if _advance(rank):
+                progress = True
+            if pos[rank] < len(mats[rank]) or pending_rdv[rank] is not None:
+                remaining = True
+        if remaining and not progress:
+            stuck = [
+                r for r in range(nproc)
+                if pos[r] < len(mats[r]) or pending_rdv[r] is not None
+            ]
+            raise CompileError(
+                f"compile-time deadlock: ranks {stuck} cannot progress"
+            )
+
+    add_engine_stats(compiled_compiles=1)
+    return CompiledProgram(
+        nproc=nproc,
+        platform=platform,
+        time_model=time_model,
+        instrs=tuple(instrs),
+        dur=dur,
+        beta=beta,
+        brank=brank,
+        wire_eager=wire_eager,
+        wire_rdv=wire_rdv,
+        coll_costs=coll_costs,
+        programs=mats,
+    )
+
+
+class CompiledProgram:
+    """A compiled world: an instruction tape plus its constant pools.
+
+    ``evaluate`` prices one frequency vector bit-identically to the
+    DES; ``evaluate_many`` prices a ``(K, nproc)`` batch in one tape
+    pass.  Programs are immutable and reusable across any number of
+    evaluations (the whole point).
+    """
+
+    def __init__(
+        self,
+        nproc: int,
+        platform: PlatformConfig,
+        time_model: BetaTimeModel,
+        instrs: tuple[tuple[Any, ...], ...],
+        dur: list[float],
+        beta: list[float],
+        brank: list[int],
+        wire_eager: list[float],
+        wire_rdv: list[float],
+        coll_costs: list[float],
+        programs: list[list[Record]],
+    ):
+        self.nproc = nproc
+        self.platform = platform
+        self.time_model = time_model
+        self.instrs = instrs
+        self._dur = dur
+        self._beta = beta
+        self._brank = brank
+        self._wire_eager = wire_eager
+        self._wire_rdv = wire_rdv
+        self._coll_costs = coll_costs
+        self._programs = programs
+        # numpy constant pools for the batch VM
+        self._np_dur = np.asarray(dur, dtype=float)
+        self._np_beta = np.asarray(beta, dtype=float)
+        self._np_brank = np.asarray(brank, dtype=np.intp)
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instrs)
+
+    # ------------------------------------------------------------------
+    def _normalize(self, frequencies: Any) -> np.ndarray | None:
+        from repro.netsim.simulator import MpiSimulator
+
+        return MpiSimulator._normalize_frequencies(frequencies, self.nproc)
+
+    def evaluate(
+        self,
+        frequencies: Sequence[float] | float | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> RunResult:
+        """Price one assignment; returns a DES-identical RunResult."""
+        freqs = self._normalize(frequencies)
+        start = perf_counter()
+        nproc = self.nproc
+        if freqs is None:
+            sdur = self._dur
+        else:
+            fmax = self.time_model.fmax
+            # same operand order as timemodel.time_ratio, per burst
+            r1 = [fmax / float(freqs[r]) - 1.0 for r in range(nproc)]
+            dur, bet, brk = self._dur, self._beta, self._brank
+            sdur = [
+                dur[j] * (bet[j] * r1[brk[j]] + 1.0) for j in range(len(dur))
+            ]
+        t = [0.0] * nproc
+        comp = [0.0] * nproc
+        comm = [0.0] * nproc
+        arr = [0.0] * len(self._wire_eager)
+        sp = [0.0] * len(self._wire_rdv)
+        rp = [0.0] * len(self._wire_rdv)
+        markers: list[list[Marker]] = [[] for _ in range(nproc)]
+        wire_e, wire_r = self._wire_eager, self._wire_rdv
+        costs = self._coll_costs
+        send_ov = self.platform.send_overhead
+        recv_ov = self.platform.recv_overhead
+        ranks = range(nproc)
+
+        for ins in self.instrs:
+            code = ins[0]
+            if code == _COMPUTE:
+                r = ins[1]
+                t0 = t[r]
+                nt = t0 + sdur[ins[2]]
+                comp[r] += nt - t0
+                t[r] = nt
+            elif code == _SEND_EAGER:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                arr[m] = t0 + wire_e[m]
+                nt = t0 + send_ov
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _RECV_EAGER:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                tr = t0 + recv_ov
+                a = arr[m]
+                nt = tr if tr >= a else a
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _WAIT:
+                r = ins[1]
+                t0 = t[r]
+                cur = t0
+                for vk, m in ins[2]:
+                    if vk == _VAL_ARR:
+                        val = arr[m]
+                    else:
+                        s, p = sp[m], rp[m]
+                        val = (s if s >= p else p) + wire_r[m]
+                    if val > cur:
+                        cur = val
+                comm[r] += cur - t0
+                t[r] = cur
+            elif code == _COLL:
+                lv = max(t) + costs[ins[1]]
+                for r in ranks:
+                    comm[r] += lv - t[r]
+                    t[r] = lv
+            elif code == _SEND_RDV_POST:
+                sp[ins[2]] = t[ins[1]]
+            elif code == _SEND_RDV_DONE:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                s, p = sp[m], rp[m]
+                nt = (s if s >= p else p) + wire_r[m]
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _ISEND_RDV:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                sp[m] = t0
+                nt = t0 + send_ov
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _RECV_RDV:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                tr = t0 + recv_ov
+                rp[m] = tr
+                s = sp[m]
+                nt = (s if s >= tr else tr) + wire_r[m]
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _IRECV_EAGER:
+                r = ins[1]
+                t0 = t[r]
+                nt = t0 + recv_ov
+                comm[r] += nt - t0
+                t[r] = nt
+            elif code == _IRECV_RDV:
+                r, m = ins[1], ins[2]
+                t0 = t[r]
+                rp[m] = t0
+                nt = t0 + recv_ov
+                comm[r] += nt - t0
+                t[r] = nt
+            else:  # _MARKER
+                r = ins[1]
+                markers[r].append(Marker(t[r], ins[2], ins[3]))
+
+        end_times = np.array(t)
+        elapsed = perf_counter() - start
+        add_engine_stats(
+            compiled_runs=1,
+            compiled_evaluations=1,
+            compiled_instructions=len(self.instrs),
+            compiled_seconds=elapsed,
+        )
+        return RunResult(
+            execution_time=float(end_times.max(initial=0.0)),
+            compute_times=np.array(comp),
+            comm_times=np.array(comm),
+            end_times=end_times,
+            events=len(self.instrs),
+            intervals=None,
+            markers=markers,
+            trace=None,
+            meta=meta or {},
+            engine="compiled",
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate_many(self, frequencies: Any) -> dict[str, np.ndarray]:
+        """Price K assignments in one vectorised tape pass.
+
+        ``frequencies`` is a ``(K, nproc)`` array-like of per-rank GHz.
+        Returns ``execution_time`` ``(K,)`` plus per-rank
+        ``compute_times`` / ``comm_times`` / ``end_times`` ``(K,
+        nproc)`` — each row bit-identical to :meth:`evaluate` (markers
+        are not materialised in batch mode).
+        """
+        fmat = np.asarray(frequencies, dtype=float)
+        if fmat.ndim != 2 or fmat.shape[1] != self.nproc:
+            raise ValueError(
+                f"frequency matrix shape {fmat.shape} does not match "
+                f"(K, nproc={self.nproc})"
+            )
+        if (fmat <= 0.0).any():
+            raise ValueError("frequencies must be positive")
+        start = perf_counter()
+        K = fmat.shape[0]
+        nproc = self.nproc
+        r1 = self.time_model.fmax / fmat - 1.0            # (K, nproc)
+        ratio = self._np_beta * r1[:, self._np_brank] + 1.0
+        sdur = self._np_dur * ratio                        # (K, nbursts)
+        t = np.zeros((K, nproc))
+        comp = np.zeros((K, nproc))
+        comm = np.zeros((K, nproc))
+        arr = np.zeros((K, len(self._wire_eager)))
+        sp = np.zeros((K, len(self._wire_rdv)))
+        rp = np.zeros((K, len(self._wire_rdv)))
+        wire_e, wire_r = self._wire_eager, self._wire_rdv
+        costs = self._coll_costs
+        send_ov = self.platform.send_overhead
+        recv_ov = self.platform.recv_overhead
+        maximum = np.maximum
+
+        for ins in self.instrs:
+            code = ins[0]
+            if code == _COMPUTE:
+                r = ins[1]
+                col = t[:, r]
+                nt = col + sdur[:, ins[2]]
+                comp[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _SEND_EAGER:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                arr[:, m] = col + wire_e[m]
+                nt = col + send_ov
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _RECV_EAGER:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                nt = maximum(col + recv_ov, arr[:, m])
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _WAIT:
+                r = ins[1]
+                col = t[:, r]
+                cur = col
+                for vk, m in ins[2]:
+                    if vk == _VAL_ARR:
+                        val = arr[:, m]
+                    else:
+                        val = maximum(sp[:, m], rp[:, m]) + wire_r[m]
+                    cur = maximum(cur, val)
+                if cur is not col:
+                    comm[:, r] += cur - col
+                    t[:, r] = cur
+            elif code == _COLL:
+                lv = t.max(axis=1) + costs[ins[1]]
+                comm += lv[:, None] - t
+                t[:] = lv[:, None]
+            elif code == _SEND_RDV_POST:
+                sp[:, ins[2]] = t[:, ins[1]]
+            elif code == _SEND_RDV_DONE:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                nt = maximum(sp[:, m], rp[:, m]) + wire_r[m]
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _ISEND_RDV:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                sp[:, m] = col
+                nt = col + send_ov
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _RECV_RDV:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                tr = col + recv_ov
+                rp[:, m] = tr
+                nt = maximum(sp[:, m], tr) + wire_r[m]
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _IRECV_EAGER:
+                r = ins[1]
+                col = t[:, r]
+                nt = col + recv_ov
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            elif code == _IRECV_RDV:
+                r, m = ins[1], ins[2]
+                col = t[:, r]
+                rp[:, m] = col
+                nt = col + recv_ov
+                comm[:, r] += nt - col
+                t[:, r] = nt
+            # _MARKER: timestamps are not materialised in batch mode
+
+        elapsed = perf_counter() - start
+        add_engine_stats(
+            compiled_runs=1,
+            compiled_evaluations=K,
+            compiled_instructions=len(self.instrs) * K,
+            compiled_seconds=elapsed,
+        )
+        return {
+            "execution_time": t.max(axis=1),
+            "compute_times": comp,
+            "comm_times": comm,
+            "end_times": t,
+        }
+
+    # ------------------------------------------------------------------
+    def assert_equivalent(
+        self,
+        frequencies: Sequence[float] | float | None = None,
+        simulator: Any = None,
+    ) -> RunResult:
+        """Validation mode: cross-check this program against the DES.
+
+        Replays the compiled world's source programs through
+        :class:`~repro.netsim.simulator.MpiSimulator` and asserts
+        *exact* (bit-identical) agreement of makespan and per-rank
+        compute/comm/end seconds.  Returns the compiled result.
+        """
+        from repro.netsim.simulator import MpiSimulator
+
+        sim = simulator or MpiSimulator(self.platform, self.time_model)
+        des = sim.run(self._programs, frequencies=frequencies)
+        mine = self.evaluate(frequencies)
+        checks = (
+            ("execution_time", des.execution_time, mine.execution_time),
+            ("compute_times", des.compute_times, mine.compute_times),
+            ("comm_times", des.comm_times, mine.comm_times),
+            ("end_times", des.end_times, mine.end_times),
+        )
+        for name, want, got in checks:
+            if not np.array_equal(np.asarray(want), np.asarray(got)):
+                delta = np.max(
+                    np.abs(np.asarray(want) - np.asarray(got))
+                )
+                raise AssertionError(
+                    f"compiled replay diverges from DES on {name}: "
+                    f"max |Δ| = {delta:.3e}"
+                )
+        if des.markers != mine.markers:
+            raise AssertionError(
+                "compiled replay diverges from DES on markers"
+            )
+        return mine
+
+
+class CompiledReplayEngine:
+    """Drop-in engine facade over :func:`compile_world`.
+
+    Mirrors :class:`~repro.netsim.simulator.MpiSimulator`'s ``run`` /
+    ``run_trace`` surface on the supported subset (interval/trace
+    recording raise :class:`UnsupportedWorldError`; ``max_events`` is
+    accepted but moot — a compiled tape is finite by construction).
+    Compiled programs are cached on the :class:`Trace` object, keyed by
+    (platform, fmax, β), so a sweep compiles once and evaluates many
+    times; capability rejections are negative-cached the same way.
+    """
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        platform: PlatformConfig | None = None,
+        time_model: BetaTimeModel | None = None,
+        validate: bool = False,
+    ):
+        self.platform = platform or MYRINET_LIKE
+        self.time_model = time_model or BetaTimeModel(fmax=2.3)
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def compile_programs(
+        self, programs: Sequence[Iterable[Record]]
+    ) -> CompiledProgram:
+        return compile_world(programs, self.platform, self.time_model)
+
+    def compile_trace(self, trace: Trace) -> CompiledProgram:
+        key = (self.platform, self.time_model.fmax, self.time_model.beta)
+        cache = getattr(trace, "_compiled_cache", None)
+        if cache is None:
+            cache = []
+            trace._compiled_cache = cache  # plain attribute; never pickled
+        for cached_key, entry in cache:
+            if cached_key == key:
+                if isinstance(entry, UnsupportedWorldError):
+                    raise type(entry)(str(entry))
+                return entry
+        try:
+            program = compile_world(
+                [stream.records for stream in trace],
+                self.platform,
+                self.time_model,
+            )
+        except UnsupportedWorldError as exc:
+            cache.append((key, exc))
+            raise
+        cache.append((key, program))
+        return program
+
+    def supports(self, trace: Trace) -> tuple[bool, str]:
+        """Capability check: (accepted, reason-if-not)."""
+        try:
+            self.compile_trace(trace)
+        except UnsupportedWorldError as exc:
+            return False, str(exc)
+        return True, ""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: Sequence[Iterable[Record]],
+        frequencies: Sequence[float] | float | None = None,
+        record_intervals: bool = False,
+        record_trace: bool = False,
+        max_events: int | None = 50_000_000,
+        meta: dict[str, Any] | None = None,
+    ) -> RunResult:
+        if record_intervals or record_trace:
+            raise UnsupportedWorldError(
+                "interval/trace recording requires the DES engine"
+            )
+        program = self.compile_programs(programs)
+        result = program.evaluate(frequencies, meta=meta or {})
+        if self.validate:
+            program.assert_equivalent(frequencies)
+        return result
+
+    def run_trace(
+        self,
+        trace: Trace,
+        frequencies: Sequence[float] | float | None = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        meta = kwargs.pop("meta", None) or dict(trace.meta)
+        if kwargs.pop("record_intervals", False) or kwargs.pop(
+            "record_trace", False
+        ):
+            raise UnsupportedWorldError(
+                "interval/trace recording requires the DES engine"
+            )
+        kwargs.pop("max_events", None)
+        if kwargs:
+            raise TypeError(f"unexpected arguments {sorted(kwargs)}")
+        program = self.compile_trace(trace)
+        result = program.evaluate(frequencies, meta=meta)
+        if self.validate:
+            program.assert_equivalent(frequencies)
+        return result
+
+    def evaluate_assignments(
+        self, trace: Trace, frequencies: Any
+    ) -> dict[str, np.ndarray]:
+        """Compile (cached) + batch-evaluate a (K, nproc) matrix."""
+        return self.compile_trace(trace).evaluate_many(frequencies)

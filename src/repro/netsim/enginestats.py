@@ -1,0 +1,79 @@
+"""Process-wide replay-engine counters (observability).
+
+Both replay engines report into one module-level ledger, mirroring
+:func:`repro.experiments.cache.process_cache_stats`:
+
+* the DES (:class:`~repro.netsim.simulator.MpiSimulator`) counts runs,
+  events processed and wall seconds spent inside ``Engine.run``;
+* the compiled kernel (:mod:`repro.netsim.compiled`) counts compiles,
+  evaluations (one per frequency assignment priced), instruction-node
+  evaluations and wall seconds;
+* :class:`~repro.netsim.engines.AutoReplayEngine` counts how many runs
+  fell back to the DES because the capability check rejected a world.
+
+Campaign workers snapshot/diff these around each experiment
+(``manifest.json``) and service workers return them in the job envelope
+so ``/metrics`` can aggregate across processes.  The counters never
+feed result caching or report payloads — they are diagnostics only.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ENGINE_STAT_KEYS",
+    "add_engine_stats",
+    "engine_rates",
+    "process_engine_stats",
+    "reset_engine_stats",
+]
+
+#: Every counter in the ledger (ints except the ``*_seconds`` floats).
+ENGINE_STAT_KEYS = (
+    "des_runs",
+    "des_events",
+    "des_seconds",
+    "compiled_compiles",
+    "compiled_runs",
+    "compiled_evaluations",
+    "compiled_instructions",
+    "compiled_seconds",
+    "auto_fallbacks",
+)
+
+_STATS: dict[str, float] = dict.fromkeys(ENGINE_STAT_KEYS, 0)
+
+
+def add_engine_stats(**deltas: float) -> None:
+    """Accumulate counter deltas (keys must be in ENGINE_STAT_KEYS)."""
+    for key, delta in deltas.items():
+        _STATS[key] = _STATS[key] + delta
+
+
+def process_engine_stats() -> dict[str, float]:
+    """A snapshot of this process's cumulative engine counters."""
+    return dict(_STATS)
+
+
+def reset_engine_stats() -> None:
+    """Zero the ledger (tests only)."""
+    for key in ENGINE_STAT_KEYS:
+        _STATS[key] = 0
+
+
+def engine_rates(stats: dict[str, float] | None = None) -> dict[str, float]:
+    """Evaluations-per-second for both engines (0.0 when idle).
+
+    A DES "evaluation" is one full world replay; a compiled evaluation
+    is one frequency assignment priced (batch passes count each lane).
+    """
+    s = stats if stats is not None else _STATS
+    des_s = s.get("des_seconds", 0.0)
+    comp_s = s.get("compiled_seconds", 0.0)
+    return {
+        "des_evals_per_second": (
+            s.get("des_runs", 0) / des_s if des_s > 0.0 else 0.0
+        ),
+        "compiled_evals_per_second": (
+            s.get("compiled_evaluations", 0) / comp_s if comp_s > 0.0 else 0.0
+        ),
+    }

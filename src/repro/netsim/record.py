@@ -68,6 +68,12 @@ class RunResult:
     markers: list[list[Marker]] | None = None
     trace: Any | None = None  # repro.traces.Trace when recording was on
     meta: dict[str, Any] = field(default_factory=dict)
+    #: which replay engine produced this result ("des" or "compiled").
+    #: For the DES, ``events`` counts heap events processed; for the
+    #: compiled kernel it counts instruction nodes evaluated.  Never
+    #: part of cache keys or report payloads — results are engine-
+    #: independent by construction.
+    engine: str = "des"
 
     @property
     def nproc(self) -> int:

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 from typing import Any
 
 import numpy as np
 
 from repro.core.timemodel import BetaTimeModel, time_ratio
 from repro.netsim.collectives import collective_time
+from repro.netsim.enginestats import add_engine_stats
 from repro.netsim.matching import EagerMsg, Matcher, ReadySend
 from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
 from repro.netsim.record import Interval, Marker, RunResult
@@ -97,6 +99,9 @@ class MpiSimulator:
         β time model used to rescale compute bursts when ``frequencies``
         are supplied to :meth:`run`.
     """
+
+    #: engine-selection name (see :func:`repro.netsim.engines.make_engine`)
+    name = "des"
 
     def __init__(
         self,
@@ -202,7 +207,13 @@ class _Run:
             Process(self.engine, self._interp(rank, ops), name=f"rank{rank}")
             for rank, ops in enumerate(programs)
         ]
+        start = perf_counter()
         self.engine.run(max_events=max_events)
+        add_engine_stats(
+            des_runs=1,
+            des_events=self.engine.events_processed,
+            des_seconds=perf_counter() - start,
+        )
         stuck = [p for p in procs if not p.finished]
         if stuck:
             diag = self.matcher.outstanding()

@@ -105,6 +105,7 @@ class ServiceApp:
         self.jobs = JobTable(self.config.job_ttl_seconds)
         self.metrics = MetricsRegistry()
         self._worker_cache: dict[str, int] = {}
+        self._worker_engines: dict[str, float] = {}
         self._build_metrics()
 
         self.port: int | None = None
@@ -120,6 +121,16 @@ class ServiceApp:
     # ------------------------------------------------------------------
     def _cache_counter(self, key: str) -> float:
         return self.cache.stats().get(key, 0) + self._worker_cache.get(key, 0)
+
+    def _engine_counter(self, key: str) -> float:
+        from repro.netsim.enginestats import process_engine_stats
+
+        return process_engine_stats()[key] + self._worker_engines.get(key, 0)
+
+    def _engine_stats(self) -> dict[str, float]:
+        from repro.netsim.enginestats import ENGINE_STAT_KEYS
+
+        return {k: self._engine_counter(k) for k in ENGINE_STAT_KEYS}
 
     def _build_metrics(self) -> None:
         m = self.metrics
@@ -200,6 +211,36 @@ class ServiceApp:
             "Blobs currently in the result-cache directory.",
             fn=lambda: self.cache.entry_count(),
         )
+        for key, help_text in (
+            ("des_runs", "World replays executed by the DES engine."),
+            ("des_events", "Heap events processed by the DES engine."),
+            ("des_seconds", "Wall seconds spent inside DES event loops."),
+            ("compiled_compiles", "Worlds compiled by the replay kernel."),
+            ("compiled_runs", "Compiled-kernel tape passes (scalar or "
+             "batch)."),
+            ("compiled_evaluations", "Frequency assignments priced by the "
+             "compiled kernel."),
+            ("compiled_instructions", "Instruction nodes evaluated by the "
+             "compiled kernel."),
+            ("compiled_seconds", "Wall seconds spent evaluating compiled "
+             "tapes."),
+            ("auto_fallbacks", "auto-engine runs routed back to the DES by "
+             "the capability check."),
+        ):
+            m.counter(
+                f"repro_engine_{key}_total",
+                help_text + " Front-end + worker processes.",
+                fn=lambda key=key: self._engine_counter(key),
+            )
+        from repro.netsim.enginestats import engine_rates
+
+        for rate in ("des_evals_per_second", "compiled_evals_per_second"):
+            m.gauge(
+                f"repro_engine_{rate}",
+                "Cumulative world evaluations per wall second on this "
+                "engine (0 when idle).",
+                fn=lambda rate=rate: engine_rates(self._engine_stats())[rate],
+            )
         self.jobs_total = m.counter(
             "repro_service_jobs_total",
             "Async jobs by kind and terminal outcome.",
@@ -302,6 +343,10 @@ class ServiceApp:
             for counter, delta in envelope.get("cache", {}).items():
                 self._worker_cache[counter] = (
                     self._worker_cache.get(counter, 0) + delta
+                )
+            for counter, delta in envelope.get("engines", {}).items():
+                self._worker_engines[counter] = (
+                    self._worker_engines.get(counter, 0) + delta
                 )
             self.simulations_total.inc(kind=kind)
             result = envelope["result"]

@@ -48,11 +48,11 @@ MAX_BODY_BYTES = 1 << 20
 
 _BALANCE_KEYS = {
     "app", "gears", "algorithm", "beta", "iterations", "base_compute",
-    "platform", "strict", "async",
+    "platform", "strict", "async", "engine",
 }
 _EXPERIMENT_KEYS = {
     "iterations", "beta", "base_compute", "apps", "platform", "strict",
-    "async",
+    "async", "engine",
 }
 _ITERATION_RANGE = (1, 10_000)
 
@@ -130,6 +130,23 @@ def _int(body: dict[str, Any], key: str, default: int,
         raise ValidationError(f"{key!r} must be an integer, got {value!r}")
     if not (lo <= value <= hi):
         raise ValidationError(f"{key!r} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _engine(body: dict[str, Any]) -> str:
+    """The replay-engine selector ("auto" default).
+
+    Never part of cache identities or coalescing keys — both engines
+    produce identical results, so the selector only changes *how* a
+    miss is computed.
+    """
+    from repro.netsim.engines import ENGINE_NAMES
+
+    value = body.get("engine", "auto")
+    if value not in ENGINE_NAMES:
+        raise ValidationError(
+            f"'engine' must be one of {list(ENGINE_NAMES)}, got {value!r}"
+        )
     return value
 
 
@@ -235,6 +252,7 @@ def parse_balance_request(
         "beta": beta,
         "iterations": iterations,
         "base_compute": base_compute,
+        "engine": _engine(body),
     }
     if platform is not None:
         spec["platform"] = platform_payload(platform)
@@ -284,6 +302,7 @@ def parse_experiment_request(
         "iterations": iterations,
         "base_compute": base_compute,
         "apps": apps,
+        "engine": _engine(body),
     }
     if platform is not None:
         spec["platform"] = platform_payload(platform)

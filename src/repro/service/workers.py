@@ -93,6 +93,7 @@ def _runner_config(spec: dict[str, Any]):
         apps=tuple(spec["apps"]) if spec.get("apps") else None,
         platform=_resolve_platform(spec.get("platform")),
         cache_dir=spec.get("cache_dir"),
+        engine=spec.get("engine", "auto"),
     )
 
 
@@ -115,10 +116,18 @@ def execute_balance(spec: dict[str, Any]):
 
 
 def run_balance_job(spec: dict[str, Any]) -> dict[str, Any]:
-    """Pool entry point: balance → ``{"result": ..., "cache": ...}``."""
+    """Pool entry point: balance → ``{"result", "cache", "engines"}``."""
+    from repro.netsim.enginestats import process_engine_stats
+
+    before = process_engine_stats()
     report, runner = execute_balance(spec)
+    after = process_engine_stats()
     cache = runner.cache.stats() if runner.cache is not None else {}
-    return {"result": report.to_json(), "cache": cache}
+    return {
+        "result": report.to_json(),
+        "cache": cache,
+        "engines": {k: after[k] - before[k] for k in after},
+    }
 
 
 def _jsonable(value: Any) -> Any:
@@ -146,10 +155,13 @@ def run_experiment_job(spec: dict[str, Any]) -> dict[str, Any]:
     """
     from repro.experiments.cache import process_cache_stats
     from repro.experiments.runner import get_experiment
+    from repro.netsim.enginestats import process_engine_stats
 
     before = process_cache_stats()
+    engines_before = process_engine_stats()
     result = get_experiment(spec["eid"])(_runner_config(spec))
     after = process_cache_stats()
+    engines_after = process_engine_stats()
     return {
         "result": {
             "eid": result.eid,
@@ -159,6 +171,9 @@ def run_experiment_job(spec: dict[str, Any]) -> dict[str, Any]:
             "notes": list(result.notes),
         },
         "cache": {k: after[k] - before[k] for k in after},
+        "engines": {
+            k: engines_after[k] - engines_before[k] for k in engines_after
+        },
     }
 
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from itertools import count
 from collections.abc import Callable
 from typing import Any
 
@@ -64,7 +63,7 @@ class Engine:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
-        self._seq = count()
+        self._seq = 0  # plain int: cheaper than itertools.count per event
         self._events_processed: int = 0
 
     # ------------------------------------------------------------------
@@ -103,7 +102,8 @@ class Engine:
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
         timer = Timer(time, fn, args)
-        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        heapq.heappush(self._heap, (time, self._seq, timer))
+        self._seq += 1
         return timer
 
     # ------------------------------------------------------------------
@@ -125,24 +125,40 @@ class Engine:
     def run(self, until: float = math.inf, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or the budget ends.
 
-        ``max_events`` is a safety valve for runaway simulations (e.g. a
-        rank program that loops forever); exceeding it raises
-        :class:`RuntimeError` rather than hanging the caller.
+        On return the clock is at ``min(until, last event time)`` when
+        stopped by the horizon — and exactly ``until`` when a finite
+        horizon was requested and the queue drained early, so
+        ``run(until=t)`` always leaves ``now == t`` unless an event
+        beyond ``t`` remains queued.  ``max_events`` is a safety valve
+        for runaway simulations (e.g. a rank program that loops
+        forever); exceeding it raises :class:`RuntimeError` rather than
+        hanging the caller.
         """
+        # hot path: pop inline rather than via step() so each event costs
+        # one heap operation and no extra attribute lookups
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
-            time = self._heap[0][0]
-            if time > until:
-                self._now = until
+        while heap:
+            if heap[0][0] > until:
+                if until > self._now:  # never move the clock backwards
+                    self._now = until
                 return
-            if not self.step():
-                return
+            time, _, timer = pop(heap)
+            if not timer.active:
+                continue
+            timer.active = False
+            self._now = time
+            self._events_processed += 1
+            timer.fn(*timer.args)
             executed += 1
             if max_events is not None and executed >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events} "
                     f"(now={self._now:.9g}); likely a runaway process"
                 )
+        if until > self._now and not math.isinf(until):
+            self._now = until
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Engine now={self._now:.9g} pending={self.pending}>"

@@ -217,8 +217,15 @@ class TestCampaignJobs:
         m = copy.deepcopy(manifest)
         m.pop("wall_seconds")
         m.pop("jobs")
+        # engine counters are deterministic; their wall-clock-derived
+        # fields (seconds, rates) are not
+        for timing in ("des_seconds", "compiled_seconds",
+                       "des_evals_per_second", "compiled_evals_per_second"):
+            m["engines"].pop(timing)
         for entry in m["experiments"].values():
             entry.pop("seconds")
+            entry["engines"].pop("des_seconds")
+            entry["engines"].pop("compiled_seconds")
         return m
 
     def test_jobs4_manifest_matches_jobs1(self, tmp_path):

@@ -154,6 +154,25 @@ class TestBalance:
             assert r.status == 200
             assert r.json()["gear_set"] == "custom[3]"
 
+    def test_engine_selection_is_body_identical(self, tmp_path):
+        # 'des' and 'auto' change *how* a miss is computed, never the
+        # result — and the selector must not split the cache identity,
+        # so the second request is a fast hit of the first.
+        with make_service(tmp_path) as svc:
+            des = svc.client.balance(**SPEC, engine="des")
+            auto = svc.client.balance(**SPEC, engine="auto")
+            assert des.status == auto.status == 200
+            assert auto.body == des.body
+            assert auto.headers["X-Cache"] == "hit"
+
+    def test_engine_counters_scraped(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            assert svc.client.balance(**SPEC).status == 200
+            metrics = svc.client.metrics()
+            assert "repro_engine_compiled_runs_total" in metrics
+            assert "repro_engine_auto_fallbacks_total" in metrics
+            assert "repro_engine_compiled_evals_per_second" in metrics
+
 
 # ----------------------------------------------------------------------
 # Validation + lint gate
@@ -196,6 +215,11 @@ class TestValidation:
     def test_bad_iterations_rejected(self, svc):
         assert svc.client.balance(app="CG-16", iterations=0).status == 400
         assert svc.client.balance(app="CG-16", iterations="six").status == 400
+
+    def test_unknown_engine_rejected(self, svc):
+        r = svc.client.balance(app="CG-16", engine="turbo")
+        assert r.status == 400
+        assert "engine" in r.json()["error"]["message"]
 
     def test_unphysical_beta_is_lint_rejected(self, svc):
         r = svc.client.balance(app="CG-16", beta=2.0)

@@ -117,6 +117,35 @@ class TestRun:
         eng.run()
         assert seen == ["a", "b"]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        # Regression: the queue draining before the horizon used to
+        # leave ``now`` at the last event time instead of ``until``.
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+
+    def test_run_until_on_empty_queue_advances_clock(self):
+        eng = Engine()
+        eng.run(until=3.0)
+        assert eng.now == 3.0
+
+    def test_unbounded_run_keeps_clock_at_last_event(self):
+        # With an infinite horizon there is nothing to advance *to*:
+        # the clock stays at the final event time.
+        eng = Engine()
+        eng.schedule(2.5, lambda: None)
+        eng.run()
+        assert eng.now == 2.5
+
+    def test_run_until_never_moves_clock_backwards(self):
+        eng = Engine()
+        eng.schedule(4.0, lambda: None)
+        eng.run()
+        assert eng.now == 4.0
+        eng.run(until=1.0)
+        assert eng.now == 4.0
+
     def test_max_events_guard_raises(self):
         eng = Engine()
 
