@@ -1,0 +1,133 @@
+"""Batched balance planner vs the scalar sweep on a placement grid.
+
+The perf claim of :class:`repro.core.batchbalance.BatchBalancePlanner`
+is *sharing*: one baseline replay, one stacked frequency matrix, one
+chunked vectorised pricing pass and one vectorised energy integration
+for K sweep cells, where the scalar path pays K full
+``balance_trace`` calls.  This benchmark prices a gearopt-shaped
+sweep (``K`` uniform 6-gear sets on a fine ``fmin`` placement grid)
+against one recorded BT-MZ-32 trace two ways:
+
+* ``scalar_loop`` — one ``PowerAwareLoadBalancer.balance_trace`` per
+  candidate on the *compiled* engine (the fastest pre-planner sweep,
+  with the memoised baseline already credited to it);
+* ``batched``     — one ``BatchBalancePlanner.plan_trace`` call.
+
+Both sides re-record their per-trace caches each round (compile cost
+included on both), produce byte-identical ``to_json()`` payloads
+(asserted), and the batched pass must be ≥ 5× faster — the acceptance
+criterion recorded in ``benchmarks/baselines/sweep.json``.  Runs
+standalone in CI smoke mode (``--benchmark-disable``) via the
+``_timed`` wall-clock ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.apps import build_app
+from repro.core.balancer import PowerAwareLoadBalancer
+from repro.core.batchbalance import BatchBalancePlanner, SweepCandidate
+from repro.core.gears import uniform_gear_set
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.platform import MYRINET_LIKE
+from repro.netsim.simulator import MpiSimulator
+
+APP = "BT-MZ-32"
+ITERATIONS = 4
+K = 250  # sweep cells (acceptance floor is 50)
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+_WORLD: dict[str, object] = {}
+
+
+def _world():
+    """(trace, candidate list) for the sweep, built once per session."""
+    if not _WORLD:
+        app = build_app(APP, iterations=ITERATIONS)
+        sim = MpiSimulator(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+        _WORLD["trace"] = sim.run(
+            app.programs(), record_trace=True, meta={"name": APP}
+        ).trace
+        _WORLD["candidates"] = [
+            SweepCandidate(uniform_gear_set(6, fmin=float(f)))
+            for f in np.linspace(0.8, 1.6, K)
+        ]
+    return _WORLD["trace"], _WORLD["candidates"]
+
+
+def _fresh(trace):
+    """A cache-free copy, so per-trace memos never hide shared costs."""
+    return type(trace).from_streams(
+        (s.records for s in trace), meta=trace.meta
+    )
+
+
+def _payloads(reports):
+    return [json.dumps(r.to_json(), sort_keys=True) for r in reports]
+
+
+def _timed(label: str, fn):
+    """Run ``fn`` once, recording wall time (works with
+    ``--benchmark-disable``, where ``benchmark.stats`` is unset)."""
+    start = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - start
+    _TIMINGS[label] = min(_TIMINGS.get(label, elapsed), elapsed)
+    return out
+
+
+def test_scalar_balance_sweep(benchmark):
+    """The pre-planner sweep: one balance_trace call per candidate."""
+    trace, candidates = _world()
+
+    def sweep():
+        fresh = _fresh(trace)
+        return [
+            PowerAwareLoadBalancer(
+                gear_set=c.gear_set, engine="compiled"
+            ).balance_trace(fresh)
+            for c in candidates
+        ]
+
+    reports = benchmark.pedantic(
+        lambda: _timed("scalar_loop", sweep), rounds=1, iterations=1
+    )
+    assert len(reports) == K
+    _WORLD["scalar_payloads"] = _payloads(reports)
+
+
+def test_batched_planner_sweep(benchmark):
+    """One plan_trace call prices the whole grid."""
+    trace, candidates = _world()
+
+    def sweep():
+        return BatchBalancePlanner(engine="compiled").plan_trace(
+            _fresh(trace), candidates
+        )
+
+    reports = benchmark.pedantic(
+        lambda: _timed("batched", sweep), rounds=3, iterations=1
+    )
+    assert len(reports) == K
+
+    scalar_payloads = _WORLD.get("scalar_payloads")
+    if scalar_payloads is not None:  # full-file run: identity + speedup
+        assert _payloads(reports) == scalar_payloads, (
+            "batched sweep reports diverged from the scalar path"
+        )
+        scalar, batched = _TIMINGS["scalar_loop"], _TIMINGS["batched"]
+        benchmark.extra_info["sweep_candidates"] = K
+        benchmark.extra_info["speedup_vs_scalar"] = round(
+            scalar / batched, 1
+        )
+        assert batched * 5.0 <= scalar, (
+            f"batched sweep ({batched * 1e3:.1f} ms) is not 5x faster "
+            f"than the scalar loop ({scalar * 1e3:.1f} ms) over {K} "
+            "candidates"
+        )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -109,3 +110,107 @@ class EnergyAccountant:
             per_rank=per_rank,
             execution_time=float(execution_time),
         )
+
+    # ------------------------------------------------------------------
+    def run_energy_many(
+        self,
+        compute_times: Any,
+        execution_times: Any,
+        gears_rows: Sequence[Sequence[Gear]],
+    ) -> list[EnergyBreakdown]:
+        """Energy of K runs at once, bit-identical to K :meth:`run_energy`.
+
+        ``compute_times`` is ``(K, nproc)``, ``execution_times`` is
+        ``(K,)`` and ``gears_rows`` holds one gear sequence per run.
+        Power lookups are memoised per distinct gear (each gear's power
+        is computed by the *same* scalar :meth:`CpuPowerModel.power`
+        call the scalar path uses — one source of truth, exact floats),
+        the energy products are element-wise (row-independent by IEEE
+        semantics), and the per-run reductions sum each contiguous row
+        exactly like the scalar path's 1-D sums.  Validation raises the
+        same errors, labelled with the offending run index.
+        """
+        compute = np.asarray(compute_times, dtype=float)
+        exec_t = np.asarray(execution_times, dtype=float)
+        if compute.ndim != 2:
+            raise ValueError(
+                f"compute_times must be (K, nproc), got shape {compute.shape}"
+            )
+        K, nproc = compute.shape
+        if exec_t.shape != (K,):
+            raise ValueError(
+                f"execution_times shape {exec_t.shape} does not match (K={K},)"
+            )
+        if len(gears_rows) != K:
+            raise ValueError(f"{len(gears_rows)} gear rows for {K} runs")
+
+        # Distinct-gear power table: each gear's three powers come from
+        # the *same* scalar CpuPowerModel calls the scalar path uses
+        # (one source of truth, exact floats), computed once per gear
+        # and fanned out to rows by index lookup.
+        pm = self.power_model
+        index: dict[Gear, int] = {}
+        table: list[tuple[float, float, float]] = []
+
+        def gear_index(gear: Gear) -> int:
+            idx = index.get(gear)
+            if idx is None:
+                idx = len(table)
+                index[gear] = idx
+                table.append(
+                    (
+                        pm.power(gear, CpuState.COMPUTE),
+                        pm.power(gear, CpuState.COMM),
+                        pm.static_power(gear),
+                    )
+                )
+            return idx
+
+        rows_idx = []
+        for k, gears in enumerate(gears_rows):
+            if len(gears) != nproc:
+                raise ValueError(
+                    f"run {k}: {len(gears)} gears for {nproc} ranks"
+                )
+            rows_idx.append(
+                np.fromiter(
+                    (gear_index(g) for g in gears),
+                    dtype=np.intp,
+                    count=nproc,
+                )
+            )
+        powers = np.asarray(table, dtype=float)
+
+        out: list[EnergyBreakdown] = []
+        for k in range(K):
+            execution_time = float(exec_t[k])
+            row = compute[k]
+            if execution_time < 0.0:
+                raise ValueError(
+                    f"run {k}: execution time must be >= 0, "
+                    f"got {execution_time!r}"
+                )
+            over = row > execution_time * (1.0 + 1e-9)
+            if over.any():
+                bad = int(np.argmax(over))
+                raise ValueError(
+                    f"run {k}: rank {bad} computes {row[bad]:.9g}s but the "
+                    f"run only lasts {execution_time:.9g}s"
+                )
+            p_compute, p_comm, p_static = powers[rows_idx[k]].T
+            comm = np.maximum(execution_time - row, 0.0)
+            e_compute = p_compute * row
+            e_comm = p_comm * comm
+            e_static = p_static * execution_time
+            per_rank = e_compute + e_comm
+            out.append(
+                EnergyBreakdown(
+                    compute_energy=float(e_compute.sum()),
+                    comm_energy=float(e_comm.sum()),
+                    static_energy=float(e_static.sum()),
+                    dynamic_energy=float((per_rank - e_static).sum()),
+                    per_rank=per_rank,
+                    execution_time=execution_time,
+                )
+            )
+        return out

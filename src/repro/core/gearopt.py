@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -277,3 +278,37 @@ class GearSetOptimizer:
             predicted_energy=float(dp[best_j][m - 1]),
             candidate_count=m,
         )
+
+    # ------------------------------------------------------------------
+    def replay_scores(
+        self,
+        traces: Sequence[Any],
+        gear_sets: Sequence[Any],
+        planner: Any | None = None,
+    ) -> np.ndarray:
+        """Honest scores: mean normalized *replay* energy per gear set.
+
+        The analytic objective of :meth:`optimize` ignores
+        communication structure; this scores candidate gear sets with
+        the full replay pipeline instead (MAX algorithm, the
+        optimizer's time/power models), batched through one
+        :class:`~repro.core.batchbalance.BatchBalancePlanner` pass per
+        trace — one baseline replay + one vectorised pricing pass per
+        trace whatever ``len(gear_sets)`` is, which is what makes
+        replay-based scoring affordable for fine placement grids.
+        Returns one mean-over-traces normalized energy per gear set,
+        in ``gear_sets`` order (lower is better).
+        """
+        from repro.core.batchbalance import BatchBalancePlanner
+
+        if not traces:
+            raise ValueError("need at least one trace to score against")
+        if planner is None:
+            planner = BatchBalancePlanner(
+                time_model=self.model, power_model=self.power_model
+            )
+        totals = np.zeros(len(gear_sets))
+        for trace in traces:
+            reports = planner.plan_trace(trace, gear_sets)
+            totals += np.array([r.normalized_energy for r in reports])
+        return totals / len(traces)

@@ -47,9 +47,12 @@ def run(config: RunnerConfig | None = None) -> ExperimentResult:
         config = replace(config, apps=FIG2_APPS)
     runner = Runner(config)
     rows = []
+    gear_sets = gear_sets_under_study()
     for app in config.app_list():
-        for gear_set in gear_sets_under_study():
-            report = runner.balance(app, gear_set)
+        # all 16 gear sets price as one batch per application (MAX)
+        for gear_set, report in zip(
+            gear_sets, runner.balance_many(app, gear_sets)
+        ):
             rows.append(
                 {
                     "application": app,

@@ -217,6 +217,83 @@ class Runner:
             return balancer.reaccount(cached, power_model)
         return cached
 
+    def balance_many(
+        self,
+        app_name: str,
+        candidates: Sequence[Any],
+        beta: float | None = None,
+    ) -> list[BalanceReport]:
+        """Many cells of one app in one batched pricing pass.
+
+        ``candidates`` is a sequence of
+        :class:`~repro.core.batchbalance.SweepCandidate` (bare gear
+        sets are accepted).  Each cell keeps the exact cache identity
+        of :meth:`balance` — cached cells are served from the caches,
+        only the misses go through the
+        :class:`~repro.core.batchbalance.BatchBalancePlanner`, and
+        freshly planned reports are stored back — so scalar and batched
+        callers interoperate freely on both cache layers.  Reports come
+        back in candidate order.
+        """
+        from repro.core.batchbalance import BatchBalancePlanner, SweepCandidate
+
+        eff_beta = self.config.beta if beta is None else beta
+        resolved: list[tuple[GearSet, FrequencyAlgorithm]] = []
+        for cand in candidates:
+            if not isinstance(cand, SweepCandidate):
+                cand = SweepCandidate(cand)
+            resolved.append((cand.gear_set, cand.algorithm or MaxAlgorithm()))
+
+        reports: list[BalanceReport | None] = [None] * len(resolved)
+        misses: list[int] = []
+        for i, (gear_set, algorithm) in enumerate(resolved):
+            key = (
+                app_name,
+                self.config.iterations,
+                gear_set.name,
+                algorithm.name,
+                eff_beta,
+            )
+            cached = self._reports.get(key)
+            if cached is None and self.cache is not None:
+                payload = self._report_payload(
+                    app_name, gear_set, algorithm, eff_beta
+                )
+                cached = self.cache.get("report", payload)
+                if cached is not None:
+                    self._reports[key] = cached
+            if cached is None:
+                misses.append(i)
+            else:
+                reports[i] = cached
+        if misses:
+            planner = BatchBalancePlanner(
+                time_model=BetaTimeModel(fmax=NOMINAL_FMAX, beta=eff_beta),
+                platform=self.config.platform,
+                engine=self.config.engine,
+            )
+            fresh = planner.plan_trace(
+                self.trace(app_name),
+                [SweepCandidate(*resolved[i]) for i in misses],
+            )
+            for i, report in zip(misses, fresh):
+                gear_set, algorithm = resolved[i]
+                key = (
+                    app_name,
+                    self.config.iterations,
+                    gear_set.name,
+                    algorithm.name,
+                    eff_beta,
+                )
+                self._reports[key] = report
+                if self.cache is not None:
+                    payload = self._report_payload(
+                        app_name, gear_set, algorithm, eff_beta
+                    )
+                    self.cache.put("report", payload, report)
+                reports[i] = report
+        return [r for r in reports if r is not None]
+
     def _report_payload(
         self,
         app_name: str,

@@ -28,7 +28,9 @@ APPS = ("BT-MZ-32", "SPECFEM3D-96", "CG-64", "IS-32")
 
 
 def run(config: RunnerConfig | None = None) -> ExperimentResult:
-    from repro.core.balancer import PowerAwareLoadBalancer
+    from repro.core.batchbalance import BatchBalancePlanner, SweepCandidate
+    from repro.core.gears import NOMINAL_FMAX
+    from repro.core.timemodel import BetaTimeModel
 
     config = config or RunnerConfig()
     gear_set = uniform_gear_set(6)
@@ -36,7 +38,9 @@ def run(config: RunnerConfig | None = None) -> ExperimentResult:
     rows = []
     for app in APPS if config.apps is None else config.apps:
         # one trace, recorded on the reference platform (message sizes
-        # fixed); only the *replay* platform varies below
+        # fixed); only the *replay* platform varies below — each grid
+        # cell is its own planner (the platform shapes the replay), but
+        # every cell honours the configured engine and β
         trace = runner.trace(app)
         energies = {}
         for lat_scale in SCALES:
@@ -46,10 +50,16 @@ def run(config: RunnerConfig | None = None) -> ExperimentResult:
                     latency=config.platform.latency * lat_scale,
                     bandwidth=config.platform.bandwidth * bw_scale,
                 )
-                balancer = PowerAwareLoadBalancer(
-                    gear_set=gear_set, platform=platform
+                planner = BatchBalancePlanner(
+                    time_model=BetaTimeModel(
+                        fmax=NOMINAL_FMAX, beta=config.beta
+                    ),
+                    platform=platform,
+                    engine=config.engine,
                 )
-                report = balancer.balance_trace(trace)
+                report = planner.plan_trace(
+                    trace, [SweepCandidate(gear_set)]
+                )[0]
                 energies[(lat_scale, bw_scale)] = 100.0 * report.normalized_energy
         reference = energies[(1.0, 1.0)]
         values = list(energies.values())

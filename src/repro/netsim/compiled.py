@@ -912,7 +912,40 @@ class CompiledReplayEngine:
         return result
 
     def evaluate_assignments(
-        self, trace: Trace, frequencies: Any
+        self,
+        trace: Trace,
+        frequencies: Any,
+        chunk_size: int | None = None,
     ) -> dict[str, np.ndarray]:
-        """Compile (cached) + batch-evaluate a (K, nproc) matrix."""
-        return self.compile_trace(trace).evaluate_many(frequencies)
+        """Compile (cached) + batch-evaluate a (K, nproc) matrix.
+
+        ``chunk_size`` bounds the candidate count per vectorised tape
+        pass, which bounds peak working-set memory (each pass allocates
+        ``O(chunk × (nproc + messages))`` floats).  Chunking cannot
+        change results: :meth:`CompiledProgram.evaluate_many` computes
+        every row independently, so the concatenation of chunked passes
+        is bit-identical to one full pass.
+        """
+        program = self.compile_trace(trace)
+        fmat = np.asarray(frequencies, dtype=float)
+        if fmat.ndim != 2:
+            raise ValueError(
+                f"frequency matrix must be (K, nproc), got shape {fmat.shape}"
+            )
+        K = fmat.shape[0]
+        if chunk_size is None or chunk_size <= 0 or chunk_size >= K:
+            parts = [program.evaluate_many(fmat)]
+        else:
+            parts = [
+                program.evaluate_many(fmat[lo : lo + chunk_size])
+                for lo in range(0, K, chunk_size)
+            ]
+        add_engine_stats(
+            batch_batches=1, batch_candidates=K, batch_chunks=len(parts)
+        )
+        if len(parts) == 1:
+            return parts[0]
+        return {
+            key: np.concatenate([p[key] for p in parts])
+            for key in parts[0]
+        }

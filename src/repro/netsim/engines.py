@@ -121,25 +121,29 @@ class AutoReplayEngine:
     def supports(self, trace: Trace) -> tuple[bool, str]:
         return self.compiled.supports(trace)
 
-    def evaluate_assignments(self, trace: Trace, frequencies: Any) -> dict:
-        """Batch-price a (K, nproc) matrix; DES loop on fallback."""
-        import numpy as np
+    def evaluate_assignments(
+        self,
+        trace: Trace,
+        frequencies: Any,
+        chunk_size: int | None = None,
+    ) -> dict:
+        """Batch-price a (K, nproc) matrix; per-candidate DES fallback.
 
+        Supported worlds go through the compiled kernel's chunked
+        ``evaluate_many``; a capability rejection falls back to one DES
+        replay per candidate (counted as ``auto_fallbacks`` plus
+        ``batch_fallback_candidates``), so every batch prices, whatever
+        the world.
+        """
         try:
-            return self.compiled.evaluate_assignments(trace, frequencies)
+            return self.compiled.evaluate_assignments(
+                trace, frequencies, chunk_size=chunk_size
+            )
         except UnsupportedWorldError:
             add_engine_stats(auto_fallbacks=1)
-            rows = [
-                self.des.run_trace(trace, frequencies=f) for f in frequencies
-            ]
-            return {
-                "execution_time": np.array(
-                    [r.execution_time for r in rows]
-                ),
-                "compute_times": np.array([r.compute_times for r in rows]),
-                "comm_times": np.array([r.comm_times for r in rows]),
-                "end_times": np.array([r.end_times for r in rows]),
-            }
+            return self.des.evaluate_assignments(
+                trace, frequencies, chunk_size=chunk_size
+            )
 
 
 def make_engine(

@@ -9,7 +9,13 @@ Both replay engines report into one module-level ledger, mirroring
   evaluations (one per frequency assignment priced), instruction-node
   evaluations and wall seconds;
 * :class:`~repro.netsim.engines.AutoReplayEngine` counts how many runs
-  fell back to the DES because the capability check rejected a world.
+  fell back to the DES because the capability check rejected a world;
+* the batched sweep API (``evaluate_assignments`` on every engine, the
+  substrate of :class:`repro.core.batchbalance.BatchBalancePlanner`)
+  counts batches priced, candidates per batch, ``evaluate_many`` chunk
+  passes issued, and candidates priced by per-candidate DES replays
+  instead of vectorised lanes (world outside the compiled subset, or
+  ``engine="des"`` selected).
 
 Campaign workers snapshot/diff these around each experiment
 (``manifest.json``) and service workers return them in the job envelope
@@ -38,6 +44,10 @@ ENGINE_STAT_KEYS = (
     "compiled_instructions",
     "compiled_seconds",
     "auto_fallbacks",
+    "batch_batches",
+    "batch_candidates",
+    "batch_chunks",
+    "batch_fallback_candidates",
 )
 
 _STATS: dict[str, float] = dict.fromkeys(ENGINE_STAT_KEYS, 0)

@@ -150,6 +150,39 @@ class MpiSimulator:
         )
 
     # ------------------------------------------------------------------
+    def evaluate_assignments(
+        self,
+        trace: Trace,
+        frequencies: Any,
+        chunk_size: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Price a (K, nproc) frequency matrix by K scalar replays.
+
+        The DES has no vectorised lanes, so every candidate costs one
+        full replay (counted as ``batch_fallback_candidates``);
+        ``chunk_size`` is accepted for engine-API uniformity but has no
+        effect.  Row ``k`` of each returned array is exactly
+        ``run_trace(trace, frequencies=frequencies[k])``.
+        """
+        fmat = np.asarray(frequencies, dtype=float)
+        if fmat.ndim != 2:
+            raise ValueError(
+                f"frequency matrix must be (K, nproc), got shape {fmat.shape}"
+            )
+        rows = [self.run_trace(trace, frequencies=f) for f in fmat]
+        add_engine_stats(
+            batch_batches=1,
+            batch_candidates=len(rows),
+            batch_fallback_candidates=len(rows),
+        )
+        return {
+            "execution_time": np.array([r.execution_time for r in rows]),
+            "compute_times": np.array([r.compute_times for r in rows]),
+            "comm_times": np.array([r.comm_times for r in rows]),
+            "end_times": np.array([r.end_times for r in rows]),
+        }
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _normalize_frequencies(
         frequencies: Sequence[float] | float | None, nproc: int

@@ -50,6 +50,7 @@ from repro.service.queue import AdmissionController
 from repro.service.routes import HttpRequest, Response, error_response
 from repro.service.workers import (
     SimulationPool,
+    run_balance_batch_job,
     run_balance_job,
     run_experiment_job,
 )
@@ -66,7 +67,11 @@ _REASONS = {
 }
 
 #: kind -> (pool job function, cache kind for the fast path).
-_JOB_FNS = {"balance": run_balance_job, "experiment": run_experiment_job}
+_JOB_FNS = {
+    "balance": run_balance_job,
+    "balance_batch": run_balance_batch_job,
+    "experiment": run_experiment_job,
+}
 
 
 @dataclass(frozen=True)
@@ -226,6 +231,14 @@ class ServiceApp:
              "tapes."),
             ("auto_fallbacks", "auto-engine runs routed back to the DES by "
              "the capability check."),
+            ("batch_batches", "Batched sweep pricing passes "
+             "(evaluate_assignments calls)."),
+            ("batch_candidates", "Candidates priced across all batched "
+             "sweeps."),
+            ("batch_chunks", "Vectorised evaluate_many chunk passes issued "
+             "by batched sweeps."),
+            ("batch_fallback_candidates", "Batch candidates priced by "
+             "per-candidate DES replays instead of vectorised lanes."),
         ):
             m.counter(
                 f"repro_engine_{key}_total",
@@ -253,9 +266,12 @@ class ServiceApp:
         )
 
     def _hit_ratio(self) -> float:
-        hits = self._cache_counter("hits") + self.fast_hits_total.value(
-            kind="balance"
-        ) + self.fast_hits_total.value(kind="experiment")
+        hits = (
+            self._cache_counter("hits")
+            + self.fast_hits_total.value(kind="balance")
+            + self.fast_hits_total.value(kind="balance_batch")
+            + self.fast_hits_total.value(kind="experiment")
+        )
         lookups = hits + self._cache_counter("misses")
         return hits / lookups if lookups else 0.0
 
@@ -290,6 +306,29 @@ class ServiceApp:
                 "power_model": describe_power_model(None),
             }
             return "report", payload
+        if kind == "balance_batch":
+            # batch-level fast path: the assembled response, addressed
+            # by the ordered candidate list (per-candidate reports are
+            # separately stored under the Runner's "report" keying by
+            # the worker, so scalar requests still hit them)
+            payload = {
+                "app": spec["app"],
+                "iterations": spec["iterations"],
+                "base_compute": spec["base_compute"],
+                "platform": platform,
+                "beta": spec["beta"],
+                "power_model": describe_power_model(None),
+                "candidates": [
+                    {
+                        "gear_set": describe_gear_set(
+                            resolve_gear_set(c["gears"])
+                        ),
+                        "algorithm": resolve_algorithm(c["algorithm"]).name,
+                    }
+                    for c in spec["candidates"]
+                ],
+            }
+            return "balance-batch", payload
         payload = {
             "eid": spec["eid"],
             "iterations": spec["iterations"],
@@ -310,8 +349,8 @@ class ServiceApp:
         return value
 
     def _cache_store(self, cache_kind: str, payload: Any, value: Any) -> None:
-        if cache_kind == "service-exp":
-            # balance results are stored by the worker's Runner already
+        if cache_kind in ("service-exp", "balance-batch"):
+            # scalar balance results are stored by the worker's Runner
             self.cache.put(cache_kind, payload, value)
 
     async def perform(self, kind: str, spec: dict[str, Any]):

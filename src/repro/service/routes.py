@@ -48,8 +48,12 @@ MAX_BODY_BYTES = 1 << 20
 
 _BALANCE_KEYS = {
     "app", "gears", "algorithm", "beta", "iterations", "base_compute",
-    "platform", "strict", "async", "engine",
+    "platform", "strict", "async", "engine", "candidates",
 }
+_CANDIDATE_KEYS = {"gears", "algorithm"}
+#: Cap per-request sweep size: bounds worker memory (each candidate is
+#: one lane of the batched pricing pass) and response size.
+MAX_CANDIDATES = 256
 _EXPERIMENT_KEYS = {
     "iterations", "beta", "base_compute", "apps", "platform", "strict",
     "async", "engine",
@@ -206,6 +210,56 @@ def _lint_gate(gear_set, beta: float, platform=None, strict: bool = False):
         raise LintRejected(offending)
 
 
+def _parse_candidates(
+    body: dict[str, Any],
+    default_gears: Any,
+    default_algorithm: str,
+    beta: float,
+    platform: Any,
+    strict: bool,
+) -> list[dict[str, Any]]:
+    """Validate the opt-in ``"candidates"`` batch list.
+
+    Each entry is an object with keys ⊆ {"gears", "algorithm"}; omitted
+    keys inherit the request's top-level values.  Every candidate gear
+    set passes the same lint gate as a scalar request — one bad sweep
+    cell rejects the whole batch before any admission.
+    """
+    from repro.service.workers import resolve_gear_set
+
+    raw = body["candidates"]
+    if not isinstance(raw, list) or not raw:
+        raise ValidationError(
+            "'candidates' must be a non-empty list of objects"
+        )
+    if len(raw) > MAX_CANDIDATES:
+        raise ValidationError(
+            f"'candidates' lists at most {MAX_CANDIDATES} entries, "
+            f"got {len(raw)}"
+        )
+    out: list[dict[str, Any]] = []
+    for i, cand in enumerate(raw):
+        if not isinstance(cand, dict):
+            raise ValidationError(
+                f"candidates[{i}] must be an object, got {cand!r}"
+            )
+        _check_keys(cand, _CANDIDATE_KEYS, f"candidates[{i}]")
+        gears = cand.get("gears", default_gears)
+        try:
+            gear_set = resolve_gear_set(gears)
+        except ValueError as exc:
+            raise ValidationError(f"candidates[{i}]: {exc}") from None
+        algorithm = cand.get("algorithm", default_algorithm)
+        if algorithm not in ("max", "avg"):
+            raise ValidationError(
+                f"candidates[{i}]: 'algorithm' must be 'max' or 'avg', "
+                f"got {algorithm!r}"
+            )
+        _lint_gate(gear_set, beta, platform, strict=strict)
+        out.append({"gears": gears, "algorithm": algorithm})
+    return out
+
+
 def parse_balance_request(
     body: dict[str, Any], defaults: Any
 ) -> tuple[dict[str, Any], bool]:
@@ -213,7 +267,9 @@ def parse_balance_request(
 
     The spec is exactly what :func:`repro.service.workers.execute_balance`
     consumes, with the platform kept as a plain dict so it pickles to
-    worker processes.
+    worker processes.  A body with a ``"candidates"`` list produces a
+    batch spec (the spec carries the validated candidate list) for
+    :func:`repro.service.workers.execute_balance_many`.
     """
     from repro.experiments.cache import platform_payload
     from repro.service.workers import resolve_gear_set
@@ -242,8 +298,9 @@ def parse_balance_request(
             f"'base_compute' must be positive, got {base_compute}"
         )
     platform = _platform_dict(body.get("platform"))
+    strict = _flag(body, "strict")
 
-    _lint_gate(gear_set, beta, platform, strict=_flag(body, "strict"))
+    _lint_gate(gear_set, beta, platform, strict=strict)
 
     spec: dict[str, Any] = {
         "app": app_name,
@@ -256,6 +313,10 @@ def parse_balance_request(
     }
     if platform is not None:
         spec["platform"] = platform_payload(platform)
+    if "candidates" in body:
+        spec["candidates"] = _parse_candidates(
+            body, gears, algorithm, beta, platform, strict
+        )
     return spec, _flag(body, "async")
 
 
@@ -341,14 +402,15 @@ async def handle_balance(
     app: "ServiceApp", request: HttpRequest, params: dict[str, str]
 ) -> Response:
     spec, is_async = parse_balance_request(request.json(), app.config)
+    kind = "balance_batch" if "candidates" in spec else "balance"
     if is_async:
-        job = app.submit_job("balance", spec)
+        job = app.submit_job(kind, spec)
         return json_response(
             202,
             {"job": {"id": job.id, "status": job.status,
                      "poll": f"/v1/jobs/{job.id}"}},
         )
-    result, cache_state = await app.perform("balance", spec)
+    result, cache_state = await app.perform(kind, spec)
     return json_response(200, result, {"X-Cache": cache_state})
 
 

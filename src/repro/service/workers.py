@@ -25,8 +25,10 @@ from typing import Any
 __all__ = [
     "SimulationPool",
     "execute_balance",
+    "execute_balance_many",
     "resolve_algorithm",
     "resolve_gear_set",
+    "run_balance_batch_job",
     "run_balance_job",
     "run_experiment_job",
 ]
@@ -125,6 +127,53 @@ def run_balance_job(spec: dict[str, Any]) -> dict[str, Any]:
     cache = runner.cache.stats() if runner.cache is not None else {}
     return {
         "result": report.to_json(),
+        "cache": cache,
+        "engines": {k: after[k] - before[k] for k in after},
+    }
+
+
+def execute_balance_many(spec: dict[str, Any]):
+    """Run one batch balance request; returns (reports, runner).
+
+    ``spec`` is a scalar balance spec plus ``candidates``: a list of
+    ``{"gears", "algorithm"}`` objects (already validated).  Pricing
+    goes through :meth:`repro.experiments.runner.Runner.balance_many`,
+    so every candidate report lands in the same ``"report"`` cache
+    blobs scalar requests probe — a batch warms the cache for later
+    scalar traffic and vice versa.
+    """
+    from repro.core.batchbalance import SweepCandidate
+    from repro.experiments.runner import Runner
+
+    runner = Runner(_runner_config(spec))
+    candidates = [
+        SweepCandidate(
+            resolve_gear_set(c["gears"]), resolve_algorithm(c["algorithm"])
+        )
+        for c in spec["candidates"]
+    ]
+    return runner.balance_many(
+        spec["app"], candidates, beta=spec["beta"]
+    ), runner
+
+
+def run_balance_batch_job(spec: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: batch balance → ``{"result", "cache", "engines"}``.
+
+    Each element of ``result["results"]`` is byte-identical to the body
+    a scalar ``/v1/balance`` request for that candidate would return.
+    """
+    from repro.netsim.enginestats import process_engine_stats
+
+    before = process_engine_stats()
+    reports, runner = execute_balance_many(spec)
+    after = process_engine_stats()
+    cache = runner.cache.stats() if runner.cache is not None else {}
+    return {
+        "result": {
+            "count": len(reports),
+            "results": [r.to_json() for r in reports],
+        },
         "cache": cache,
         "engines": {k: after[k] - before[k] for k in after},
     }

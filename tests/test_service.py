@@ -57,6 +57,14 @@ def make_service(tmp_path, executor=None, **overrides):
     return ServiceThread(config, executor=executor or ThreadPoolExecutor(2))
 
 
+def metric_value(metrics_text: str, name: str) -> float:
+    """The current value of an unlabelled counter/gauge in a scrape."""
+    for line in metrics_text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    return 0.0
+
+
 def wait_for(predicate, timeout=30.0, interval=0.01):
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
@@ -172,6 +180,159 @@ class TestBalance:
             assert "repro_engine_compiled_runs_total" in metrics
             assert "repro_engine_auto_fallbacks_total" in metrics
             assert "repro_engine_compiled_evals_per_second" in metrics
+
+
+# ----------------------------------------------------------------------
+# Batched balance ("candidates" body)
+# ----------------------------------------------------------------------
+
+class TestBalanceBatch:
+    CANDIDATES = [
+        {"gears": "uniform:3"},
+        {"gears": "uniform:6", "algorithm": "avg"},
+    ]
+
+    def test_each_result_byte_identical_to_scalar(self, tmp_path):
+        """results[i] matches the scalar /v1/balance body for cell i."""
+        with make_service(tmp_path) as svc:
+            batch = svc.client.balance(**SPEC, candidates=self.CANDIDATES)
+            assert batch.status == 200
+            assert batch.headers["X-Cache"] == "miss"
+            body = batch.json()
+            assert body["count"] == len(self.CANDIDATES)
+            for cand, got in zip(self.CANDIDATES, body["results"]):
+                scalar = svc.client.balance(**{**SPEC, **cand})
+                assert scalar.status == 200
+                # the batch warmed the per-candidate report blobs, so
+                # the scalar request is a front-end fast hit
+                assert scalar.headers["X-Cache"] == "hit"
+                assert json.dumps(got, sort_keys=True) == json.dumps(
+                    scalar.json(), sort_keys=True
+                )
+
+    def test_repeat_batch_hits_cache(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            first = svc.client.balance(**SPEC, candidates=self.CANDIDATES)
+            second = svc.client.balance(**SPEC, candidates=self.CANDIDATES)
+            assert first.headers["X-Cache"] == "miss"
+            assert second.headers["X-Cache"] == "hit"
+            assert second.body == first.body
+            metrics = svc.client.metrics()
+            assert (
+                'repro_service_cache_fast_hits_total{kind="balance_batch"} 1'
+                in metrics
+            )
+
+    def test_scalar_warm_cache_serves_batch_candidates(self, tmp_path):
+        # scalar traffic first: the batch finds every cell in the shared
+        # report blobs and prices nothing (engine counters are process-
+        # cumulative, so assert on the scrape-to-scrape delta)
+        with make_service(tmp_path) as svc:
+            for cand in self.CANDIDATES:
+                assert svc.client.balance(**{**SPEC, **cand}).status == 200
+            before = metric_value(
+                svc.client.metrics(), "repro_engine_batch_batches_total"
+            )
+            batch = svc.client.balance(**SPEC, candidates=self.CANDIDATES)
+            assert batch.status == 200
+            after = metric_value(
+                svc.client.metrics(), "repro_engine_batch_batches_total"
+            )
+            assert after == before
+
+    def test_batch_counters_scraped(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            before = svc.client.metrics()
+            assert svc.client.balance(
+                **SPEC, candidates=self.CANDIDATES
+            ).status == 200
+            after = svc.client.metrics()
+            for name, least in (
+                ("repro_engine_batch_batches_total", 1),
+                ("repro_engine_batch_candidates_total",
+                 len(self.CANDIDATES)),
+            ):
+                assert (
+                    metric_value(after, name) - metric_value(before, name)
+                    >= least
+                )
+            fallback = "repro_engine_batch_fallback_candidates_total"
+            assert metric_value(after, fallback) == metric_value(
+                before, fallback
+            )
+
+    def test_async_batch_job(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            r = svc.client.balance(
+                **SPEC, candidates=self.CANDIDATES, **{"async": True}
+            )
+            assert r.status == 202
+            job = svc.client.wait_job(r.json()["job"]["id"])
+            assert job["status"] == "done"
+            assert job["result"]["count"] == len(self.CANDIDATES)
+
+
+class TestBalanceBatchValidation:
+    @pytest.fixture(scope="class")
+    def svc(self, tmp_path_factory):
+        with make_service(tmp_path_factory.mktemp("svc-batch")) as service:
+            yield service
+
+    def test_candidates_must_be_a_nonempty_list(self, svc):
+        for bad in ([], {"gears": "uniform:3"}, "uniform:3"):
+            r = svc.client.balance(**SPEC, candidates=bad)
+            assert r.status == 400
+            assert "non-empty list" in r.json()["error"]["message"]
+
+    def test_non_object_candidate_rejected(self, svc):
+        r = svc.client.balance(**SPEC, candidates=["uniform:3"])
+        assert r.status == 400
+        assert "candidates[0] must be an object" in (
+            r.json()["error"]["message"]
+        )
+
+    def test_unknown_candidate_key_rejected(self, svc):
+        r = svc.client.balance(
+            **SPEC, candidates=[{"gears": "uniform:3", "beta": 0.5}]
+        )
+        assert r.status == 400
+        assert "candidates[0]" in r.json()["error"]["message"]
+
+    def test_bad_candidate_gears_is_labelled(self, svc):
+        r = svc.client.balance(
+            **SPEC,
+            candidates=[{"gears": "uniform:3"}, {"gears": "warp:9"}],
+        )
+        assert r.status == 400
+        assert "candidates[1]" in r.json()["error"]["message"]
+
+    def test_bad_candidate_algorithm_rejected(self, svc):
+        r = svc.client.balance(**SPEC, candidates=[{"algorithm": "min"}])
+        assert r.status == 400
+        assert "'max' or 'avg'" in r.json()["error"]["message"]
+
+    def test_candidate_cap_enforced(self, svc):
+        too_many = [{"gears": "uniform:3"}] * 257
+        r = svc.client.balance(**SPEC, candidates=too_many)
+        assert r.status == 400
+        assert "at most 256" in r.json()["error"]["message"]
+
+    def test_lint_gate_covers_every_candidate(self, svc):
+        # a 0.4 GHz gear extrapolates the voltage law: GR002 is only a
+        # warning, so strict mode is what rejects it — per candidate
+        gears = [[0.4, 0.7], [2.3, 1.1]]
+        relaxed = svc.client.balance(
+            **SPEC, candidates=[{"gears": gears}]
+        )
+        assert relaxed.status == 200
+        strict = svc.client.balance(
+            **SPEC, candidates=[{"gears": gears}], strict=True
+        )
+        assert strict.status == 400
+        err = strict.json()["error"]
+        assert err["code"] == "lint-rejected"
+        codes = {d["code"] for d in err["detail"]["diagnostics"]}
+        assert "GR002" in codes
 
 
 # ----------------------------------------------------------------------
