@@ -1,0 +1,153 @@
+"""Columnar trace storage at scale: generate → compile → price.
+
+The scaling claim of the columnar path is that a large world never
+exists as per-record Python objects: skeletons emit straight into
+pooled numpy columns, the compiled engine lowers the columns to its
+instruction tape, and ``evaluate_many`` prices a candidate grid in one
+vectorised pass.  This benchmark walks a ``RANKS`` × ``CANDIDATES``
+grid of BT-MZ worlds through all three stages, records wall time per
+stage plus the process peak RSS, and asserts the ceilings recorded in
+``benchmarks/baselines/scale.json``.
+
+At the smallest size the columnar makespans are asserted bit-identical
+to the record-path makespans — the correctness contract that lets the
+bigger sizes skip the record path entirely (at the top of the grid the
+per-record objects would dominate memory, which is the point).
+
+Runs standalone in CI smoke mode (``--benchmark-disable``) via the
+``_timed`` wall-clock ledger, like ``bench_replay.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import resource
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import build_app
+from repro.core.timemodel import BetaTimeModel
+from repro.netsim.compiled import CompiledReplayEngine
+from repro.netsim.platform import MYRINET_LIKE
+from repro.traces import Trace
+
+FAMILY = "BT-MZ"
+RANKS = (256, 1024, 4096)
+CANDIDATES = 8
+ITERATIONS = 2
+
+BASELINE = json.loads(
+    (pathlib.Path(__file__).parent / "baselines" / "scale.json").read_text()
+)
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+_WORLDS: dict[int, object] = {}
+
+
+def _peak_rss_gb() -> float:
+    """Process high-water-mark RSS in GiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024**2
+
+
+def _timed(label: str, fn):
+    """Run ``fn`` once, recording wall time (works with
+    ``--benchmark-disable``, where ``benchmark.stats`` is unset)."""
+    start = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - start
+    _TIMINGS[label] = min(_TIMINGS.get(label, elapsed), elapsed)
+    return out
+
+
+def _candidates(nproc: int) -> np.ndarray:
+    rng = np.random.default_rng(2009 + nproc)
+    return rng.uniform(0.8, 2.3, size=(CANDIDATES, nproc))
+
+
+@pytest.mark.parametrize("nproc", RANKS)
+def test_columnar_pipeline(benchmark, nproc):
+    """One grid point: emit columns, compile, price ``CANDIDATES``."""
+    engine = CompiledReplayEngine(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+
+    def pipeline():
+        app = build_app(f"{FAMILY}-{nproc}", iterations=ITERATIONS)
+        trace = _timed(
+            f"generate/{nproc}", lambda: app.columnar_trace()
+        )
+        program = _timed(
+            f"compile/{nproc}", lambda: engine.compile_trace(trace)
+        )
+        makespans = _timed(
+            f"evaluate/{nproc}",
+            lambda: program.evaluate_many(_candidates(nproc))[
+                "execution_time"
+            ],
+        )
+        return trace, makespans
+
+    trace, makespans = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert makespans.shape == (CANDIDATES,)
+    assert np.all(np.isfinite(makespans)) and np.all(makespans > 0)
+    _WORLDS[nproc] = (trace, makespans)
+
+    budget = BASELINE["acceptance"]["stage_seconds_max"][str(nproc)]
+    for stage, ceiling in budget.items():
+        spent = _TIMINGS[f"{stage}/{nproc}"]
+        benchmark.extra_info[stage] = round(spent, 3)
+        assert spent <= ceiling, (
+            f"{stage} at {nproc} ranks took {spent:.2f}s "
+            f"(ceiling {ceiling}s in baselines/scale.json)"
+        )
+    benchmark.extra_info["events"] = trace.total_records()
+    benchmark.extra_info["column_mb"] = round(trace.nbytes() / 1024**2, 1)
+
+
+def test_columnar_matches_record_path():
+    """Smallest grid point: columnar ≡ record path, bit for bit."""
+    nproc = RANKS[0]
+    if nproc not in _WORLDS:  # standalone invocation of just this test
+        app = build_app(f"{FAMILY}-{nproc}", iterations=ITERATIONS)
+        trace = app.columnar_trace()
+        engine = CompiledReplayEngine(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+        makespans = engine.compile_trace(trace).evaluate_many(
+            _candidates(nproc)
+        )["execution_time"]
+        _WORLDS[nproc] = (trace, makespans)
+    trace, makespans = _WORLDS[nproc]
+
+    app = build_app(f"{FAMILY}-{nproc}", iterations=ITERATIONS)
+    record_trace = Trace.from_streams(
+        app.programs(), meta={"name": app.name}
+    )
+    engine = CompiledReplayEngine(MYRINET_LIKE, BetaTimeModel(fmax=2.3))
+    record_makespans = engine.compile_trace(record_trace).evaluate_many(
+        _candidates(nproc)
+    )["execution_time"]
+    assert np.array_equal(makespans, record_makespans), (
+        "columnar pipeline diverged from the record path"
+    )
+    assert [view.records for view in trace] == [
+        list(stream) for stream in record_trace
+    ]
+
+
+def test_memory_ceiling():
+    """Whole-grid peak RSS stays under the recorded ceiling."""
+    assert _WORLDS, "run the grid tests first (file order)"
+    peak = _peak_rss_gb()
+    ceiling = BASELINE["acceptance"]["peak_rss_gb_max"]
+    assert peak <= ceiling, (
+        f"peak RSS {peak:.2f} GiB exceeds the {ceiling} GiB ceiling "
+        "in baselines/scale.json"
+    )
+    largest = max(_WORLDS)
+    trace, _ = _WORLDS[largest]
+    per_event = trace.nbytes() / trace.total_records()
+    assert per_event <= BASELINE["acceptance"]["bytes_per_event_max"], (
+        f"columns cost {per_event:.1f} B/event at {largest} ranks"
+    )

@@ -2,23 +2,39 @@
 
 from benchmarks.conftest import regenerate
 
+#: Families whose load balance *degrades* 32 -> 128 ranks, per the
+#: paper's Table 3 shape (surface-to-volume and tree effects).
+DEGRADING = {"BT-MZ", "CG", "MG", "PEPC", "SPECFEM3D"}
+
+#: Counter-examples whose LB *improves* with scale: WRF is the paper's
+#: own (Table 3, 32 -> 128); IS's bucket exchange also evens out.
+IMPROVING = {"IS", "WRF"}
+
 
 def test_scaling(benchmark):
     result = regenerate(benchmark, "scaling")
     by_family = {}
     for row in result.rows:
         by_family.setdefault(row["family"], []).append(row)
+    assert set(by_family) == DEGRADING | IMPROVING
 
-    growing = 0
     for family, rows in by_family.items():
         rows.sort(key=lambda r: r["nproc"])
-        if rows[-1]["load_balance_pct"] < rows[0]["load_balance_pct"]:
-            growing += 1
+        first, last = rows[0], rows[-1]
+        if family in DEGRADING:
+            assert last["load_balance_pct"] < first["load_balance_pct"], (
+                f"{family}: LB should degrade with scale "
+                f"({first['load_balance_pct']:.1f} -> "
+                f"{last['load_balance_pct']:.1f})"
+            )
             # more imbalance at scale => more energy saved at scale
             assert (
-                rows[-1]["energy_savings_pct"]
-                >= rows[0]["energy_savings_pct"] - 2.0
+                last["energy_savings_pct"]
+                >= first["energy_savings_pct"] - 2.0
+            ), f"{family}: savings should not shrink as LB degrades"
+        else:
+            assert last["load_balance_pct"] > first["load_balance_pct"], (
+                f"{family}: LB should improve with scale "
+                f"({first['load_balance_pct']:.1f} -> "
+                f"{last['load_balance_pct']:.1f})"
             )
-    # most families lose balance as the world grows (WRF is the paper's
-    # own counter-example: its Table 3 LB *improves* 32 -> 128)
-    assert growing >= 5

@@ -24,14 +24,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.apps.imbalance import calibrate, seed_for
+from repro.apps.vmpi import ColumnEmitter, ProgramEmitter, RecordEmitter
 from repro.netsim.collectives import invert_collective
 from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
 from repro.traces.records import Record
+
+if TYPE_CHECKING:
+    from repro.traces.columnar import ColumnarTrace
 
 __all__ = ["AppSkeleton"]
 
@@ -117,13 +121,56 @@ class AppSkeleton(ABC):
     def _base_shape(self) -> np.ndarray:
         """The family's uncalibrated heaviness structure."""
 
-    @abstractmethod
+    # ------------------------------------------------------------------
+    # rank programs: emitter flavour and generator flavour
+    #
+    # A skeleton family overrides exactly one of ``emit_rank`` (the
+    # preferred, storage-agnostic form) or ``rank_program`` (the legacy
+    # generator form); the base class derives the other.
+    # ------------------------------------------------------------------
+    def emit_rank(self, rank: int, em: ProgramEmitter) -> None:
+        """Emit the rank's event stream into ``em``.
+
+        The default drives the legacy :meth:`rank_program` generator
+        through the emitter, so generator-only skeletons keep working
+        (their columnar path materialises records transiently, one at a
+        time).
+        """
+        if type(self).rank_program is AppSkeleton.rank_program:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override emit_rank() or "
+                "rank_program()"
+            )
+        for record in self.rank_program(rank):
+            em.emit(record)
+
     def rank_program(self, rank: int) -> Iterator[Record]:
         """The rank's record stream (a generator)."""
+        em = RecordEmitter(rank)
+        self.emit_rank(rank, em)
+        yield from em.records
 
     def programs(self) -> list[Iterator[Record]]:
         """One program per rank, ready for :meth:`MpiSimulator.run`."""
         return [self.rank_program(rank) for rank in range(self.nproc)]
+
+    def columnar_trace(self, meta: dict[str, Any] | None = None) -> "ColumnarTrace":
+        """Generate the whole world straight into columnar storage.
+
+        Equivalent to recording :meth:`programs` through the DES at
+        nominal speed (the DES appends each record to the trace in
+        program order before executing it), but without materialising a
+        single record object — the route to 32k+-rank worlds.
+        """
+        from repro.traces.columnar import ColumnarTraceBuilder
+
+        builder = ColumnarTraceBuilder(self.nproc)
+        for rank in range(self.nproc):
+            self.emit_rank(rank, ColumnEmitter(rank, builder))
+        full_meta: dict[str, Any] = {"name": self.name}
+        if meta:
+            full_meta.update(meta)
+        return builder.build(meta=full_meta)
 
     def weight_at(self, rank: int, iteration: int,
                   weights: np.ndarray | None = None) -> float:

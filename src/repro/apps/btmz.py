@@ -12,14 +12,12 @@ timeline.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import jitter_shape, zone_shape
-from repro.traces.records import Record
 
 __all__ = ["BtMzSkeleton"]
 
@@ -58,15 +56,15 @@ class BtMzSkeleton(AppSkeleton):
             shape *= noise
         return shape
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         residual_bytes = self.sized_collective("allreduce")
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
             for sweep in ("x", "y", "z"):
-                yield vmpi.compute(w * t / 3.0, phase=f"solve-{sweep}")
-                yield from vmpi.halo_exchange_1d(
-                    rank, self.nproc, nbytes=self.BORDER_BYTES, periodic=True
+                em.compute(w * t / 3.0, phase=f"solve-{sweep}")
+                em.halo_exchange_1d(
+                    self.nproc, nbytes=self.BORDER_BYTES, periodic=True
                 )
-            yield vmpi.allreduce(residual_bytes)
+            em.allreduce(residual_bytes)

@@ -10,14 +10,12 @@ two allreduces per iteration plus a halo exchange push PE down to
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import jitter_shape
-from repro.traces.records import Record
 
 __all__ = ["CgSkeleton"]
 
@@ -33,17 +31,15 @@ class CgSkeleton(AppSkeleton):
         # near-balanced seeded jitter: partition-quality noise
         return jitter_shape(self.nproc, self.seed)
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         dot_bytes = self.sized_collective("allreduce", fraction=0.5)
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
-            yield vmpi.compute(0.80 * w * t, phase="spmv")
-            yield from vmpi.halo_exchange_1d(
-                rank, self.nproc, nbytes=self.HALO_BYTES, periodic=True
-            )
-            yield vmpi.compute(0.12 * w * t, phase="dot")
-            yield vmpi.allreduce(dot_bytes)
-            yield vmpi.compute(0.08 * w * t, phase="axpy")
-            yield vmpi.allreduce(dot_bytes)
+            em.compute(0.80 * w * t, phase="spmv")
+            em.halo_exchange_1d(self.nproc, nbytes=self.HALO_BYTES, periodic=True)
+            em.compute(0.12 * w * t, phase="dot")
+            em.allreduce(dot_bytes)
+            em.compute(0.08 * w * t, phase="axpy")
+            em.allreduce(dot_bytes)

@@ -11,14 +11,12 @@ unlimited continuous set beats the limited one.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import bimodal_shape
-from repro.traces.records import Record
 
 __all__ = ["IsSkeleton"]
 
@@ -32,19 +30,19 @@ class IsSkeleton(AppSkeleton):
         # skewed key distribution: a heavy minority of ranks owns most keys
         return bimodal_shape(self.nproc, self.seed)
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         sizes_bytes = self.sized_collective("allreduce", fraction=0.04)
         keys_bytes = self.sized_collective("alltoall", fraction=0.92)
         verify_bytes = self.sized_collective("allgather", fraction=0.04)
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
-            yield vmpi.compute(0.70 * w * t, phase="count")
-            yield vmpi.allreduce(sizes_bytes)
+            em.compute(0.70 * w * t, phase="count")
+            em.allreduce(sizes_bytes)
             # each rank contributes keys in proportion to how many it
             # owns; the exchange is paced by the heaviest contributor
             # (the simulator's per-instance max — alltoallv semantics)
-            yield vmpi.alltoall(max(1, int(keys_bytes * w)))
-            yield vmpi.compute(0.30 * w * t, phase="rank-local")
-            yield vmpi.allgather(verify_bytes)
+            em.alltoall(max(1, int(keys_bytes * w)))
+            em.compute(0.30 * w * t, phase="rank-local")
+            em.allgather(verify_bytes)

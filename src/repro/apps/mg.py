@@ -10,14 +10,12 @@ exponential gears.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import jitter_shape
-from repro.traces.records import Record
 
 __all__ = ["MgSkeleton"]
 
@@ -33,22 +31,21 @@ class MgSkeleton(AppSkeleton):
     def _base_shape(self) -> np.ndarray:
         return jitter_shape(self.nproc, self.seed, spread=0.8)
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         norm_bytes = self.sized_collective("allreduce")
         # geometric level weights summing to 1: coarse levels are cheap
         shares = [2.0 ** -(lvl + 1) for lvl in range(self.LEVELS)]
         shares[0] += 1.0 - sum(shares)
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
             for lvl, share in enumerate(shares):
-                yield vmpi.compute(share * w * t, phase=f"smooth-l{lvl}")
-                yield from vmpi.halo_exchange_1d(
-                    rank,
+                em.compute(share * w * t, phase=f"smooth-l{lvl}")
+                em.halo_exchange_1d(
                     self.nproc,
                     nbytes=max(64, self.TOP_HALO_BYTES >> (2 * lvl)),
                     tag=lvl,
                     periodic=True,
                 )
-            yield vmpi.allreduce(norm_bytes)
+            em.allreduce(norm_bytes)

@@ -16,7 +16,6 @@ calibrated to the Table 3 totals (LB 76.12%, PE 67.78% at 128 ranks).
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
@@ -28,7 +27,6 @@ from repro.apps.imbalance import (
     jitter_shape,
     ramp_shape,
 )
-from repro.traces.records import Record
 
 __all__ = ["PepcSkeleton"]
 
@@ -65,17 +63,17 @@ class PepcSkeleton(AppSkeleton):
     def _base_shape(self) -> np.ndarray:  # pragma: no cover - not used
         raise AssertionError("PEPC builds phase weights directly")
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         branch_bytes = self.sized_collective("allgather", fraction=0.7)
         energy_bytes = self.sized_collective("allreduce", fraction=0.3)
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             wt = self.weight_at(rank, it, self.tree_weights) * self.TREE_SHARE
             wf = self.weight_at(rank, it, self.force_weights) * (
                 1.0 - self.TREE_SHARE
             )
-            yield vmpi.compute(wt * t, phase="tree-build")
-            yield vmpi.allgather(branch_bytes)
-            yield vmpi.compute(wf * t, phase="force")
-            yield vmpi.allreduce(energy_bytes)
+            em.compute(wt * t, phase="tree-build")
+            em.allgather(branch_bytes)
+            em.compute(wf * t, phase="force")
+            em.allreduce(energy_bytes)

@@ -11,14 +11,12 @@ outlier that over-clocks 53% of its CPUs.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import jitter_shape, ramp_shape
-from repro.traces.records import Record
 
 __all__ = ["Specfem3dSkeleton"]
 
@@ -36,15 +34,13 @@ class Specfem3dSkeleton(AppSkeleton):
         noise = jitter_shape(self.nproc, self.seed, spread=0.4)
         return ramp * noise
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         norm_bytes = self.sized_collective("allreduce")
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
-            yield vmpi.compute(0.90 * w * t, phase="element-update")
-            yield from vmpi.halo_exchange_2d(
-                rank, self.nproc, nbytes=self.ASSEMBLY_BYTES
-            )
-            yield vmpi.compute(0.10 * w * t, phase="assembly-local")
-            yield vmpi.allreduce(norm_bytes)
+            em.compute(0.90 * w * t, phase="element-update")
+            em.halo_exchange_2d(self.nproc, nbytes=self.ASSEMBLY_BYTES)
+            em.compute(0.10 * w * t, phase="assembly-local")
+            em.allreduce(norm_bytes)

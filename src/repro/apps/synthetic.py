@@ -22,7 +22,7 @@ Example::
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable
 
 import numpy as np
 
@@ -36,7 +36,6 @@ from repro.apps.imbalance import (
     wave_shape,
     zone_shape,
 )
-from repro.traces.records import Record
 
 __all__ = ["SHAPES", "PATTERNS", "SyntheticSkeleton", "build_synthetic"]
 
@@ -99,45 +98,41 @@ class SyntheticSkeleton(AppSkeleton):
         return SHAPES[self.shape](self.nproc, self.seed)
 
     # ------------------------------------------------------------------
-    def _comm(self, rank: int, it: int) -> Iterator[Record]:
+    def _comm(self, em: vmpi.ProgramEmitter, it: int) -> None:
         """One iteration's communication, consuming the comm budget."""
         if self.pattern == "allreduce":
-            yield vmpi.allreduce(self.sized_collective("allreduce"))
+            em.allreduce(self.sized_collective("allreduce"))
         elif self.pattern == "alltoall":
-            yield vmpi.alltoall(self.sized_collective("alltoall"))
+            em.alltoall(self.sized_collective("alltoall"))
         elif self.pattern == "halo1d":
-            yield from vmpi.halo_exchange_1d(
-                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16,
-                periodic=True,
+            em.halo_exchange_1d(
+                self.nproc, nbytes=self.halo_bytes, tag=it % 16, periodic=True
             )
-            yield vmpi.allreduce(self.sized_collective("allreduce"))
+            em.allreduce(self.sized_collective("allreduce"))
         elif self.pattern == "halo2d":
-            yield from vmpi.halo_exchange_2d(
-                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16
-            )
-            yield vmpi.allreduce(self.sized_collective("allreduce"))
+            em.halo_exchange_2d(self.nproc, nbytes=self.halo_bytes, tag=it % 16)
+            em.allreduce(self.sized_collective("allreduce"))
         else:  # mixed
-            yield from vmpi.halo_exchange_1d(
-                rank, self.nproc, nbytes=self.halo_bytes, tag=it % 16,
-                periodic=True,
+            em.halo_exchange_1d(
+                self.nproc, nbytes=self.halo_bytes, tag=it % 16, periodic=True
             )
-            yield vmpi.allreduce(self.sized_collective("allreduce", 0.5))
-            yield vmpi.alltoall(self.sized_collective("alltoall", 0.5))
+            em.allreduce(self.sized_collective("allreduce", 0.5))
+            em.alltoall(self.sized_collective("alltoall", 0.5))
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         share = 1.0 / self.phases
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             for phase in range(self.phases):
                 # later phases rotate the profile a quarter turn each,
                 # giving PEPC-style distinct per-phase imbalance
                 shifted = (rank + phase * (self.nproc // 4)) % self.nproc
                 w = self.weight_at(shifted, it)
-                yield vmpi.compute(share * w * t, phase=f"phase{phase}")
+                em.compute(share * w * t, phase=f"phase{phase}")
                 if phase + 1 < self.phases:
-                    yield vmpi.barrier()
-            yield from self._comm(rank, it)
+                    em.barrier()
+            self._comm(em, it)
 
 
 def build_synthetic(

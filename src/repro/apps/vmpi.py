@@ -9,6 +9,16 @@ constructors and composite patterns so skeletons read like MPI code::
         yield from halo_exchange_1d(rank, nproc, nbytes=8192)
         yield allreduce(8)
 
+It also provides the *emitter* flavour of the same vocabulary: a
+:class:`ProgramEmitter` is a per-rank sink with one method per record
+kind plus the composite patterns.  Skeletons author against the emitter
+(``em.compute(...)``, ``em.halo_exchange_1d(...)``) and the choice of
+emitter decides the storage: :class:`RecordEmitter` collects record
+objects (feeding the generator API above), while :class:`ColumnEmitter`
+writes scalars straight into a
+:class:`~repro.traces.columnar.ColumnarTraceBuilder` — no record
+objects ever exist, which is what makes 100k-rank worlds generable.
+
 Composite patterns are deadlock-free by construction: they post all
 irecvs, then all isends, then a waitall.
 """
@@ -17,6 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
+from repro.traces.columnar import ColumnarTraceBuilder
 from repro.traces.records import (
     ANY_SOURCE,
     ANY_TAG,
@@ -33,6 +44,9 @@ from repro.traces.records import (
 )
 
 __all__ = [
+    "ColumnEmitter",
+    "ProgramEmitter",
+    "RecordEmitter",
     "allgather",
     "allreduce",
     "alltoall",
@@ -43,6 +57,8 @@ __all__ = [
     "gather",
     "halo_exchange_1d",
     "halo_exchange_2d",
+    "halo_partners_1d",
+    "halo_partners_2d",
     "irecv",
     "isend",
     "marker",
@@ -121,34 +137,10 @@ def alltoall(nbytes: int) -> CollectiveRecord:
     return CollectiveRecord("alltoall", nbytes)
 
 
-# -- composite, deadlock-free exchange patterns --------------------------
+# -- partner topologies (shared by generators and emitters) --------------
 
-def exchange(rank: int, partners: Sequence[int], nbytes: int,
-             tag: int = 0) -> Iterator[Record]:
-    """Symmetric non-blocking exchange with a set of partner ranks.
-
-    Every rank must call this with a *consistent* partner relation
-    (``a`` lists ``b`` iff ``b`` lists ``a``).  Posts irecvs, then
-    isends, then waits on everything — the canonical safe halo pattern.
-    """
-    partners = [p for p in partners if p != rank]
-    requests = []
-    req = 0
-    for p in partners:
-        yield IrecvRecord(src=p, tag=tag, request=req)
-        requests.append(req)
-        req += 1
-    for p in partners:
-        yield IsendRecord(dst=p, nbytes=nbytes, tag=tag, request=req)
-        requests.append(req)
-        req += 1
-    if requests:
-        yield WaitallRecord(tuple(requests))
-
-
-def halo_exchange_1d(rank: int, nproc: int, nbytes: int, tag: int = 0,
-                     periodic: bool = False) -> Iterator[Record]:
-    """Left/right neighbour exchange on a 1-D decomposition."""
+def halo_partners_1d(rank: int, nproc: int, periodic: bool = False) -> list[int]:
+    """Left/right neighbours on a 1-D decomposition."""
     partners = []
     for delta in (-1, +1):
         p = rank + delta
@@ -156,7 +148,7 @@ def halo_exchange_1d(rank: int, nproc: int, nbytes: int, tag: int = 0,
             p %= nproc
         if 0 <= p < nproc and p != rank:
             partners.append(p)
-    yield from exchange(rank, sorted(set(partners)), nbytes, tag)
+    return sorted(set(partners))
 
 
 def _grid_dims(nproc: int) -> tuple[int, int]:
@@ -168,9 +160,8 @@ def _grid_dims(nproc: int) -> tuple[int, int]:
     return best
 
 
-def halo_exchange_2d(rank: int, nproc: int, nbytes: int, tag: int = 0,
-                     periodic: bool = False) -> Iterator[Record]:
-    """North/south/east/west exchange on the most-square 2-D grid."""
+def halo_partners_2d(rank: int, nproc: int, periodic: bool = False) -> list[int]:
+    """N/S/E/W neighbours on the most-square 2-D grid."""
     rows, cols = _grid_dims(nproc)
     r, c = divmod(rank, cols)
     partners = set()
@@ -183,4 +174,247 @@ def halo_exchange_2d(rank: int, nproc: int, nbytes: int, tag: int = 0,
             p = rr * cols + cc
             if p != rank:
                 partners.add(p)
-    yield from exchange(rank, sorted(partners), nbytes, tag)
+    return sorted(partners)
+
+
+# -- per-rank emitters ---------------------------------------------------
+
+class ProgramEmitter:
+    """Per-rank sink for authoring rank programs imperatively.
+
+    Subclasses implement the nine primitive methods; the collective
+    sugar and the deadlock-free composite patterns are defined here once
+    in terms of them, so the record and columnar storages emit exactly
+    the same event sequence.
+    """
+
+    __slots__ = ("rank",)
+
+    def __init__(self, rank: int):
+        self.rank = rank
+
+    # primitives — one per record kind
+    def compute(self, duration: float, phase: str = "",
+                beta: float | None = None) -> None:
+        raise NotImplementedError
+
+    def send(self, dst: int, nbytes: int, tag: int = 0) -> None:
+        raise NotImplementedError
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        raise NotImplementedError
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, request: int = 0) -> None:
+        raise NotImplementedError
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              request: int = 0) -> None:
+        raise NotImplementedError
+
+    def wait(self, request: int) -> None:
+        raise NotImplementedError
+
+    def waitall(self, requests: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    def collective(self, op: str, nbytes: int = 0, root: int = 0) -> None:
+        raise NotImplementedError
+
+    def marker(self, label: str, iteration: int = -1) -> None:
+        raise NotImplementedError
+
+    # collective sugar
+    def barrier(self) -> None:
+        self.collective("barrier")
+
+    def bcast(self, nbytes: int, root: int = 0) -> None:
+        self.collective("bcast", nbytes, root)
+
+    def reduce(self, nbytes: int, root: int = 0) -> None:
+        self.collective("reduce", nbytes, root)
+
+    def allreduce(self, nbytes: int) -> None:
+        self.collective("allreduce", nbytes)
+
+    def gather(self, nbytes: int, root: int = 0) -> None:
+        self.collective("gather", nbytes, root)
+
+    def scatter(self, nbytes: int, root: int = 0) -> None:
+        self.collective("scatter", nbytes, root)
+
+    def allgather(self, nbytes: int) -> None:
+        self.collective("allgather", nbytes)
+
+    def alltoall(self, nbytes: int) -> None:
+        self.collective("alltoall", nbytes)
+
+    # composite, deadlock-free exchange patterns
+    def exchange(self, partners: Sequence[int], nbytes: int, tag: int = 0) -> None:
+        """Symmetric non-blocking exchange with a set of partner ranks.
+
+        Every rank must call this with a *consistent* partner relation
+        (``a`` lists ``b`` iff ``b`` lists ``a``).  Posts irecvs, then
+        isends, then waits on everything — the canonical safe halo
+        pattern.
+        """
+        partners = [p for p in partners if p != self.rank]
+        requests = []
+        req = 0
+        for p in partners:
+            self.irecv(src=p, tag=tag, request=req)
+            requests.append(req)
+            req += 1
+        for p in partners:
+            self.isend(dst=p, nbytes=nbytes, tag=tag, request=req)
+            requests.append(req)
+            req += 1
+        if requests:
+            self.waitall(tuple(requests))
+
+    def halo_exchange_1d(self, nproc: int, nbytes: int, tag: int = 0,
+                         periodic: bool = False) -> None:
+        """Left/right neighbour exchange on a 1-D decomposition."""
+        self.exchange(halo_partners_1d(self.rank, nproc, periodic), nbytes, tag)
+
+    def halo_exchange_2d(self, nproc: int, nbytes: int, tag: int = 0,
+                         periodic: bool = False) -> None:
+        """North/south/east/west exchange on the most-square 2-D grid."""
+        self.exchange(halo_partners_2d(self.rank, nproc, periodic), nbytes, tag)
+
+    # record bridge (drives legacy generator skeletons into any emitter)
+    def emit(self, record: Record) -> None:
+        kind = record.kind
+        if kind == "compute":
+            self.compute(record.duration, record.phase, record.beta)
+        elif kind == "send":
+            self.send(record.dst, record.nbytes, record.tag)
+        elif kind == "recv":
+            self.recv(record.src, record.tag)
+        elif kind == "isend":
+            self.isend(record.dst, record.nbytes, record.tag, record.request)
+        elif kind == "irecv":
+            self.irecv(record.src, record.tag, record.request)
+        elif kind == "wait":
+            self.wait(record.request)
+        elif kind == "waitall":
+            self.waitall(record.requests)
+        elif kind == "collective":
+            self.collective(record.op, record.nbytes, record.root)
+        elif kind == "marker":
+            self.marker(record.label, record.iteration)
+        else:
+            raise ValueError(f"unknown record kind {kind!r}")
+
+
+class RecordEmitter(ProgramEmitter):
+    """Emitter that collects record objects (the legacy representation)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, rank: int):
+        super().__init__(rank)
+        self.records: list[Record] = []
+
+    def compute(self, duration: float, phase: str = "",
+                beta: float | None = None) -> None:
+        self.records.append(ComputeBurst(duration, phase=phase, beta=beta))
+
+    def send(self, dst: int, nbytes: int, tag: int = 0) -> None:
+        self.records.append(SendRecord(dst, nbytes, tag))
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        self.records.append(RecvRecord(src, tag))
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, request: int = 0) -> None:
+        self.records.append(IsendRecord(dst, nbytes, tag, request))
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              request: int = 0) -> None:
+        self.records.append(IrecvRecord(src, tag, request))
+
+    def wait(self, request: int) -> None:
+        self.records.append(WaitRecord(request))
+
+    def waitall(self, requests: Sequence[int]) -> None:
+        self.records.append(WaitallRecord(tuple(requests)))
+
+    def collective(self, op: str, nbytes: int = 0, root: int = 0) -> None:
+        self.records.append(CollectiveRecord(op, nbytes, root))
+
+    def marker(self, label: str, iteration: int = -1) -> None:
+        self.records.append(MarkerRecord(label, iteration))
+
+    def emit(self, record: Record) -> None:
+        self.records.append(record)
+
+
+class ColumnEmitter(ProgramEmitter):
+    """Emitter that writes straight into columnar storage.
+
+    Every method forwards scalars to the builder's typed buffers; no
+    record object is created anywhere on this path.
+    """
+
+    __slots__ = ("builder",)
+
+    def __init__(self, rank: int, builder: ColumnarTraceBuilder):
+        super().__init__(rank)
+        self.builder = builder
+
+    def compute(self, duration: float, phase: str = "",
+                beta: float | None = None) -> None:
+        self.builder.compute(self.rank, duration, phase, beta)
+
+    def send(self, dst: int, nbytes: int, tag: int = 0) -> None:
+        self.builder.send(self.rank, dst, nbytes, tag)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        self.builder.recv(self.rank, src, tag)
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, request: int = 0) -> None:
+        self.builder.isend(self.rank, dst, nbytes, tag, request)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              request: int = 0) -> None:
+        self.builder.irecv(self.rank, src, tag, request)
+
+    def wait(self, request: int) -> None:
+        self.builder.wait(self.rank, request)
+
+    def waitall(self, requests: Sequence[int]) -> None:
+        self.builder.waitall(self.rank, requests)
+
+    def collective(self, op: str, nbytes: int = 0, root: int = 0) -> None:
+        self.builder.collective(self.rank, op, nbytes, root)
+
+    def marker(self, label: str, iteration: int = -1) -> None:
+        self.builder.marker(self.rank, label, iteration)
+
+    def emit(self, record: Record) -> None:
+        self.builder.append_record(self.rank, record)
+
+
+# -- composite, deadlock-free exchange patterns (generator flavour) ------
+
+def exchange(rank: int, partners: Sequence[int], nbytes: int,
+             tag: int = 0) -> Iterator[Record]:
+    """Symmetric non-blocking exchange with a set of partner ranks.
+
+    Generator flavour of :meth:`ProgramEmitter.exchange` (one
+    implementation serves both, so the event sequences are identical).
+    """
+    em = RecordEmitter(rank)
+    em.exchange(partners, nbytes, tag)
+    yield from em.records
+
+
+def halo_exchange_1d(rank: int, nproc: int, nbytes: int, tag: int = 0,
+                     periodic: bool = False) -> Iterator[Record]:
+    """Left/right neighbour exchange on a 1-D decomposition."""
+    yield from exchange(rank, halo_partners_1d(rank, nproc, periodic), nbytes, tag)
+
+
+def halo_exchange_2d(rank: int, nproc: int, nbytes: int, tag: int = 0,
+                     periodic: bool = False) -> Iterator[Record]:
+    """North/south/east/west exchange on the most-square 2-D grid."""
+    yield from exchange(rank, halo_partners_2d(rank, nproc, periodic), nbytes, tag)

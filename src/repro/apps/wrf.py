@@ -10,14 +10,12 @@ exponential sets, three.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
 
 import numpy as np
 
 from repro.apps import vmpi
 from repro.apps.base import AppSkeleton
 from repro.apps.imbalance import wave_shape
-from repro.traces.records import Record
 
 __all__ = ["WrfSkeleton"]
 
@@ -33,18 +31,14 @@ class WrfSkeleton(AppSkeleton):
         # smooth spatial load wave (weather activity) + noise
         return wave_shape(self.nproc, self.seed) * 0.6 + 0.4
 
-    def rank_program(self, rank: int) -> Iterator[Record]:
+    def emit_rank(self, rank: int, em: vmpi.ProgramEmitter) -> None:
         t = self.base_compute
         cfl_bytes = self.sized_collective("allreduce")
         for it in range(self.iterations):
-            yield vmpi.marker("iter", iteration=it)
+            em.marker("iter", iteration=it)
             w = self.weight_at(rank, it)
-            yield vmpi.compute(0.65 * w * t, phase="dynamics")
-            yield from vmpi.halo_exchange_2d(
-                rank, self.nproc, nbytes=self.HALO_BYTES, tag=0
-            )
-            yield vmpi.compute(0.35 * w * t, phase="physics")
-            yield from vmpi.halo_exchange_2d(
-                rank, self.nproc, nbytes=self.HALO_BYTES // 2, tag=1
-            )
-            yield vmpi.allreduce(cfl_bytes)
+            em.compute(0.65 * w * t, phase="dynamics")
+            em.halo_exchange_2d(self.nproc, nbytes=self.HALO_BYTES, tag=0)
+            em.compute(0.35 * w * t, phase="physics")
+            em.halo_exchange_2d(self.nproc, nbytes=self.HALO_BYTES // 2, tag=1)
+            em.allreduce(cfl_bytes)

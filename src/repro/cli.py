@@ -287,7 +287,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     app = build_app(args.app, iterations=args.iterations)
     balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
-    trace = balancer.trace_app(app)
+    trace = balancer.trace_app(app, columnar=args.columnar)
     write_trace(trace, args.output)
     print(f"wrote {args.output} ({trace.total_records()} records, "
           f"{trace.nproc} ranks)")
@@ -539,6 +539,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_tr.add_argument("app")
     p_tr.add_argument("-o", "--output", default="trace.jsonl")
     p_tr.add_argument("--iterations", type=int, default=6)
+    p_tr.add_argument(
+        "--columnar",
+        action="store_true",
+        help="record into columnar storage (no per-event record objects; "
+        "same file bytes, scales to very large worlds)",
+    )
     p_tr.set_defaults(fn=_cmd_trace)
 
     p_lint = sub.add_parser(

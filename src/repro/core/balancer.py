@@ -206,13 +206,25 @@ class PowerAwareLoadBalancer:
         self.accountant = EnergyAccountant(self.power_model)
 
     # ------------------------------------------------------------------
-    def trace_app(self, app: "Any") -> "Trace":
+    def trace_app(self, app: "Any", columnar: bool = False) -> "Any":
         """Run an application skeleton once at nominal speed, recording.
 
         Recording is inherently a DES activity (a compiled tape cannot
         emit a trace), so this step always runs on the DES whatever the
         replay-engine selection — results are engine-independent.
+
+        With ``columnar=True`` the skeleton emits straight into a
+        :class:`~repro.traces.columnar.ColumnarTrace` instead of being
+        executed through the DES — the recorded event streams are
+        identical (the DES appends each operation to the trace in
+        program order before executing it), but no per-event record
+        objects or DES machinery are involved, which is what makes
+        100k-rank worlds traceable.
         """
+        if columnar:
+            trace = app.columnar_trace()
+            trace.meta.setdefault("nproc", trace.nproc)
+            return trace
         recorder = getattr(self.simulator, "des", self.simulator)
         if recorder.name != "des":
             from repro.netsim.simulator import MpiSimulator
@@ -226,16 +238,31 @@ class PowerAwareLoadBalancer:
         return trace
 
     def balance_app(
-        self, app: "Any", algorithm: FrequencyAlgorithm | None = None
+        self,
+        app: "Any",
+        algorithm: FrequencyAlgorithm | None = None,
+        columnar: bool = False,
     ) -> BalanceReport:
-        """Trace an application skeleton, then balance the trace."""
-        return self.balance_trace(self.trace_app(app), algorithm=algorithm)
+        """Trace an application skeleton, then balance the trace.
+
+        ``columnar=True`` traces into columnar storage (see
+        :meth:`trace_app`); the report is byte-identical either way.
+        """
+        return self.balance_trace(
+            self.trace_app(app, columnar=columnar), algorithm=algorithm
+        )
 
     # ------------------------------------------------------------------
     def balance_trace(
-        self, trace: "Trace", algorithm: FrequencyAlgorithm | None = None
+        self, trace: "Any", algorithm: FrequencyAlgorithm | None = None
     ) -> BalanceReport:
-        """The full §4 pipeline on a recorded trace."""
+        """The full §4 pipeline on a recorded trace.
+
+        Accepts either a :class:`~repro.traces.trace.Trace` or a
+        :class:`~repro.traces.columnar.ColumnarTrace`; the pipeline is
+        representation-agnostic (compute times, replays and caches all
+        work off the shared trace surface).
+        """
         from repro.traces.analysis import compute_times, load_balance_from_times
 
         algorithm = algorithm or self.algorithm

@@ -63,7 +63,19 @@ from repro.netsim.collectives import collective_time
 from repro.netsim.enginestats import add_engine_stats
 from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
 from repro.netsim.record import Marker, RunResult
-from repro.traces.records import Record
+from repro.traces.columnar import (
+    K_COLLECTIVE,
+    K_COMPUTE,
+    K_IRECV,
+    K_ISEND,
+    K_MARKER,
+    K_RECV,
+    K_SEND,
+    K_WAIT,
+    K_WAITALL,
+    ColumnarTrace,
+)
+from repro.traces.records import COLLECTIVE_OPS, Record
 from repro.traces.trace import Trace
 
 __all__ = [
@@ -71,6 +83,7 @@ __all__ = [
     "CompiledProgram",
     "CompiledReplayEngine",
     "UnsupportedWorldError",
+    "compile_columnar_world",
     "compile_world",
 ]
 
@@ -130,8 +143,22 @@ class _Coll:
         self.emitted = False
 
 
+def _check_platform(platform: PlatformConfig) -> None:
+    """Reject platform features that couple costs to the timeline."""
+    if platform.buses:
+        raise UnsupportedWorldError(
+            "bus contention couples wire time to the global schedule; "
+            "DES required"
+        )
+    if platform.decompose_collectives:
+        raise UnsupportedWorldError(
+            "decomposed collectives emit timing-dependent point-to-point "
+            "rounds; DES required"
+        )
+
+
 def _scan_channels(
-    programs: list[list[Record]], platform: PlatformConfig
+    world: ColumnarTrace, platform: PlatformConfig
 ) -> tuple[dict[tuple[int, int, int], list[_Msg]], list[float], list[float]]:
     """Pair every p2p message and fix its protocol + wire cost.
 
@@ -141,24 +168,32 @@ def _scan_channels(
     holds when a channel speaks one protocol and eager arrivals cannot
     overtake (non-decreasing sizes ⇒ non-decreasing wire times).
     """
+    offsets = world.offsets.tolist()
+    kinds = world.kind.tolist()
+    peers = world.peer.tolist()
+    tags = world.tag.tolist()
+    sizes_col = world.size.tolist()
     sends: dict[tuple[int, int, int], list[int]] = {}
     recvs: dict[tuple[int, int, int], int] = {}
-    for rank, ops in enumerate(programs):
-        for op in ops:
-            kind = op.kind
-            if kind in ("send", "isend"):
-                if op.dst == rank:
+    for rank in range(world.nproc):
+        for g in range(offsets[rank], offsets[rank + 1]):
+            k = kinds[g]
+            if k == K_SEND or k == K_ISEND:
+                dst = peers[g]
+                if dst == rank:
                     raise CompileError(f"rank {rank}: self-send")
-                sends.setdefault((rank, op.dst, op.tag), []).append(op.nbytes)
-            elif kind in ("recv", "irecv"):
-                if op.src < 0 or op.tag < 0:
+                sends.setdefault((rank, dst, tags[g]), []).append(sizes_col[g])
+            elif k == K_RECV or k == K_IRECV:
+                src = peers[g]
+                tag = tags[g]
+                if src < 0 or tag < 0:
                     raise UnsupportedWorldError(
                         f"rank {rank}: ANY_SOURCE/ANY_TAG receive — matching "
                         "depends on arrival order; DES required"
                     )
-                if op.src == rank:
+                if src == rank:
                     raise CompileError(f"rank {rank}: self-recv")
-                key = (op.src, rank, op.tag)
+                key = (src, rank, tag)
                 recvs[key] = recvs.get(key, 0) + 1
 
     for key in recvs:
@@ -208,7 +243,12 @@ def compile_world(
     platform: PlatformConfig | None = None,
     time_model: BetaTimeModel | None = None,
 ) -> "CompiledProgram":
-    """Compile one world into a :class:`CompiledProgram`.
+    """Compile one record-object world into a :class:`CompiledProgram`.
+
+    Lowers the rank programs to columnar form and hands off to the one
+    shared compile core (:func:`compile_columnar_world` enters the same
+    core directly), so the two storage representations compile to the
+    same tape by construction.
 
     Raises :class:`UnsupportedWorldError` when the world needs the DES
     (see the module capability matrix) and :class:`CompileError` when
@@ -218,21 +258,60 @@ def compile_world(
     platform = platform or MYRINET_LIKE
     time_model = time_model or BetaTimeModel(fmax=2.3)
     mats = [list(p) for p in programs]
-    nproc = len(mats)
-    if nproc == 0:
+    if len(mats) == 0:
         raise CompileError("need at least one rank program")
-    if platform.buses:
-        raise UnsupportedWorldError(
-            "bus contention couples wire time to the global schedule; "
-            "DES required"
-        )
-    if platform.decompose_collectives:
-        raise UnsupportedWorldError(
-            "decomposed collectives emit timing-dependent point-to-point "
-            "rounds; DES required"
-        )
+    _check_platform(platform)
+    try:
+        world = ColumnarTrace.from_streams(mats)
+    except ValueError as exc:
+        raise CompileError(str(exc)) from None
+    return _compile_columns(world, platform, time_model, mats)
 
-    channels, wire_eager, wire_rdv = _scan_channels(mats, platform)
+
+def compile_columnar_world(
+    world: ColumnarTrace,
+    platform: PlatformConfig | None = None,
+    time_model: BetaTimeModel | None = None,
+) -> "CompiledProgram":
+    """Compile a :class:`ColumnarTrace` without materialising records.
+
+    The instruction tape is built straight from the pooled columns, so
+    a 32k-rank world compiles without ever allocating per-event record
+    objects.  Same error contract as :func:`compile_world`.
+    """
+    platform = platform or MYRINET_LIKE
+    time_model = time_model or BetaTimeModel(fmax=2.3)
+    _check_platform(platform)
+    return _compile_columns(world, platform, time_model, world)
+
+
+def _compile_columns(
+    world: ColumnarTrace,
+    platform: PlatformConfig,
+    time_model: BetaTimeModel,
+    programs: "list[list[Record]] | ColumnarTrace",
+) -> "CompiledProgram":
+    """The one compile core: columns in, instruction tape out.
+
+    ``programs`` is whatever representation the caller wants kept for
+    DES cross-validation (:meth:`CompiledProgram.assert_equivalent`).
+    """
+    nproc = world.nproc
+    offsets = world.offsets.tolist()
+    kinds = world.kind.tolist()
+    durations = world.duration.tolist()
+    betas = world.beta.tolist()
+    peers = world.peer.tolist()
+    tags = world.tag.tolist()
+    sizes_col = world.size.tolist()
+    reqs = world.req.tolist()
+    auxs = world.aux.tolist()
+    labels = world.label.tolist()
+    collops = world.collop.tolist()
+    reqpool = world.reqpool.tolist()
+    strings = world.strings
+
+    channels, wire_eager, wire_rdv = _scan_channels(world, platform)
     send_k: dict[tuple[int, int, int], int] = {}
     recv_k: dict[tuple[int, int, int], int] = {}
 
@@ -243,8 +322,9 @@ def compile_world(
     coll_costs: list[float] = []
     colls: list[_Coll] = []
 
-    pos = [0] * nproc
-    pending_rdv = [None] * nproc  # type: list[_Msg | None]
+    pos = offsets[:nproc]          # per-rank cursor (global event index)
+    ends = offsets[1:]
+    pending_rdv: list[_Msg | None] = [None] * nproc
     coll_idx = [0] * nproc
     coll_counted = [False] * nproc
     requests: list[dict[int, tuple[str, _Msg]]] = [{} for _ in range(nproc)]
@@ -281,7 +361,7 @@ def compile_world(
     def _advance(rank: int) -> bool:
         """Emit as many of this rank's instructions as dependencies allow."""
         emitted = False
-        ops = mats[rank]
+        end = ends[rank]
         while True:
             blocked_send = pending_rdv[rank]
             if blocked_send is not None:
@@ -290,27 +370,28 @@ def compile_world(
                 instrs.append((_SEND_RDV_DONE, rank, blocked_send.slot))
                 pending_rdv[rank] = None
                 emitted = True
-            if pos[rank] >= len(ops):
+            g = pos[rank]
+            if g >= end:
                 if requests[rank]:
                     raise CompileError(
                         f"rank {rank} finished with outstanding requests "
                         f"{sorted(requests[rank])}"
                     )
                 return emitted
-            op = ops[pos[rank]]
-            kind = op.kind
+            kind = kinds[g]
 
-            if kind == "compute":
+            if kind == K_COMPUTE:
                 instrs.append((_COMPUTE, rank, len(dur)))
-                dur.append(op.duration)
-                beta.append(op.beta if op.beta is not None else default_beta)
+                dur.append(durations[g])
+                b = betas[g]
+                beta.append(default_beta if b != b else b)  # NaN ⇒ default
                 brank.append(rank)
 
-            elif kind == "marker":
-                instrs.append((_MARKER, rank, op.label, op.iteration))
+            elif kind == K_MARKER:
+                instrs.append((_MARKER, rank, strings[labels[g]], auxs[g]))
 
-            elif kind == "send":
-                msg = _next_msg((rank, op.dst, op.tag), send_k)
+            elif kind == K_SEND:
+                msg = _next_msg((rank, peers[g], tags[g]), send_k)
                 if msg.eager:
                     instrs.append((_SEND_EAGER, rank, msg.slot))
                     msg.sender_done = True
@@ -318,23 +399,23 @@ def compile_world(
                     instrs.append((_SEND_RDV_POST, rank, msg.slot))
                     msg.sender_posted = True
                     pending_rdv[rank] = msg
-                    pos[rank] += 1
+                    pos[rank] = g + 1
                     emitted = True
                     continue  # completion handled at the top of the loop
 
-            elif kind == "isend":
-                msg = _next_msg((rank, op.dst, op.tag), send_k)
+            elif kind == K_ISEND:
+                msg = _next_msg((rank, peers[g], tags[g]), send_k)
                 if msg.eager:
-                    _register(rank, op.request, ("ise", msg))
+                    _register(rank, reqs[g], ("ise", msg))
                     instrs.append((_SEND_EAGER, rank, msg.slot))
                     msg.sender_done = True
                 else:
-                    _register(rank, op.request, ("isr", msg))
+                    _register(rank, reqs[g], ("isr", msg))
                     instrs.append((_ISEND_RDV, rank, msg.slot))
                     msg.sender_posted = True
 
-            elif kind == "recv":
-                key = (op.src, rank, op.tag)
+            elif kind == K_RECV:
+                key = (peers[g], rank, tags[g])
                 k = recv_k.get(key, 0)
                 if k >= len(channels.get(key, ())):
                     raise CompileError(f"channel {key}: recv without a send")
@@ -350,18 +431,22 @@ def compile_world(
                     msg.recv_posted = True
                 recv_k[key] = k + 1
 
-            elif kind == "irecv":
-                msg = _next_msg((op.src, rank, op.tag), recv_k)
+            elif kind == K_IRECV:
+                msg = _next_msg((peers[g], rank, tags[g]), recv_k)
                 if msg.eager:
-                    _register(rank, op.request, ("ire", msg))
+                    _register(rank, reqs[g], ("ire", msg))
                     instrs.append((_IRECV_EAGER, rank))
                 else:
-                    _register(rank, op.request, ("irr", msg))
+                    _register(rank, reqs[g], ("irr", msg))
                     instrs.append((_IRECV_RDV, rank, msg.slot))
                     msg.recv_posted = True
 
-            elif kind in ("wait", "waitall"):
-                ids = (op.request,) if kind == "wait" else tuple(op.requests)
+            elif kind == K_WAIT or kind == K_WAITALL:
+                if kind == K_WAIT:
+                    ids: tuple[int, ...] = (reqs[g],)
+                else:
+                    lo = auxs[g]
+                    ids = tuple(reqpool[lo : lo + reqs[g]])
                 entries = []
                 for req in ids:
                     entry = requests[rank].get(req)
@@ -379,19 +464,22 @@ def compile_world(
                 for req in ids:
                     del requests[rank][req]
 
-            elif kind == "collective":
+            elif kind == K_COLLECTIVE:
+                op_name = COLLECTIVE_OPS[collops[g]]
+                root = peers[g]
                 index = coll_idx[rank]
                 while index >= len(colls):
-                    colls.append(_Coll(op.op, op.root))
+                    colls.append(_Coll(op_name, root))
                 inst = colls[index]
-                if inst.op != op.op or inst.root != op.root:
+                if inst.op != op_name or inst.root != root:
                     raise CompileError(
                         f"collective mismatch at instance {index}: rank "
-                        f"{rank} calls {op.op}(root={op.root}) but earlier "
+                        f"{rank} calls {op_name}(root={root}) but earlier "
                         f"ranks called {inst.op}(root={inst.root})"
                     )
                 if not coll_counted[rank]:
-                    inst.nbytes = max(inst.nbytes, op.nbytes)
+                    if sizes_col[g] > inst.nbytes:
+                        inst.nbytes = sizes_col[g]
                     inst.arrived += 1
                     coll_counted[rank] = True
                     if inst.arrived == nproc:
@@ -411,15 +499,15 @@ def compile_world(
                     return emitted
                 coll_idx[rank] += 1
                 coll_counted[rank] = False
-                pos[rank] += 1
+                pos[rank] = g + 1
                 continue
 
             else:
                 raise CompileError(
-                    f"rank {rank}: unknown record kind {kind!r}"
+                    f"rank {rank}: unknown record kind code {kind}"
                 )
 
-            pos[rank] += 1
+            pos[rank] = g + 1
             emitted = True
 
     remaining = True
@@ -429,12 +517,12 @@ def compile_world(
         for rank in range(nproc):
             if _advance(rank):
                 progress = True
-            if pos[rank] < len(mats[rank]) or pending_rdv[rank] is not None:
+            if pos[rank] < ends[rank] or pending_rdv[rank] is not None:
                 remaining = True
         if remaining and not progress:
             stuck = [
                 r for r in range(nproc)
-                if pos[r] < len(mats[r]) or pending_rdv[r] is not None
+                if pos[r] < ends[r] or pending_rdv[r] is not None
             ]
             raise CompileError(
                 f"compile-time deadlock: ranks {stuck} cannot progress"
@@ -452,7 +540,7 @@ def compile_world(
         wire_eager=wire_eager,
         wire_rdv=wire_rdv,
         coll_costs=coll_costs,
-        programs=mats,
+        programs=programs,
     )
 
 
@@ -477,7 +565,7 @@ class CompiledProgram:
         wire_eager: list[float],
         wire_rdv: list[float],
         coll_costs: list[float],
-        programs: list[list[Record]],
+        programs: "list[list[Record]] | ColumnarTrace",
     ):
         self.nproc = nproc
         self.platform = platform
@@ -784,7 +872,10 @@ class CompiledProgram:
         from repro.netsim.simulator import MpiSimulator
 
         sim = simulator or MpiSimulator(self.platform, self.time_model)
-        des = sim.run(self._programs, frequencies=frequencies)
+        programs = self._programs
+        if isinstance(programs, ColumnarTrace):
+            programs = programs.to_programs()
+        des = sim.run(programs, frequencies=frequencies)
         mine = self.evaluate(frequencies)
         checks = (
             ("execution_time", des.execution_time, mine.execution_time),
@@ -838,7 +929,7 @@ class CompiledReplayEngine:
     ) -> CompiledProgram:
         return compile_world(programs, self.platform, self.time_model)
 
-    def compile_trace(self, trace: Trace) -> CompiledProgram:
+    def compile_trace(self, trace: "Trace | ColumnarTrace") -> CompiledProgram:
         key = (self.platform, self.time_model.fmax, self.time_model.beta)
         cache = getattr(trace, "_compiled_cache", None)
         if cache is None:
@@ -850,18 +941,23 @@ class CompiledReplayEngine:
                     raise type(entry)(str(entry))
                 return entry
         try:
-            program = compile_world(
-                [stream.records for stream in trace],
-                self.platform,
-                self.time_model,
-            )
+            if isinstance(trace, ColumnarTrace):
+                program = compile_columnar_world(
+                    trace, self.platform, self.time_model
+                )
+            else:
+                program = compile_world(
+                    [stream.records for stream in trace],
+                    self.platform,
+                    self.time_model,
+                )
         except UnsupportedWorldError as exc:
             cache.append((key, exc))
             raise
         cache.append((key, program))
         return program
 
-    def supports(self, trace: Trace) -> tuple[bool, str]:
+    def supports(self, trace: "Trace | ColumnarTrace") -> tuple[bool, str]:
         """Capability check: (accepted, reason-if-not)."""
         try:
             self.compile_trace(trace)
@@ -891,7 +987,7 @@ class CompiledReplayEngine:
 
     def run_trace(
         self,
-        trace: Trace,
+        trace: "Trace | ColumnarTrace",
         frequencies: Sequence[float] | float | None = None,
         **kwargs: Any,
     ) -> RunResult:
@@ -913,7 +1009,7 @@ class CompiledReplayEngine:
 
     def evaluate_assignments(
         self,
-        trace: Trace,
+        trace: "Trace | ColumnarTrace",
         frequencies: Any,
         chunk_size: int | None = None,
     ) -> dict[str, np.ndarray]:

@@ -9,6 +9,7 @@ Dimemas replays its tracefiles.
 
 * :mod:`repro.traces.records` — the event record types;
 * :mod:`repro.traces.trace` — :class:`Trace` / :class:`RankStream`;
+* :mod:`repro.traces.columnar` — pooled-column storage for large worlds;
 * :mod:`repro.traces.jsonio` — JSON-lines persistence;
 * :mod:`repro.traces.prv` — Paraver-like timestamped export;
 * :mod:`repro.traces.analysis` — load balance, parallel efficiency, …;
@@ -32,6 +33,11 @@ from repro.traces.records import (
     WaitRecord,
 )
 from repro.traces.trace import RankStream, Trace
+from repro.traces.columnar import (
+    ColumnarRankView,
+    ColumnarTrace,
+    ColumnarTraceBuilder,
+)
 from repro.traces.analysis import (
     TraceStats,
     compute_times,
@@ -54,6 +60,9 @@ __all__ = [
     "ANY_TAG",
     "COLLECTIVE_OPS",
     "CollectiveRecord",
+    "ColumnarRankView",
+    "ColumnarTrace",
+    "ColumnarTraceBuilder",
     "ComputeBurst",
     "IrecvRecord",
     "IsendRecord",

@@ -10,6 +10,12 @@ The on-disk format is deliberately boring: one JSON object per line.
 Rank-major order keeps writing streaming-friendly and diffs readable;
 the reader accepts events in any order (they are appended per rank in
 file order, which must respect each rank's own program order).
+
+Both storage representations speak this format natively: writing a
+:class:`~repro.traces.columnar.ColumnarTrace` streams its event dicts
+without materialising record objects, and ``read_trace(...,
+columnar=True)`` parses straight into column buffers — the emitted
+bytes and the parsed events are identical either way.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import json
 import os
 from typing import IO, Any
 
+from repro.traces.columnar import ColumnarTrace, ColumnarTraceBuilder
 from repro.traces.records import record_from_dict, record_to_dict
 from repro.traces.trace import Trace
 
@@ -41,8 +48,13 @@ def _open(path_or_file: PathOrFile, mode: str) -> tuple[IO[str], bool]:
     return open(path, mode, encoding="utf-8"), True
 
 
-def write_trace(trace: Trace, path_or_file: PathOrFile) -> None:
-    """Serialise ``trace`` to a JSON-lines file (``.gz`` compresses)."""
+def write_trace(trace: Trace | ColumnarTrace, path_or_file: PathOrFile) -> None:
+    """Serialise ``trace`` to a JSON-lines file (``.gz`` compresses).
+
+    Accepts either storage representation; a :class:`ColumnarTrace`
+    streams its rows straight off the columns and produces byte-for-byte
+    the same file as its record-object equivalent.
+    """
     stream, should_close = _open(path_or_file, "w")
     try:
         header = {
@@ -52,18 +64,31 @@ def write_trace(trace: Trace, path_or_file: PathOrFile) -> None:
             "meta": trace.meta,
         }
         stream.write(json.dumps(header) + "\n")
-        for rank_stream in trace:
-            for record in rank_stream:
-                row = {"rank": rank_stream.rank}
-                row.update(record_to_dict(record))
+        if isinstance(trace, ColumnarTrace):
+            for rank, event in trace.iter_event_rows():
+                row: dict[str, Any] = {"rank": rank}
+                row.update(event)
                 stream.write(json.dumps(row) + "\n")
+        else:
+            for rank_stream in trace:
+                for record in rank_stream:
+                    row = {"rank": rank_stream.rank}
+                    row.update(record_to_dict(record))
+                    stream.write(json.dumps(row) + "\n")
     finally:
         if should_close:
             stream.close()
 
 
-def read_trace(path_or_file: PathOrFile) -> Trace:
-    """Load a trace previously written by :func:`write_trace`."""
+def read_trace(
+    path_or_file: PathOrFile, columnar: bool = False
+) -> Trace | ColumnarTrace:
+    """Load a trace previously written by :func:`write_trace`.
+
+    With ``columnar=True`` events are parsed straight into pooled
+    columns and a :class:`ColumnarTrace` is returned — the way to load
+    traces whose rank count makes record objects prohibitive.
+    """
     stream, should_close = _open(path_or_file, "r")
     try:
         header_line = stream.readline()
@@ -79,12 +104,28 @@ def read_trace(path_or_file: PathOrFile) -> Trace:
                 f"unsupported trace version {header.get('version')!r} "
                 f"(expected {FORMAT_VERSION})"
             )
-        trace = Trace(nproc=int(header["nproc"]), meta=header.get("meta") or {})
+        nproc = int(header["nproc"])
+        meta = header.get("meta") or {}
+        if columnar:
+            builder = ColumnarTraceBuilder(nproc)
+            for lineno, line in enumerate(stream, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                row: dict[str, Any] = json.loads(line)
+                try:
+                    builder.append_dict(row.pop("rank"), row)
+                except (KeyError, TypeError, ValueError, IndexError) as exc:
+                    raise ValueError(
+                        f"bad trace event at line {lineno}: {exc}"
+                    ) from exc
+            return builder.build(meta=meta)
+        trace = Trace(nproc=nproc, meta=meta)
         for lineno, line in enumerate(stream, start=2):
             line = line.strip()
             if not line:
                 continue
-            row: dict[str, Any] = json.loads(line)
+            row = json.loads(line)
             try:
                 rank = row.pop("rank")
                 trace[rank].append(record_from_dict(row))
@@ -96,13 +137,13 @@ def read_trace(path_or_file: PathOrFile) -> Trace:
             stream.close()
 
 
-def dumps_trace(trace: Trace) -> str:
+def dumps_trace(trace: Trace | ColumnarTrace) -> str:
     """Serialise to an in-memory string (round-trip convenience)."""
     buf = io.StringIO()
     write_trace(trace, buf)
     return buf.getvalue()
 
 
-def loads_trace(text: str) -> Trace:
+def loads_trace(text: str, columnar: bool = False) -> Trace | ColumnarTrace:
     """Inverse of :func:`dumps_trace`."""
-    return read_trace(io.StringIO(text))
+    return read_trace(io.StringIO(text), columnar=columnar)

@@ -9,11 +9,13 @@ the modified trace is replayed.  :func:`scale_compute` is that rewrite.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.timemodel import BetaTimeModel
+from repro.traces.columnar import K_COMPUTE, ColumnarTrace
 from repro.traces.records import ComputeBurst, MarkerRecord
 from repro.traces.trace import Trace
 
@@ -21,16 +23,21 @@ __all__ = ["concat_traces", "cut_iterations", "scale_compute"]
 
 
 def scale_compute(
-    trace: Trace,
+    trace: Trace | ColumnarTrace,
     frequencies: Sequence[float] | float,
     model: BetaTimeModel,
-) -> Trace:
+) -> Trace | ColumnarTrace:
     """Rewrite compute-burst durations for per-rank frequencies.
 
     Every :class:`ComputeBurst` of rank *k* gets duration
     ``T * (beta * (fmax/f_k - 1) + 1)`` (per-burst β overrides honoured).
     All other records pass through untouched.  The result's metadata
     records the frequencies for provenance.
+
+    A :class:`ColumnarTrace` input is rewritten column-wise (no record
+    objects) and yields a :class:`ColumnarTrace` whose durations are
+    bit-identical to the record path's — the per-event arithmetic is
+    the same IEEE operations in the same order.
 
     Note: the rescaled durations are *actual* times at the new frequency,
     so the resulting trace must be replayed at nominal speed (pass no
@@ -50,6 +57,8 @@ def scale_compute(
     meta = dict(trace.meta)
     meta["scaled_frequencies"] = [float(f) for f in freqs]
     meta["time_model"] = {"fmax": model.fmax, "beta": model.beta}
+    if isinstance(trace, ColumnarTrace):
+        return _scale_compute_columns(trace, freqs, model, meta)
     out = Trace(trace.nproc, meta=meta)
     for stream in trace:
         f = freqs[stream.rank]
@@ -64,6 +73,51 @@ def scale_compute(
             new_records.append(rec)
         out[stream.rank].records = new_records
     return out
+
+
+def _scale_compute_columns(
+    trace: ColumnarTrace,
+    freqs: np.ndarray,
+    model: BetaTimeModel,
+    meta: dict,
+) -> ColumnarTrace:
+    """Column-wise :func:`scale_compute` (bit-identical to the record path)."""
+    duration = trace.duration.copy()
+    beta = trace.beta.copy()
+    offsets = trace.offsets
+    kind = trace.kind
+    default_beta = model.beta
+    for rank in range(trace.nproc):
+        lo, hi = int(offsets[rank]), int(offsets[rank + 1])
+        seg_dur = duration[lo:hi]
+        sel = (kind[lo:hi] == K_COMPUTE) & (seg_dur > 0.0)
+        if not sel.any():
+            continue
+        # same IEEE operations in the same order as model.ratio(f, beta)
+        x = model.fmax / float(freqs[rank]) - 1.0
+        seg_beta = beta[lo:hi]
+        b_eff = np.where(np.isnan(seg_beta), default_beta, seg_beta)
+        seg_dur[sel] = seg_dur[sel] * (b_eff[sel] * x + 1.0)
+        # the rewritten burst is an *actual* duration: β no longer
+        # applies to it, so drop the override
+        seg_beta[sel] = math.nan
+    return ColumnarTrace(
+        nproc=trace.nproc,
+        meta=meta,
+        offsets=offsets,
+        kind=kind,
+        duration=duration,
+        beta=beta,
+        peer=trace.peer,
+        tag=trace.tag,
+        size=trace.size,
+        req=trace.req,
+        aux=trace.aux,
+        label=trace.label,
+        collop=trace.collop,
+        reqpool=trace.reqpool,
+        strings=trace.strings,
+    )
 
 
 def cut_iterations(trace: Trace, first: int, last: int) -> Trace:
