@@ -1,0 +1,145 @@
+"""Columnar-native lint at scale: 32k-rank worlds under a RSS ceiling.
+
+The scaling claim of the diagnostics engine mirrors the columnar
+storage claim one layer up: linting a 32k-rank BT-MZ world — including
+the TR008 wait-for-graph deadlock replay — runs straight off the
+pooled numpy columns without ever materialising a record object.  This
+benchmark lints one clean 32k-rank world and one deliberately
+deadlocked 4096-rank ring, records wall time per stage plus the
+process peak RSS, and asserts the ceilings recorded in
+``benchmarks/baselines/lint.json``.
+
+The ceilings are the teeth: a regression that round-trips the columnar
+world through per-record objects blows the 1 GiB RSS ceiling, and a
+quadratic message matcher blows the wall-clock ones.
+
+Runs standalone in CI smoke mode (``--benchmark-disable``) via the
+``_timed`` wall-clock ledger, like ``bench_columnar.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import resource
+import time
+
+from repro.apps import build_app
+from repro.diagnostics.engine import LintConfig, lint_trace_subject
+from repro.netsim.platform import MYRINET_LIKE
+from repro.traces.columnar import ColumnarTrace, ColumnarTraceBuilder
+
+FAMILY = "BT-MZ"
+RANKS = 32768
+ITERATIONS = 4
+DEADLOCK_RANKS = 4096
+
+BASELINE = json.loads(
+    (pathlib.Path(__file__).parent / "baselines" / "lint.json").read_text()
+)
+CONFIG = LintConfig()
+
+#: Cross-test wall-clock ledger (tests run in file order).
+_TIMINGS: dict[str, float] = {}
+
+_WORLD: dict[str, ColumnarTrace] = {}
+
+
+def _peak_rss_gb() -> float:
+    """Process high-water-mark RSS in GiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024**2
+
+
+def _timed(label: str, fn):
+    """Run ``fn`` once, recording wall time (works with
+    ``--benchmark-disable``, where ``benchmark.stats`` is unset)."""
+    start = time.perf_counter()
+    out = fn()
+    elapsed = time.perf_counter() - start
+    _TIMINGS[label] = min(_TIMINGS.get(label, elapsed), elapsed)
+    return out
+
+
+def _ring_deadlock(nproc: int) -> ColumnarTrace:
+    """Every rank rendezvous-sends to its successor before receiving."""
+    big = MYRINET_LIKE.eager_threshold + 1
+    builder = ColumnarTraceBuilder(nproc)
+    for rank in range(nproc):
+        builder.compute(rank, 1.0)
+        builder.send(rank, dst=(rank + 1) % nproc, nbytes=big, tag=0)
+        builder.recv(rank, src=(rank - 1) % nproc, tag=0)
+    return builder.build(meta={"name": f"ring-deadlock-{nproc}"})
+
+
+def test_lint_clean_32k_world(benchmark):
+    """Full trace-rule pass (TR001–TR010) over a clean 32k-rank world."""
+
+    def pipeline():
+        trace = _timed(
+            "generate",
+            lambda: build_app(
+                f"{FAMILY}-{RANKS}", iterations=ITERATIONS
+            ).columnar_trace(),
+        )
+        diags = _timed(
+            "lint",
+            lambda: lint_trace_subject(
+                trace, MYRINET_LIKE, f"{FAMILY}-{RANKS}", CONFIG
+            ),
+        )
+        return trace, diags
+
+    trace, diags = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    _WORLD["clean"] = trace
+    assert not [d for d in diags if d.code == "DX000"], (
+        "a trace rule crashed on the columnar world"
+    )
+    assert not [d for d in diags if d.code.startswith("TR00")], (
+        f"clean BT-MZ world should lint clean, got {[d.code for d in diags]}"
+    )
+
+    budget = BASELINE["acceptance"]
+    for stage in ("generate", "lint"):
+        spent = _TIMINGS[stage]
+        benchmark.extra_info[stage] = round(spent, 3)
+        ceiling = budget[f"{stage}_seconds_max"]
+        assert spent <= ceiling, (
+            f"{stage} at {RANKS} ranks took {spent:.2f}s "
+            f"(ceiling {ceiling}s in baselines/lint.json)"
+        )
+    benchmark.extra_info["events"] = trace.total_records()
+
+
+def test_lint_deadlocked_4k_ring(benchmark):
+    """TR008 wait-for-graph replay finds the full-world cycle."""
+
+    def pipeline():
+        trace = _ring_deadlock(DEADLOCK_RANKS)
+        diags = _timed(
+            "deadlock_lint",
+            lambda: lint_trace_subject(trace, MYRINET_LIKE, "ring", CONFIG),
+        )
+        return diags
+
+    diags = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    tr008 = [d for d in diags if d.code == "TR008"]
+    assert len(tr008) == 1, "the ring cycle must surface as one TR008"
+
+    spent = _TIMINGS["deadlock_lint"]
+    benchmark.extra_info["deadlock_lint"] = round(spent, 3)
+    ceiling = BASELINE["acceptance"]["deadlock_lint_seconds_max"]
+    assert spent <= ceiling, (
+        f"deadlock lint at {DEADLOCK_RANKS} ranks took {spent:.2f}s "
+        f"(ceiling {ceiling}s in baselines/lint.json)"
+    )
+
+
+def test_memory_ceiling():
+    """Whole-run peak RSS stays under the recorded ceiling."""
+    assert _WORLD, "run the lint benchmarks first (file order)"
+    peak = _peak_rss_gb()
+    ceiling = BASELINE["acceptance"]["peak_rss_gb_max"]
+    assert peak <= ceiling, (
+        f"peak RSS {peak:.2f} GiB exceeds the {ceiling} GiB ceiling "
+        "in baselines/lint.json — did the lint path materialise records?"
+    )

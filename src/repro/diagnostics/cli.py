@@ -1,16 +1,27 @@
 """The ``repro lint`` subcommand.
 
 Without targets, audits the whole project surface: every built-in
-application trace, the default gear sets, the platform, and the model
-invariants.  With targets, audits exactly the given artifacts — trace
-files (``.jsonl`` / ``.jsonl.gz``) and campaign manifests
-(``manifest.json`` or any ``.json`` with an ``experiments`` key)::
+application trace (generated straight into columnar storage — no record
+objects), the default gear sets, the platform, the model invariants,
+and the determinism (DT) rules over repro's own installed source.  With
+targets, audits exactly the given artifacts — trace files (``.jsonl`` /
+``.jsonl.gz``, loaded columnar), frequency-assignment ``.json`` files
+(the ``--save-assignment`` artifact), campaign manifests, and ``.py``
+files or source directories::
 
     repro lint                                   # whole-project audit
     repro lint cg32.jsonl results/manifest.json  # specific artifacts
+    repro lint assignment.json --gears uniform:6 # AS feasibility rules
+    repro lint src/repro --target source         # determinism lint
+    repro lint --power-cap 40 --power-cap-ranks 32  # PC feasibility
     repro lint --select TR --ignore TR006        # rule selection
     repro lint --format sarif -o lint.sarif      # code-scanning upload
     repro lint --baseline lint-baseline.json     # ratchet adoption
+
+``--target {trace,assignment,source,all}`` narrows both the no-target
+audit and which explicit targets are consumed (others are skipped with
+a note); ``--select``/``--ignore``/``--fail-on`` cover the AS/PC/DT
+prefixes exactly like the older packs.
 
 Exit status: 0 clean (below the ``--fail-on`` threshold), 1 findings at
 or above the threshold, 2 usage or I/O errors.
@@ -31,10 +42,13 @@ from repro.diagnostics.baseline import (
 from repro.diagnostics.engine import (
     LintConfig,
     exit_code,
+    lint_assignment,
     lint_gear_set,
     lint_manifest,
     lint_models,
     lint_platform,
+    lint_power_cap,
+    lint_source_paths,
     lint_trace_subject,
 )
 from repro.diagnostics.model import Diagnostic, Severity, sort_key
@@ -63,9 +77,31 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "targets",
         nargs="*",
-        help="trace files (.jsonl/.jsonl.gz) and/or campaign manifest "
-        ".json files; default: audit every built-in app + gear sets + "
-        "platform + models",
+        help="trace files (.jsonl/.jsonl.gz), assignment/manifest .json "
+        "files, and/or .py files or source directories; default: audit "
+        "every built-in app + gear sets + platform + models + repro's "
+        "own source",
+    )
+    parser.add_argument(
+        "--target",
+        choices=("trace", "assignment", "source", "all"),
+        default="all",
+        help="restrict which analysis targets run (default all); "
+        "explicit targets of other kinds are skipped with a note",
+    )
+    parser.add_argument(
+        "--power-cap",
+        type=float,
+        metavar="WATTS",
+        help="run the PC feasibility rules against this cap (model "
+        "watts) for each audited gear set",
+    )
+    parser.add_argument(
+        "--power-cap-ranks",
+        type=int,
+        default=1,
+        metavar="N",
+        help="world size the power cap must feed (default 1)",
     )
     parser.add_argument(
         "--apps",
@@ -147,15 +183,42 @@ def _split_csv(values: Sequence[str]) -> tuple[str, ...]:
 
 
 def _load_target(path: str):
-    """Classify a target path as ('trace'|'manifest', payload)."""
+    """Classify a target path: ('trace'|'assignment'|'manifest'|'source',
+    path).  ``.json`` files are peeked at — the ``--save-assignment``
+    artifact (``gears`` + ``target_time`` keys) lints as an assignment,
+    anything else as a campaign manifest."""
+    import pathlib
+
     if path.endswith((".jsonl", ".jsonl.gz")):
         return "trace", path
+    if path.endswith(".py") or pathlib.Path(path).is_dir():
+        return "source", path
     if path.endswith(".json"):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot lint {path!r}: {exc}") from None
+        if (
+            isinstance(payload, dict)
+            and "gears" in payload
+            and "target_time" in payload
+        ):
+            return "assignment", path
         return "manifest", path
     raise ValueError(
-        f"cannot lint {path!r}: expected a .jsonl/.jsonl.gz trace or a "
-        "manifest .json"
+        f"cannot lint {path!r}: expected a .jsonl/.jsonl.gz trace, an "
+        "assignment or manifest .json, or a .py file / source directory"
     )
+
+
+def _want(args, kind: str) -> bool:
+    """Does ``--target`` admit this analysis kind?"""
+    return args.target in ("all", kind)
+
+
+def _gear_specs(args) -> tuple[str, ...]:
+    return _split_csv([args.gears]) if args.gears else DEFAULT_GEAR_SPECS
 
 
 def _builtin_subjects(args, platform, config):
@@ -163,32 +226,47 @@ def _builtin_subjects(args, platform, config):
     from repro.apps import build_app
     from repro.apps.registry import TABLE3_INSTANCES
     from repro.cli import build_gear_set
-    from repro.netsim.simulator import MpiSimulator
 
     diagnostics: list[Diagnostic] = []
-    apps = (
-        tuple(a.strip() for a in args.apps.split(",") if a.strip())
-        if args.apps
-        else TABLE3_INSTANCES
-    )
-    simulator = MpiSimulator(platform=platform)
-    for name in apps:
-        app = build_app(name, iterations=args.iterations)
-        trace = simulator.run(
-            app.programs(), record_trace=True, meta={"name": app.name}
-        ).trace
-        diagnostics += lint_trace_subject(trace, platform, name, config)
+    if _want(args, "trace"):
+        apps = (
+            tuple(a.strip() for a in args.apps.split(",") if a.strip())
+            if args.apps
+            else TABLE3_INSTANCES
+        )
+        for name in apps:
+            app = build_app(name, iterations=args.iterations)
+            # straight into pooled columns: the lint path never
+            # materialises a record object, whatever the rank count
+            trace = app.columnar_trace()
+            diagnostics += lint_trace_subject(trace, platform, name, config)
 
-    specs = (
-        _split_csv([args.gears]) if args.gears else DEFAULT_GEAR_SPECS
-    )
     audited = set()
-    for spec in specs:
+    for spec in _gear_specs(args):
         gear_set = build_gear_set(spec)
         if gear_set.name in audited:
             continue
         audited.add(gear_set.name)
-        diagnostics += lint_gear_set(gear_set, config=config)
+        if args.target == "all":
+            diagnostics += lint_gear_set(gear_set, config=config)
+        if args.power_cap is not None and _want(args, "assignment"):
+            diagnostics += lint_power_cap(
+                args.power_cap,
+                args.power_cap_ranks,
+                gear_set,
+                subject=f"cap={args.power_cap:g}W@{gear_set.name}",
+                config=config,
+            )
+
+    if _want(args, "source"):
+        import pathlib
+
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).parent
+        diagnostics += lint_source_paths(
+            [package_root], config, root=package_root.parent
+        )
     return diagnostics
 
 
@@ -248,20 +326,59 @@ def run_lint(args: argparse.Namespace) -> int:
         if args.targets:
             for target in args.targets:
                 kind, path = _load_target(target)
+                # manifests ride with the trace target kind
+                target_kind = "trace" if kind == "manifest" else kind
+                if not _want(args, target_kind):
+                    print(
+                        f"repro lint: skipping {path} "
+                        f"(--target {args.target})",
+                        file=sys.stderr,
+                    )
+                    continue
                 if kind == "trace":
                     from repro.traces.jsonio import read_trace
 
-                    trace = read_trace(path)
+                    # columnar load: lints at any rank count without
+                    # materialising record objects
+                    trace = read_trace(path, columnar=True)
                     trace.validate()
                     diagnostics += lint_trace_subject(
                         trace, platform, path, config
                     )
+                elif kind == "assignment":
+                    from repro.cli import build_gear_set
+
+                    with open(path, encoding="utf-8") as fh:
+                        payload = json.load(fh)
+                    gear_set = build_gear_set(_gear_specs(args)[0])
+                    diagnostics += lint_assignment(
+                        gear_set,
+                        assignment=payload,
+                        subject=path,
+                        config=config,
+                    )
+                elif kind == "source":
+                    diagnostics += lint_source_paths([path], config)
                 else:
                     diagnostics += lint_manifest(path, golden_path, config)
+            if args.power_cap is not None and _want(args, "assignment"):
+                from repro.cli import build_gear_set
+
+                gear_set = build_gear_set(_gear_specs(args)[0])
+                diagnostics += lint_power_cap(
+                    args.power_cap,
+                    args.power_cap_ranks,
+                    gear_set,
+                    subject=f"cap={args.power_cap:g}W@{gear_set.name}",
+                    config=config,
+                )
         else:
             diagnostics += _builtin_subjects(args, platform, config)
-            diagnostics += lint_platform(platform, platform_subject, config)
-            diagnostics += lint_models(beta=args.beta, config=config)
+            if args.target == "all":
+                diagnostics += lint_platform(
+                    platform, platform_subject, config
+                )
+                diagnostics += lint_models(beta=args.beta, config=config)
     except (OSError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

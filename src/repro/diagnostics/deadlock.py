@@ -28,16 +28,28 @@ can advance, the wait-for graph over the blocked ranks is built and
 
 A trace that completes but leaves eager envelopes unconsumed is also
 reported: those are sent-but-never-received messages.
+
+Two replay backends share one matcher and one post-mortem: the record
+backend steps per-rank ``Record`` lists, and the columnar backend
+(:class:`_ColumnarReplay`) steps the pooled numpy columns of a
+:class:`~repro.traces.columnar.ColumnarTrace` directly.  The columnar
+backend pre-filters local events (compute, marker) in one vectorised
+pass — only communication events exist as Python state — so a 32k-rank
+world replays without materialising a single record object, while the
+pass order, matching schedule and every report string stay identical to
+the record backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.netsim.platform import PlatformConfig
 from repro.traces.records import (
     ANY_SOURCE,
     ANY_TAG,
+    COLLECTIVE_OPS,
     CollectiveRecord,
     ComputeBurst,
     IrecvRecord,
@@ -111,27 +123,21 @@ class _PostedRecv:
     token: _Token
 
 
-@dataclass
-class _RankState:
-    records: list[Record]
-    pc: int = 0
-    issued_pc: int = -1  # pc whose posting side effects already ran
-    block_token: _Token | None = None
-    requests: dict[int, tuple[str, int, _Token]] = field(default_factory=dict)
-    coll_index: int = 0
+class _ReplayBase:
+    """Matcher, run loop and post-mortem shared by both backends.
 
-    @property
-    def done(self) -> bool:
-        return self.pc >= len(self.records)
+    A backend provides ``_step(rank)``, ``_is_done(rank)``,
+    ``_block_index(rank)`` and ``_waits_on(rank)``; everything else —
+    FIFO matching, the progress loop, SCC extraction and report assembly
+    — lives here, which is what keeps the two representations'
+    ``DeadlockReport``s identical field for field.
+    """
 
-
-class _Replay:
-    def __init__(self, trace: Trace, platform: PlatformConfig):
+    def __init__(self, nproc: int, platform: PlatformConfig):
         self.platform = platform
-        self.nproc = trace.nproc
-        self.ranks = [_RankState(list(stream)) for stream in trace]
-        self.envelopes: list[list[_Envelope]] = [[] for _ in range(self.nproc)]
-        self.posted: list[list[_PostedRecv]] = [[] for _ in range(self.nproc)]
+        self.nproc = nproc
+        self.envelopes: list[list[_Envelope]] = [[] for _ in range(nproc)]
+        self.posted: list[list[_PostedRecv]] = [[] for _ in range(nproc)]
         self.seq = 0
         self.coll_arrived: dict[int, set[int]] = {}
         self.coll_ops: dict[int, tuple[str, int]] = {}
@@ -171,6 +177,145 @@ class _Replay:
                 return True
         self.posted[dst].append(recv)
         return False
+
+    def _arrive_collective(self, rank: int, k: int, op: str) -> None:
+        """First arrival of ``rank`` at its k-th collective."""
+        arrived = self.coll_arrived.setdefault(k, set())
+        arrived.add(rank)
+        if k not in self.coll_ops:
+            self.coll_ops[k] = (op, rank)
+        elif self.coll_ops[k][0] != op:
+            op0, rank0 = self.coll_ops[k]
+            self.coll_mismatches.append(
+                (k, f"rank {rank0} calls {op0} but rank {rank} "
+                    f"calls {op}")
+            )
+        if len(arrived) == self.nproc:
+            self.coll_released.add(k)
+
+    # -- backend hooks -------------------------------------------------
+    def _step(self, rank: int) -> bool:
+        raise NotImplementedError
+
+    def _is_done(self, rank: int) -> bool:
+        raise NotImplementedError
+
+    def _block_index(self, rank: int) -> int:
+        """Record index (within the rank) of the blocking operation."""
+        raise NotImplementedError
+
+    def _waits_on(self, rank: int) -> tuple[str, tuple[int, ...]]:
+        raise NotImplementedError
+
+    def _not_done_peers(self, rank: int) -> tuple[int, ...]:
+        return tuple(
+            r for r in range(self.nproc)
+            if r != rank and not self._is_done(r)
+        )
+
+    def _collective_waits(
+        self, rank: int, k: int, op: str
+    ) -> tuple[str, tuple[int, ...]]:
+        arrived = self.coll_arrived.get(k, set())
+        missing = tuple(
+            r for r in range(self.nproc) if r != rank and r not in arrived
+        )
+        return f"collective #{k} ({op})", missing
+
+    def _request_waits(
+        self,
+        requests: tuple[int, ...],
+        live: dict[int, tuple[str, int, _Token]],
+        others: tuple[int, ...],
+    ) -> tuple[str, tuple[int, ...]]:
+        targets: list[int] = []
+        parts: list[str] = []
+        for r in requests:
+            entry = live.get(r)
+            if entry is None or entry[2].matched:
+                continue
+            kind, peer, _ = entry
+            if kind == "irecv" and peer == ANY_SOURCE:
+                targets.extend(others)
+                parts.append(f"wait on irecv(any) #{r}")
+            else:
+                targets.append(peer)
+                parts.append(f"wait on {kind} #{r} (peer rank {peer})")
+        return "; ".join(parts) or "wait", tuple(dict.fromkeys(targets))
+
+    # -- run + post-mortem ---------------------------------------------
+    def run(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for rank in range(self.nproc):
+                while self._step(rank):
+                    progress = True
+
+    def report(self) -> DeadlockReport:
+        stuck = [r for r in range(self.nproc) if not self._is_done(r)]
+
+        blocked: list[BlockedRank] = []
+        edges: dict[int, tuple[int, ...]] = {}
+        for rank in stuck:
+            description, targets = self._waits_on(rank)
+            blocked.append(
+                BlockedRank(
+                    rank=rank,
+                    index=self._block_index(rank),
+                    description=description,
+                    waits_on=targets,
+                )
+            )
+            edges[rank] = tuple(t for t in targets if t in stuck)
+
+        orphans = tuple(
+            b for b in blocked
+            if not edges[b.rank]  # every wait target already terminated
+        )
+        cycles = _cycles(edges)
+
+        undelivered: list[tuple[int, int, int]] = []
+        if not stuck:
+            counts: dict[tuple[int, int], int] = {}
+            for dst, envs in enumerate(self.envelopes):
+                for env in envs:
+                    key = (env.src, dst)
+                    counts[key] = counts.get(key, 0) + 1
+            undelivered = [
+                (src, dst, n) for (src, dst), n in sorted(counts.items())
+            ]
+
+        return DeadlockReport(
+            deadlocked=bool(stuck),
+            cycles=cycles,
+            orphans=orphans,
+            blocked=tuple(blocked),
+            undelivered=tuple(undelivered),
+            collective_mismatches=tuple(self.coll_mismatches),
+        )
+
+
+@dataclass
+class _RankState:
+    records: list[Record]
+    pc: int = 0
+    issued_pc: int = -1  # pc whose posting side effects already ran
+    block_token: _Token | None = None
+    requests: dict[int, tuple[str, int, _Token]] = field(default_factory=dict)
+    coll_index: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.records)
+
+
+class _Replay(_ReplayBase):
+    """Record-object backend: steps per-rank ``Record`` lists."""
+
+    def __init__(self, trace: Trace, platform: PlatformConfig):
+        super().__init__(trace.nproc, platform)
+        self.ranks = [_RankState(list(stream)) for stream in trace]
 
     # -- per-record stepping -------------------------------------------
     def _step(self, rank: int) -> bool:
@@ -269,18 +414,7 @@ class _Replay:
             k = state.coll_index
             if first:
                 state.issued_pc = state.pc
-                arrived = self.coll_arrived.setdefault(k, set())
-                arrived.add(rank)
-                if k not in self.coll_ops:
-                    self.coll_ops[k] = (rec.op, rank)
-                elif self.coll_ops[k][0] != rec.op:
-                    op0, rank0 = self.coll_ops[k]
-                    self.coll_mismatches.append(
-                        (k, f"rank {rank0} calls {op0} but rank {rank} "
-                            f"calls {rec.op}")
-                    )
-                if len(arrived) == self.nproc:
-                    self.coll_released.add(k)
+                self._arrive_collective(rank, k, rec.op)
             if k in self.coll_released:
                 state.coll_index += 1
                 state.pc += 1
@@ -289,28 +423,22 @@ class _Replay:
 
         raise TypeError(f"unknown record type {type(rec).__name__}")
 
-    def run(self) -> None:
-        progress = True
-        while progress:
-            progress = False
-            for rank in range(self.nproc):
-                while self._step(rank):
-                    progress = True
+    # -- post-mortem hooks ---------------------------------------------
+    def _is_done(self, rank: int) -> bool:
+        return self.ranks[rank].done
 
-    # -- post-mortem ---------------------------------------------------
+    def _block_index(self, rank: int) -> int:
+        return self.ranks[rank].pc
+
     def _waits_on(self, rank: int) -> tuple[str, tuple[int, ...]]:
         """(description, rank targets) of a blocked rank's current record."""
         state = self.ranks[rank]
         rec = state.records[state.pc]
-        others = tuple(
-            r for r in range(self.nproc)
-            if r != rank and not self.ranks[r].done
-        )
         if isinstance(rec, SendRecord):
             return f"rendezvous send to rank {rec.dst}", (rec.dst,)
         if isinstance(rec, RecvRecord):
             if rec.src == ANY_SOURCE:
-                return "recv from any source", others
+                return "recv from any source", self._not_done_peers(rank)
             return f"recv from rank {rec.src}", (rec.src,)
         if isinstance(rec, (WaitRecord, WaitallRecord)):
             requests = (
@@ -318,71 +446,236 @@ class _Replay:
                 if isinstance(rec, WaitRecord)
                 else tuple(rec.requests)
             )
-            targets: list[int] = []
-            parts: list[str] = []
-            for r in requests:
-                entry = state.requests.get(r)
-                if entry is None or entry[2].matched:
-                    continue
-                kind, peer, _ = entry
-                if kind == "irecv" and peer == ANY_SOURCE:
-                    targets.extend(others)
-                    parts.append(f"wait on irecv(any) #{r}")
-                else:
-                    targets.append(peer)
-                    parts.append(f"wait on {kind} #{r} (peer rank {peer})")
-            return "; ".join(parts) or "wait", tuple(dict.fromkeys(targets))
-        if isinstance(rec, CollectiveRecord):
-            k = state.coll_index
-            arrived = self.coll_arrived.get(k, set())
-            missing = tuple(
-                r for r in range(self.nproc) if r != rank and r not in arrived
+            return self._request_waits(
+                requests, state.requests, self._not_done_peers(rank)
             )
-            return f"collective #{k} ({rec.op})", missing
+        if isinstance(rec, CollectiveRecord):
+            return self._collective_waits(rank, state.coll_index, rec.op)
         return f"{rec.kind}", ()
 
-    def report(self) -> DeadlockReport:
-        stuck = [r for r in range(self.nproc) if not self.ranks[r].done]
 
-        blocked: list[BlockedRank] = []
-        edges: dict[int, tuple[int, ...]] = {}
-        for rank in stuck:
-            description, targets = self._waits_on(rank)
-            blocked.append(
-                BlockedRank(
-                    rank=rank,
-                    index=self.ranks[rank].pc,
-                    description=description,
-                    waits_on=targets,
+@dataclass
+class _ColumnarRankState:
+    """Cursor of one rank over the compacted communication-event lists."""
+
+    pos: int  # absolute index into the flat comm-event lists
+    stop: int
+    issued_pos: int = -1
+    block_token: _Token | None = None
+    requests: dict[int, tuple[str, int, _Token]] = field(default_factory=dict)
+    coll_index: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= self.stop
+
+
+class _ColumnarReplay(_ReplayBase):
+    """Columnar backend: steps pooled numpy columns, no record objects.
+
+    One vectorised pass drops local events (compute, marker) and lifts
+    the surviving communication events into flat Python lists — kind
+    code, peer, tag, request id/count, reqpool offset, a precomputed
+    eager flag, and the original within-rank record index (so blocked
+    reports cite the same record numbers as the record backend).  The
+    per-pass rank order and the FIFO matcher are inherited unchanged,
+    which makes the replay schedule — and with it every description,
+    cycle and mismatch string — identical to the record backend's.
+    """
+
+    def __init__(self, trace: Any, platform: PlatformConfig):
+        import numpy as np
+
+        from repro.traces.columnar import K_COMPUTE, K_MARKER
+
+        super().__init__(trace.nproc, platform)
+        kind = trace.kind
+        comm = np.flatnonzero((kind != K_COMPUTE) & (kind != K_MARKER))
+        offsets = trace.offsets
+        ranks_of = np.searchsorted(offsets, comm, side="right") - 1
+        bounds = np.searchsorted(ranks_of, np.arange(self.nproc + 1))
+        self.kindl = kind[comm].tolist()
+        self.peerl = trace.peer[comm].tolist()
+        self.tagl = trace.tag[comm].tolist()
+        self.reql = trace.req[comm].tolist()
+        self.auxl = trace.aux[comm].tolist()
+        self.opl = trace.collop[comm].tolist()
+        self.eagerl = (
+            trace.size[comm] <= platform.eager_threshold
+        ).tolist()
+        self.recl = (comm - offsets[ranks_of]).tolist()
+        self.reqpool = trace.reqpool.tolist()
+        self.ranks = [
+            _ColumnarRankState(pos=int(bounds[r]), stop=int(bounds[r + 1]))
+            for r in range(self.nproc)
+        ]
+
+    def _waitall_requests(self, i: int) -> tuple[int, ...]:
+        lo = self.auxl[i]
+        return tuple(self.reqpool[lo:lo + self.reql[i]])
+
+    # -- per-event stepping --------------------------------------------
+    def _step(self, rank: int) -> bool:
+        from repro.traces.columnar import (
+            K_COLLECTIVE,
+            K_IRECV,
+            K_ISEND,
+            K_RECV,
+            K_SEND,
+            K_WAIT,
+            K_WAITALL,
+        )
+
+        state = self.ranks[rank]
+        if state.done:
+            return False
+        i = state.pos
+        k = self.kindl[i]
+        first = state.issued_pos != i
+
+        if k == K_SEND:
+            if self.eagerl[i]:
+                self._deliver(
+                    self.peerl[i],
+                    _Envelope(
+                        self._next_seq(), rank, self.tagl[i], False, None
+                    ),
                 )
+                state.pos += 1
+                return True
+            if first:
+                token = _Token()
+                state.block_token = token
+                state.issued_pos = i
+                self._deliver(
+                    self.peerl[i],
+                    _Envelope(
+                        self._next_seq(), rank, self.tagl[i], True, token
+                    ),
+                )
+            assert state.block_token is not None
+            if state.block_token.matched:
+                state.block_token = None
+                state.pos += 1
+                return True
+            return False
+
+        if k == K_ISEND:
+            token = _Token()
+            eager = self.eagerl[i]
+            if eager:
+                token.matched = True  # locally complete at once
+            self._deliver(
+                self.peerl[i],
+                _Envelope(
+                    self._next_seq(), rank, self.tagl[i], not eager,
+                    None if eager else token,
+                ),
             )
-            edges[rank] = tuple(t for t in targets if t in stuck)
+            state.requests[self.reql[i]] = ("isend", self.peerl[i], token)
+            state.pos += 1
+            return True
 
-        orphans = tuple(
-            b for b in blocked
-            if not edges[b.rank]  # every wait target already terminated
-        )
-        cycles = _cycles(edges)
+        if k == K_RECV:
+            if first:
+                token = _Token()
+                state.block_token = token
+                state.issued_pos = i
+                self._post_recv(
+                    rank,
+                    _PostedRecv(
+                        self._next_seq(), self.peerl[i], self.tagl[i], token
+                    ),
+                )
+            assert state.block_token is not None
+            if state.block_token.matched:
+                state.block_token = None
+                state.pos += 1
+                return True
+            return False
 
-        undelivered: list[tuple[int, int, int]] = []
-        if not stuck:
-            counts: dict[tuple[int, int], int] = {}
-            for dst, envs in enumerate(self.envelopes):
-                for env in envs:
-                    key = (env.src, dst)
-                    counts[key] = counts.get(key, 0) + 1
-            undelivered = [
-                (src, dst, n) for (src, dst), n in sorted(counts.items())
+        if k == K_IRECV:
+            token = _Token()
+            self._post_recv(
+                rank,
+                _PostedRecv(
+                    self._next_seq(), self.peerl[i], self.tagl[i], token
+                ),
+            )
+            state.requests[self.reql[i]] = ("irecv", self.peerl[i], token)
+            state.pos += 1
+            return True
+
+        if k in (K_WAIT, K_WAITALL):
+            requests = (
+                (self.reql[i],) if k == K_WAIT
+                else self._waitall_requests(i)
+            )
+            pending = [
+                r for r in requests
+                if r in state.requests and not state.requests[r][2].matched
             ]
+            if pending:
+                return False
+            for r in requests:
+                state.requests.pop(r, None)
+            state.pos += 1
+            return True
 
-        return DeadlockReport(
-            deadlocked=bool(stuck),
-            cycles=cycles,
-            orphans=orphans,
-            blocked=tuple(blocked),
-            undelivered=tuple(undelivered),
-            collective_mismatches=tuple(self.coll_mismatches),
+        if k == K_COLLECTIVE:
+            kk = state.coll_index
+            if first:
+                state.issued_pos = i
+                self._arrive_collective(
+                    rank, kk, COLLECTIVE_OPS[self.opl[i]]
+                )
+            if kk in self.coll_released:
+                state.coll_index += 1
+                state.pos += 1
+                return True
+            return False
+
+        raise TypeError(f"unknown kind code {k}")
+
+    # -- post-mortem hooks ---------------------------------------------
+    def _is_done(self, rank: int) -> bool:
+        return self.ranks[rank].done
+
+    def _block_index(self, rank: int) -> int:
+        return self.recl[self.ranks[rank].pos]
+
+    def _waits_on(self, rank: int) -> tuple[str, tuple[int, ...]]:
+        from repro.traces.columnar import (
+            K_COLLECTIVE,
+            K_RECV,
+            K_SEND,
+            K_WAIT,
+            K_WAITALL,
+            KIND_NAMES,
         )
+
+        state = self.ranks[rank]
+        i = state.pos
+        k = self.kindl[i]
+        if k == K_SEND:
+            return f"rendezvous send to rank {self.peerl[i]}", (self.peerl[i],)
+        if k == K_RECV:
+            if self.peerl[i] == ANY_SOURCE:
+                return "recv from any source", self._not_done_peers(rank)
+            return f"recv from rank {self.peerl[i]}", (self.peerl[i],)
+        if k in (K_WAIT, K_WAITALL):
+            requests = (
+                (self.reql[i],) if k == K_WAIT
+                else self._waitall_requests(i)
+            )
+            return self._request_waits(
+                requests, state.requests, self._not_done_peers(rank)
+            )
+        if k == K_COLLECTIVE:
+            return self._collective_waits(
+                rank, state.coll_index, COLLECTIVE_OPS[self.opl[i]]
+            )
+        return f"{KIND_NAMES[k]}", ()
 
 
 def _cycles(edges: dict[int, tuple[int, ...]]) -> tuple[tuple[int, ...], ...]:
@@ -438,16 +731,26 @@ def _cycles(edges: dict[int, tuple[int, ...]]) -> tuple[tuple[int, ...], ...]:
 
 
 def analyze_deadlock(
-    trace: Trace, platform: PlatformConfig | None = None
+    trace: Any, platform: PlatformConfig | None = None
 ) -> DeadlockReport:
     """Run the abstract replay and summarise blocking structure.
 
-    The result is conservative under wildcard receives (matching is
-    resolved FIFO, one of the legal schedules); traces with any-source
-    traffic are separately flagged by rule TR004.
+    Dispatches on the storage representation: columnar traces replay on
+    their pooled columns (no record materialisation), record traces on
+    their ``Record`` lists; the two backends share schedule, matcher and
+    report assembly, so their reports are identical.  The result is
+    conservative under wildcard receives (matching is resolved FIFO, one
+    of the legal schedules); traces with any-source traffic are
+    separately flagged by rule TR004.
     """
+    from repro.diagnostics.traceview import is_columnar
     from repro.netsim.platform import MYRINET_LIKE
 
-    replay = _Replay(trace, platform or MYRINET_LIKE)
+    platform = platform or MYRINET_LIKE
+    replay: _ReplayBase
+    if is_columnar(trace):
+        replay = _ColumnarReplay(trace, platform)
+    else:
+        replay = _Replay(trace, platform)
     replay.run()
     return replay.report()

@@ -23,10 +23,13 @@ from repro.diagnostics.rules_traces import TraceContext
 __all__ = [
     "LintConfig",
     "exit_code",
+    "lint_assignment",
     "lint_gear_set",
     "lint_manifest",
     "lint_models",
     "lint_platform",
+    "lint_power_cap",
+    "lint_source_paths",
     "lint_trace_subject",
     "max_severity",
     "run_domain",
@@ -131,6 +134,132 @@ def lint_manifest(
 ) -> list[Diagnostic]:
     ctx = ResultsContext.from_path(path, golden_path)
     return run_domain("results", ctx, config)
+
+
+def lint_assignment(
+    gear_set,
+    *,
+    assignment=None,
+    pairs=None,
+    nproc: int | None = None,
+    compute_times=None,
+    beta=None,
+    grid=None,
+    subject: str = "",
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """Lint a frequency assignment / sweep grid against a gear set.
+
+    ``assignment`` may be a :class:`FrequencyAssignment` or its dict
+    form; alternatively pass raw ``pairs`` of (frequency, voltage).
+    Absent inputs simply skip the rules that need them (AS002 needs
+    ``nproc``, AS004 needs ``compute_times``, AS006 needs ``grid``).
+    """
+    from repro.diagnostics.rules_assign import AssignmentContext
+
+    if assignment is not None:
+        ctx = AssignmentContext.from_assignment(
+            assignment,
+            gear_set,
+            nproc=nproc,
+            compute_times=compute_times,
+            subject=subject,
+        )
+        if beta is not None or grid is not None:
+            ctx = AssignmentContext(
+                gear_set=ctx.gear_set,
+                pairs=ctx.pairs,
+                nproc=ctx.nproc,
+                compute_times=ctx.compute_times,
+                beta=beta,
+                grid=None if grid is None else tuple(grid),
+                subject=subject,
+            )
+    else:
+        ctx = AssignmentContext(
+            gear_set=gear_set,
+            pairs=None if pairs is None else tuple(
+                (float(f), float(v)) for f, v in pairs
+            ),
+            nproc=nproc,
+            compute_times=(
+                None if compute_times is None else tuple(compute_times)
+            ),
+            beta=beta,
+            grid=None if grid is None else tuple(grid),
+            subject=subject,
+        )
+    return run_domain("assignment", ctx, config)
+
+
+def lint_power_cap(
+    cap: float,
+    nproc: int,
+    gear_set,
+    power_model=None,
+    subject: str = "",
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """Feasibility pre-check of a power cap for an ``nproc``-rank world."""
+    from repro.core.power import CpuPowerModel
+    from repro.diagnostics.rules_assign import PowerCapContext
+
+    ctx = PowerCapContext(
+        cap=float(cap),
+        nproc=int(nproc),
+        gear_set=gear_set,
+        power_model=power_model or CpuPowerModel(),
+        subject=subject,
+    )
+    return run_domain("powercap", ctx, config)
+
+
+def lint_source_paths(
+    paths,
+    config: LintConfig | None = None,
+    root=None,
+) -> list[Diagnostic]:
+    """Run the determinism (DT) pack over ``.py`` files and directories.
+
+    Subjects are reported relative to ``root`` (default: the common
+    parent that makes paths start at the package, e.g.
+    ``repro/core/gears.py``).  Unparseable files become a single
+    internal ERROR finding rather than aborting the run.
+    """
+    from pathlib import Path
+
+    from repro.diagnostics.rules_source import lint_source_text
+
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    out: list[Diagnostic] = []
+    for path in files:
+        resolved = path.resolve()
+        if root is not None:
+            try:
+                subject = resolved.relative_to(Path(root).resolve())
+            except ValueError:
+                subject = path
+        else:
+            # repro/... if inside the package, else the path as given
+            parts = resolved.parts
+            if "repro" in parts:
+                subject = Path(*parts[parts.index("repro"):])
+            else:
+                subject = path
+        out.extend(
+            lint_source_text(
+                path.read_text(encoding="utf-8"),
+                str(subject),
+                config=config,
+            )
+        )
+    return sorted(out, key=sort_key)
 
 
 # ----------------------------------------------------------------------

@@ -61,7 +61,9 @@ class Diagnostic:
         if self.rank is not None:
             parts.append(f"rank {self.rank}")
         if self.index is not None:
-            parts.append(f"record {self.index}")
+            # source-domain findings anchor on a line, not a trace record
+            noun = "line" if self.domain == "source" else "record"
+            parts.append(f"{noun} {self.index}")
         return ", ".join(parts)
 
     def fingerprint(self) -> str:

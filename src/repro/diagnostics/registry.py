@@ -33,8 +33,18 @@ __all__ = [
     "rules_for_domain",
 ]
 
-#: Domains a rule may belong to (one rule pack each).
-DOMAINS = ("traces", "gears", "platform", "models", "results")
+#: Domains a rule may belong to (one rule pack each; ``assignment`` and
+#: ``powercap`` share a pack file, as do ``gears`` and ``platform``).
+DOMAINS = (
+    "traces",
+    "gears",
+    "platform",
+    "models",
+    "results",
+    "assignment",
+    "powercap",
+    "source",
+)
 
 CheckFn = Callable[..., "Iterable[Diagnostic] | None"]
 
@@ -114,9 +124,11 @@ def rule(
 def _load_packs() -> None:
     """Import every rule pack so registration side effects run."""
     from repro.diagnostics import (  # noqa: F401
+        rules_assign,
         rules_gears,
         rules_models,
         rules_results,
+        rules_source,
         rules_traces,
     )
 

@@ -18,28 +18,25 @@ TR008  ERROR     circular wait (replay deadlock) between ranks
 TR009  ERROR     orphaned operation / undelivered messages
 TR010  ERROR     ranks disagree on collective operation order
 =====  ========  ========================================================
+
+Every rule reads the trace through the accessor layer of
+:mod:`repro.diagnostics.traceview`, so one rule body serves both
+record-object and columnar storage — a :class:`ColumnarTrace` subject is
+analysed directly on its numpy columns with no record materialisation,
+and the two representations produce diagnostic-identical output.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 from functools import cached_property
+from typing import Any
 
 from repro.diagnostics.deadlock import DeadlockReport, analyze_deadlock
 from repro.diagnostics.model import Diagnostic, Severity
 from repro.diagnostics.registry import Maker, rule
+from repro.diagnostics.traceview import make_view
 from repro.netsim.platform import MYRINET_LIKE, PlatformConfig
-from repro.traces.records import (
-    ANY_SOURCE,
-    CollectiveRecord,
-    ComputeBurst,
-    IrecvRecord,
-    IsendRecord,
-    MarkerRecord,
-    RecvRecord,
-    SendRecord,
-)
-from repro.traces.trace import Trace
 
 __all__ = ["TraceContext"]
 
@@ -47,19 +44,26 @@ __all__ = ["TraceContext"]
 class TraceContext:
     """What the trace rules see: the trace, the platform, a subject name.
 
-    The deadlock analysis is shared by TR008/TR009/TR010 and computed at
-    most once per context.
+    ``trace`` may be a record-object :class:`~repro.traces.trace.Trace`
+    or a :class:`~repro.traces.columnar.ColumnarTrace`; the ``view``
+    accessor backend and the deadlock analysis both dispatch on the
+    representation.  The deadlock analysis is shared by TR008/TR009/
+    TR010 and computed at most once per context.
     """
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Any,
         platform: PlatformConfig | None = None,
         subject: str | None = None,
     ):
         self.trace = trace
         self.platform = platform or MYRINET_LIKE
         self.subject = subject if subject is not None else trace.name
+
+    @cached_property
+    def view(self):
+        return make_view(self.trace)
 
     @cached_property
     def deadlock(self) -> DeadlockReport:
@@ -81,11 +85,7 @@ class TraceContext:
     fix="emit MarkerRecord(label, iteration) at iteration boundaries",
 )
 def _tr001(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
-    has_markers = any(
-        isinstance(rec, MarkerRecord) and rec.iteration >= 0
-        for rec in ctx.trace[0]
-    )
-    if not has_markers:
+    if not ctx.view.has_iteration_markers():
         yield make(
             "no iteration markers: region cutting, per-iteration stats and "
             "the Jitter runtime will be unavailable",
@@ -101,10 +101,8 @@ def _tr001(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     fix="check the decomposition; an all-communication rank is usually a bug",
 )
 def _tr002(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
-    for stream in ctx.trace:
-        if stream.compute_time() == 0.0:
-            yield make("rank never computes", subject=ctx.subject,
-                       rank=stream.rank)
+    for rank in ctx.view.silent_ranks():
+        yield make("rank never computes", subject=ctx.subject, rank=rank)
 
 
 @rule(
@@ -115,20 +113,7 @@ def _tr002(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     fix="balance sends and receives per (src, dst) pair",
 )
 def _tr003(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
-    sends: dict[tuple[int, int], int] = {}
-    recvs: dict[tuple[int, int], int] = {}
-    wildcard_recv_ranks = set()
-    for stream in ctx.trace:
-        for rec in stream:
-            if isinstance(rec, (SendRecord, IsendRecord)):
-                key = (stream.rank, rec.dst)
-                sends[key] = sends.get(key, 0) + 1
-            elif isinstance(rec, (RecvRecord, IrecvRecord)):
-                if rec.src == ANY_SOURCE:
-                    wildcard_recv_ranks.add(stream.rank)
-                    continue  # cannot be attributed to a pair
-                key = (rec.src, stream.rank)
-                recvs[key] = recvs.get(key, 0) + 1
+    sends, recvs, wildcard_recv_ranks = ctx.view.pair_counts()
     for key in sorted(set(sends) | set(recvs)):
         if key[1] in wildcard_recv_ranks:
             continue  # wildcards may absorb the difference
@@ -150,20 +135,13 @@ def _tr003(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     fix="use concrete sources where the sender is statically known",
 )
 def _tr004(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
-    for stream in ctx.trace:
-        n = sum(
-            1
-            for rec in stream
-            if isinstance(rec, (RecvRecord, IrecvRecord))
-            and rec.src == ANY_SOURCE
+    for rank, n in ctx.view.wildcard_recv_counts():
+        yield make(
+            f"{n} any-source receive(s): matching becomes "
+            "timing-dependent",
+            subject=ctx.subject,
+            rank=rank,
         )
-        if n:
-            yield make(
-                f"{n} any-source receive(s): matching becomes "
-                "timing-dependent",
-                subject=ctx.subject,
-                rank=stream.rank,
-            )
 
 
 @rule(
@@ -177,20 +155,13 @@ def _tr005(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     threshold = ctx.platform.eager_threshold
     if threshold <= 0:
         return
-    for stream in ctx.trace:
-        n = sum(
-            1
-            for rec in stream
-            if isinstance(rec, (SendRecord, IsendRecord))
-            and threshold < rec.nbytes <= int(threshold * 1.1)
+    for rank, n in ctx.view.eager_cliff_counts(threshold):
+        yield make(
+            f"{n} message(s) just above the {threshold}-byte eager "
+            "threshold: rendezvous cliff",
+            subject=ctx.subject,
+            rank=rank,
         )
-        if n:
-            yield make(
-                f"{n} message(s) just above the {threshold}-byte eager "
-                "threshold: rendezvous cliff",
-                subject=ctx.subject,
-                rank=stream.rank,
-            )
 
 
 @rule(
@@ -202,20 +173,14 @@ def _tr005(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
 )
 def _tr006(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     # align per-rank collective sequences (validate() ensured equal counts)
-    sequences = [
-        [rec for rec in stream if isinstance(rec, CollectiveRecord)]
-        for stream in ctx.trace
-    ]
-    if not sequences or not sequences[0]:
-        return
-    for idx in range(len(sequences[0])):
-        sizes = [seq[idx].nbytes for seq in sequences if idx < len(seq)]
+    ops0, sizes_by_index = ctx.view.collective_alignment()
+    for idx, (op, sizes) in enumerate(zip(ops0, sizes_by_index)):
         positive = [s for s in sizes if s > 0]
         if not positive:
             continue
         if max(positive) > 3 * min(positive):
             yield make(
-                f"{sequences[0][idx].op} #{idx} contributions spread >3x "
+                f"{op} #{idx} contributions spread >3x "
                 "across ranks (cost is paced by the largest)",
                 subject=ctx.subject,
                 index=idx,
@@ -233,18 +198,13 @@ def _tr007(ctx: TraceContext, make: Maker) -> Iterator[Diagnostic]:
     latency = ctx.platform.latency
     if latency <= 0.0:
         return
-    for stream in ctx.trace:
-        tiny = sum(
-            1
-            for rec in stream
-            if isinstance(rec, ComputeBurst) and 0.0 < rec.duration < latency
-        )
-        if tiny > len(stream) // 4:
+    for rank, tiny, total in ctx.view.tiny_burst_counts(latency):
+        if tiny > total // 4:
             yield make(
                 f"{tiny} compute burst(s) shorter than the network "
                 f"latency ({latency:g}s): overhead-dominated trace",
                 subject=ctx.subject,
-                rank=stream.rank,
+                rank=rank,
             )
 
 

@@ -46,11 +46,16 @@ def _location(diag: Diagnostic) -> dict[str, Any]:
     }
     if diag.subject and (
         "/" in diag.subject
-        or diag.subject.endswith((".json", ".jsonl", ".jsonl.gz"))
+        or diag.subject.endswith((".json", ".jsonl", ".jsonl.gz", ".py"))
     ):
-        location["physicalLocation"] = {
+        physical: dict[str, Any] = {
             "artifactLocation": {"uri": diag.subject.replace("\\", "/")}
         }
+        # source-domain findings carry the line number in ``index``,
+        # which is what code-scanning UIs anchor annotations on
+        if diag.domain == "source" and diag.index is not None:
+            physical["region"] = {"startLine": diag.index}
+        location["physicalLocation"] = physical
     return location
 
 

@@ -159,7 +159,7 @@ CLAIMS: list[tuple[str, str, str, Callable]] = [
         "imbalance (and savings) grow with cluster size",
         lambda res: sum(
             1
-            for family in {r["family"] for r in res.rows}
+            for family in sorted({r["family"] for r in res.rows})
             if min(
                 r["load_balance_pct"] for r in res.rows if r["family"] == family
             )

@@ -48,7 +48,7 @@ MAX_BODY_BYTES = 1 << 20
 
 _BALANCE_KEYS = {
     "app", "gears", "algorithm", "beta", "iterations", "base_compute",
-    "platform", "strict", "async", "engine", "candidates",
+    "platform", "strict", "async", "engine", "candidates", "power_cap",
 }
 _CANDIDATE_KEYS = {"gears", "algorithm"}
 #: Cap per-request sweep size: bounds worker memory (each candidate is
@@ -187,16 +187,27 @@ def _platform_dict(value: Any):
         raise ValidationError(f"bad platform: {exc}") from None
 
 
-def _lint_gate(gear_set, beta: float, platform=None, strict: bool = False):
+def _lint_gate(
+    gear_set,
+    beta: float,
+    platform=None,
+    strict: bool = False,
+    power_cap: float | None = None,
+    nproc: int | None = None,
+):
     """Reject configurations the diagnostics engine flags (PR 2).
 
     ``strict`` lowers the rejection threshold from ERROR to WARNING —
-    useful for gating production traffic on fully clean configs.
+    useful for gating production traffic on fully clean configs.  A
+    ``power_cap`` (with the app's world size) additionally runs the PC
+    feasibility pre-checks, so an unmeetable budget is a 400 before any
+    admission rather than a degenerate all-fmin sweep after one.
     """
     from repro.diagnostics.engine import (
         lint_gear_set,
         lint_models,
         lint_platform,
+        lint_power_cap,
     )
     from repro.diagnostics.model import Severity
 
@@ -204,6 +215,8 @@ def _lint_gate(gear_set, beta: float, platform=None, strict: bool = False):
     diagnostics += lint_models(beta=beta, gear_set=gear_set)
     if platform is not None:
         diagnostics += lint_platform(platform)
+    if power_cap is not None and nproc is not None:
+        diagnostics += lint_power_cap(power_cap, nproc, gear_set)
     threshold = Severity.WARNING if strict else Severity.ERROR
     offending = [d for d in diagnostics if d.severity >= threshold]
     if offending:
@@ -217,13 +230,17 @@ def _parse_candidates(
     beta: float,
     platform: Any,
     strict: bool,
+    power_cap: float | None = None,
+    nproc: int | None = None,
 ) -> list[dict[str, Any]]:
     """Validate the opt-in ``"candidates"`` batch list.
 
     Each entry is an object with keys ⊆ {"gears", "algorithm"}; omitted
     keys inherit the request's top-level values.  Every candidate gear
     set passes the same lint gate as a scalar request — one bad sweep
-    cell rejects the whole batch before any admission.
+    cell rejects the whole batch before any admission — and the grid as
+    a whole passes the AS rules (duplicate cells are flagged, rejected
+    under ``strict``).
     """
     from repro.service.workers import resolve_gear_set
 
@@ -255,8 +272,22 @@ def _parse_candidates(
                 f"candidates[{i}]: 'algorithm' must be 'max' or 'avg', "
                 f"got {algorithm!r}"
             )
-        _lint_gate(gear_set, beta, platform, strict=strict)
+        _lint_gate(
+            gear_set, beta, platform, strict=strict,
+            power_cap=power_cap, nproc=nproc,
+        )
         out.append({"gears": gears, "algorithm": algorithm})
+
+    from repro.diagnostics.engine import lint_assignment
+    from repro.diagnostics.model import Severity
+
+    grid_diags = lint_assignment(
+        resolve_gear_set(default_gears), grid=out, subject="candidates"
+    )
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    offending = [d for d in grid_diags if d.severity >= threshold]
+    if offending:
+        raise LintRejected(offending)
     return out
 
 
@@ -300,7 +331,25 @@ def parse_balance_request(
     platform = _platform_dict(body.get("platform"))
     strict = _flag(body, "strict")
 
-    _lint_gate(gear_set, beta, platform, strict=strict)
+    # "power_cap" is a feasibility *pre-check* (PC rules), not yet a
+    # balancing objective: it gates admission but stays out of the spec
+    # and the cache identity so the PowerCapBalancer can claim the key
+    # later without invalidating existing cached results.
+    power_cap = None
+    if body.get("power_cap") is not None:
+        power_cap = _number(body, "power_cap", 0.0)
+        if power_cap <= 0:
+            raise ValidationError(
+                f"'power_cap' must be positive, got {power_cap}"
+            )
+    from repro.apps.registry import parse_name
+
+    _family, nproc = parse_name(app_name)
+
+    _lint_gate(
+        gear_set, beta, platform, strict=strict,
+        power_cap=power_cap, nproc=nproc,
+    )
 
     spec: dict[str, Any] = {
         "app": app_name,
@@ -315,7 +364,8 @@ def parse_balance_request(
         spec["platform"] = platform_payload(platform)
     if "candidates" in body:
         spec["candidates"] = _parse_candidates(
-            body, gears, algorithm, beta, platform, strict
+            body, gears, algorithm, beta, platform, strict,
+            power_cap=power_cap, nproc=nproc,
         )
     return spec, _flag(body, "async")
 

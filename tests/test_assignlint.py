@@ -1,0 +1,336 @@
+"""Assignment (AS) and power-cap (PC) feasibility rules.
+
+Covers the static checks over frequency-assignment vectors and sweep
+grids, the PC screening a cap against the power model's floor/ceiling,
+the ``/v1/balance`` admission wiring (scalar and ``candidates`` batch
+bodies), and the ``repro lint`` target classification.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.gears import (
+    uniform_gear_set,
+    unlimited_continuous_set,
+)
+from repro.core.power import CpuPowerModel, CpuState
+from repro.diagnostics.engine import (
+    LintConfig,
+    lint_assignment,
+    lint_power_cap,
+)
+from repro.diagnostics.model import Severity
+from repro.service.errors import LintRejected, ValidationError
+from repro.service.routes import parse_balance_request
+
+GS = uniform_gear_set(6)  # 0.8 .. 2.3 GHz
+DEFAULTS = SimpleNamespace(beta=0.5, iterations=2, base_compute=1.0)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+def _pairs(*freqs):
+    """Well-formed (f, V) pairs through the set's own selection."""
+    return [
+        (f, GS.select(f).gear.voltage) for f in freqs
+    ]
+
+
+class TestAssignmentRules:
+    def test_clean_assignment_is_clean(self):
+        diags = lint_assignment(
+            GS, pairs=_pairs(0.8, 1.4, 2.3), nproc=3,
+            compute_times=[1.0, 2.0, 3.0], subject="ok",
+        )
+        assert diags == []
+
+    def test_as001_unknown_gear(self):
+        diags = lint_assignment(GS, pairs=[(1.55, 1.25)], subject="x")
+        assert codes(diags) == ["AS001"]
+        assert "1.55 GHz is not a gear" in diags[0].message
+        assert diags[0].severity is Severity.ERROR
+
+    def test_as001_continuous_range(self):
+        cont = unlimited_continuous_set()
+        # inside the band: fine; above fmax: flagged
+        assert lint_assignment(
+            cont, pairs=[(1.234, cont.select(1.234).gear.voltage)]
+        ) == []
+        diags = lint_assignment(cont, pairs=[(9.0, 1.5)])
+        assert codes(diags) == ["AS001"]
+
+    def test_as001_groups_identical_frequencies(self):
+        diags = lint_assignment(
+            GS, pairs=[(9.0, 1.5)] * 5 + _pairs(2.3), subject="x"
+        )
+        assert codes(diags) == ["AS001"]
+        assert "5 rank(s), first at rank 0" in diags[0].message
+
+    def test_as002_length_mismatch(self):
+        diags = lint_assignment(GS, pairs=_pairs(2.3), nproc=8)
+        assert codes(diags) == ["AS002"]
+        assert "1 gear(s)" in diags[0].message
+        assert "8 rank(s)" in diags[0].message
+
+    def test_as003_voltage_off_law(self):
+        diags = lint_assignment(GS, pairs=[(1.7, 0.9)], subject="x")
+        assert codes(diags) == ["AS003"]
+        assert "deviates from the set's 1.3 V" in diags[0].message
+
+    def test_as003_skips_as001_ranks(self):
+        # an unknown frequency has no expected voltage to compare
+        diags = lint_assignment(GS, pairs=[(9.9, 0.1)])
+        assert codes(diags) == ["AS001"]
+
+    def test_as004_non_monotone(self):
+        # rank 1 has the most compute but the slowest gear
+        diags = lint_assignment(
+            GS, pairs=_pairs(2.3, 0.8), compute_times=[1.0, 5.0]
+        )
+        assert codes(diags) == ["AS004"]
+        assert diags[0].severity is Severity.WARNING
+        assert "rank 1 at 0.8 GHz" in diags[0].message
+
+    def test_as004_equal_times_allow_any_order(self):
+        diags = lint_assignment(
+            GS, pairs=_pairs(2.3, 0.8), compute_times=[1.0, 1.0]
+        )
+        assert diags == []
+
+    def test_as005_beta_override(self):
+        assert lint_assignment(GS, beta=0.5) == []
+        diags = lint_assignment(GS, beta=1.5)
+        assert codes(diags) == ["AS005"]
+        diags = lint_assignment(GS, beta=[0.2, float("nan"), -0.1])
+        assert codes(diags) == ["AS005", "AS005"]
+        assert [d.rank for d in diags] == [1, 2]
+
+    def test_as006_duplicate_grid(self):
+        grid = [
+            {"gears": "uniform:6", "algorithm": "max"},
+            {"gears": "uniform:6", "algorithm": "avg"},
+            {"gears": "uniform:6", "algorithm": "max"},
+        ]
+        diags = lint_assignment(GS, grid=grid, subject="grid")
+        assert codes(diags) == ["AS006"]
+        assert diags[0].index == 2
+        assert "duplicates candidate #0" in diags[0].message
+
+    def test_from_assignment_dict(self):
+        payload = {
+            "algorithm": "max",
+            "target_time": 1.0,
+            "gears": [[2.3, 1.5], [9.9, 1.0]],
+            "overclocked": [False, False],
+            "attained": [True, True],
+        }
+        diags = lint_assignment(GS, assignment=payload, subject="a.json")
+        assert codes(diags) == ["AS001"]
+
+    def test_selection_covers_as_prefix(self):
+        diags = lint_assignment(
+            GS,
+            pairs=[(9.9, 1.5)],
+            nproc=3,
+            config=LintConfig(ignore=("AS001",)),
+        )
+        assert codes(diags) == ["AS002"]
+
+
+class TestPowerCapRules:
+    PM = CpuPowerModel()
+    N = 4
+
+    @property
+    def floor(self):
+        return self.N * self.PM.static_power(GS.select(0.0).gear)
+
+    @property
+    def fmin_power(self):
+        return self.N * self.PM.power(GS.select(0.0).gear, CpuState.COMPUTE)
+
+    @property
+    def peak(self):
+        return self.N * self.PM.power(GS.top_gear(), CpuState.COMPUTE)
+
+    def test_pc001_below_idle_floor(self):
+        diags = lint_power_cap(self.floor * 0.5, self.N, GS)
+        assert codes(diags) == ["PC001"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_pc002_unreachable_at_fmin(self):
+        cap = (self.floor + self.fmin_power) / 2
+        diags = lint_power_cap(cap, self.N, GS)
+        assert codes(diags) == ["PC002"]
+        assert "at the slowest gear" in diags[0].message
+
+    def test_pc001_pc002_mutually_exclusive(self):
+        for cap in (0.01, self.floor * 0.99, self.floor * 1.01,
+                    self.fmin_power * 0.99):
+            errors = codes(lint_power_cap(cap, self.N, GS))
+            assert len([c for c in errors if c.startswith("PC00")]) == 1
+
+    def test_pc003_budget_underflow(self):
+        # feasible overall, but one rank at fmax starves the rest
+        per_rank_fmin = self.fmin_power / self.N
+        one_at_top = self.PM.power(GS.top_gear(), CpuState.COMPUTE)
+        cap = one_at_top + (self.N - 1) * per_rank_fmin * 0.5
+        assert cap > self.fmin_power  # sanity: not PC002 territory
+        diags = lint_power_cap(cap, self.N, GS)
+        assert codes(diags) == ["PC003"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_pc003_skips_single_rank(self):
+        diags = lint_power_cap(
+            self.PM.power(GS.select(0.0).gear, CpuState.COMPUTE) * 1.1,
+            1,
+            GS,
+        )
+        assert "PC003" not in codes(diags)
+
+    def test_pc004_cap_never_binds(self):
+        diags = lint_power_cap(self.peak * 2, self.N, GS)
+        assert codes(diags) == ["PC004"]
+        assert diags[0].severity is Severity.INFO
+
+    def test_feasible_band_is_clean(self):
+        cap = (self.fmin_power + self.peak) / 2
+        diags = lint_power_cap(cap, self.N, GS)
+        assert [c for c in codes(diags) if c != "PC003"] == []
+
+
+class TestServiceGate:
+    def test_power_cap_accepted_and_not_in_spec(self):
+        spec, _ = parse_balance_request(
+            {"app": "CG-32", "power_cap": 100.0}, DEFAULTS
+        )
+        assert "power_cap" not in spec  # stays out of cache identity
+
+    def test_infeasible_cap_rejected(self):
+        with pytest.raises(LintRejected) as exc:
+            parse_balance_request(
+                {"app": "CG-32", "power_cap": 0.5}, DEFAULTS
+            )
+        assert any(
+            d["code"] == "PC001"
+            for d in exc.value.detail["diagnostics"]
+        )
+
+    def test_nonbinding_cap_passes_default_threshold(self):
+        # PC004 is INFO: admitted even under strict
+        spec, _ = parse_balance_request(
+            {"app": "CG-32", "power_cap": 1e6, "strict": True}, DEFAULTS
+        )
+        assert spec["app"] == "CG-32"
+
+    def test_bad_power_cap_type(self):
+        with pytest.raises(ValidationError):
+            parse_balance_request(
+                {"app": "CG-32", "power_cap": "lots"}, DEFAULTS
+            )
+        with pytest.raises(ValidationError):
+            parse_balance_request(
+                {"app": "CG-32", "power_cap": -3.0}, DEFAULTS
+            )
+
+    def test_candidates_gate_cap_per_cell(self):
+        body = {
+            "app": "CG-32",
+            "power_cap": 0.5,
+            "candidates": [{"gears": "uniform:6"}],
+        }
+        with pytest.raises(LintRejected):
+            parse_balance_request(body, DEFAULTS)
+
+    def test_duplicate_candidates_rejected_under_strict(self):
+        body = {
+            "app": "CG-32",
+            "strict": True,
+            "candidates": [
+                {"gears": "uniform:6", "algorithm": "max"},
+                {"gears": "uniform:6", "algorithm": "max"},
+            ],
+        }
+        with pytest.raises(LintRejected) as exc:
+            parse_balance_request(body, DEFAULTS)
+        assert any(
+            d["code"] == "AS006"
+            for d in exc.value.detail["diagnostics"]
+        )
+
+    def test_duplicate_candidates_tolerated_without_strict(self):
+        body = {
+            "app": "CG-32",
+            "candidates": [
+                {"gears": "uniform:6", "algorithm": "max"},
+                {"gears": "uniform:6", "algorithm": "max"},
+            ],
+        }
+        spec, _ = parse_balance_request(body, DEFAULTS)
+        assert len(spec["candidates"]) == 2
+
+
+class TestCliTargets:
+    def test_assignment_json_classified(self, tmp_path):
+        from repro.diagnostics.cli import _load_target
+
+        path = tmp_path / "assignment.json"
+        path.write_text(json.dumps({
+            "algorithm": "max",
+            "target_time": 1.0,
+            "gears": [[2.3, 1.5]],
+            "overclocked": [False],
+            "attained": [True],
+        }))
+        kind, _ = _load_target(str(path))
+        assert kind == "assignment"
+
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({"experiments": []}))
+        assert _load_target(str(manifest))[0] == "manifest"
+
+        src = tmp_path / "mod.py"
+        src.write_text("x = 1\n")
+        assert _load_target(str(src))[0] == "source"
+        assert _load_target(str(tmp_path))[0] == "source"
+
+    def test_lint_cli_assignment_target(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "assignment.json"
+        path.write_text(json.dumps({
+            "algorithm": "max",
+            "target_time": 1.0,
+            "gears": [[9.9, 1.5]],
+            "overclocked": [False],
+            "attained": [True],
+        }))
+        rc = main(["lint", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "AS001" in captured.out
+
+    def test_lint_cli_target_filter_skips(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "bad.py"
+        src.write_text("import math\nmath.fsum([1.0])\n")
+        rc = main(["lint", "--target", "trace", str(src)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipping" in captured.err
+
+    def test_lint_cli_power_cap_with_targets(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "lint", "--target", "assignment",
+            "--power-cap", "0.1", "--power-cap-ranks", "4",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "PC001" in captured.out
