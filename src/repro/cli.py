@@ -150,6 +150,10 @@ def _cmd_balance(args: argparse.Namespace) -> int:
     }
     if args.cache_dir:
         spec["cache_dir"] = args.cache_dir
+    if getattr(args, "power_cap", None) is not None:
+        # additive: capless specs stay byte-identical to the pre-cap
+        # wire format (and keep their cache identities)
+        spec["power_cap"] = args.power_cap
     try:
         report, _runner = execute_balance(spec)
     except ValueError as exc:
@@ -161,6 +165,14 @@ def _cmd_balance(args: argparse.Namespace) -> int:
         print(report)
         for key, value in sorted(report.row().items()):
             print(f"  {key:28s} {value}")
+        power = getattr(report, "power", None)
+        if power is not None:
+            print("  power cap")
+            for key in (
+                "cap_w", "peak_power_w", "avg_power_w", "headroom_w",
+                "uncapped_peak_power_w", "binding_count",
+            ):
+                print(f"    {key:26s} {power[key]}")
     if args.save_assignment:
         with open(args.save_assignment, "w", encoding="utf-8") as fh:
             json.dump(report.assignment.to_dict(), fh, indent=2)
@@ -482,6 +494,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_bal.add_argument(
         "--save-assignment",
         help="write the per-rank frequency assignment as JSON",
+    )
+    p_bal.add_argument(
+        "--power-cap", type=float, metavar="WATTS",
+        help="cluster power budget in model watts; selects the power-cap "
+        "balancer (critical-path-first greedy with water-filling "
+        "fallback) instead of --algorithm",
     )
     p_bal.set_defaults(fn=_cmd_balance)
 

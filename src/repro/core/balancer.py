@@ -90,6 +90,11 @@ class BalanceReport:
     new_energy: EnergyBreakdown
     assignment: FrequencyAssignment
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Power-cap section (cap, achieved peak/avg power, binding ranks,
+    #: headroom) — set only by the power-cap pricing path; ``None`` for
+    #: every uncapped report, which keeps capless ``to_json()`` output
+    #: byte-identical to the pre-cap wire format.
+    power: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -135,8 +140,21 @@ class BalanceReport:
         service response and ``repro balance --json`` can share it
         byte-for-byte.  Everything is coerced to built-in scalars so
         ``json.dumps`` never sees numpy types.
+
+        Capped reports add a ``"power"`` section; capless payloads are
+        byte-identical to the pre-power-cap wire format (``power`` is
+        read via ``getattr`` so reports unpickled from blobs written
+        before the field existed render unchanged too).
         """
+        power = getattr(self, "power", None)
+        extra: dict[str, Any] = {}
+        if power is not None:
+            extra["power"] = {
+                k: [_plain(x) for x in v] if isinstance(v, list) else _plain(v)
+                for k, v in power.items()
+            }
         return {
+            **extra,
             **{k: _plain(v) for k, v in self.row().items()},
             "energy_savings_pct": float(self.energy_savings_pct),
             "original_time_s": float(self.original_time),

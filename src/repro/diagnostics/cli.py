@@ -47,9 +47,9 @@ from repro.diagnostics.engine import (
     lint_manifest,
     lint_models,
     lint_platform,
-    lint_power_cap,
     lint_source_paths,
     lint_trace_subject,
+    screen_power_cap,
 )
 from repro.diagnostics.model import Diagnostic, Severity, sort_key
 from repro.diagnostics.sarif import to_sarif_json
@@ -250,11 +250,10 @@ def _builtin_subjects(args, platform, config):
         if args.target == "all":
             diagnostics += lint_gear_set(gear_set, config=config)
         if args.power_cap is not None and _want(args, "assignment"):
-            diagnostics += lint_power_cap(
+            diagnostics += screen_power_cap(
                 args.power_cap,
                 args.power_cap_ranks,
                 gear_set,
-                subject=f"cap={args.power_cap:g}W@{gear_set.name}",
                 config=config,
             )
 
@@ -365,11 +364,10 @@ def run_lint(args: argparse.Namespace) -> int:
                 from repro.cli import build_gear_set
 
                 gear_set = build_gear_set(_gear_specs(args)[0])
-                diagnostics += lint_power_cap(
+                diagnostics += screen_power_cap(
                     args.power_cap,
                     args.power_cap_ranks,
                     gear_set,
-                    subject=f"cap={args.power_cap:g}W@{gear_set.name}",
                     config=config,
                 )
         else:

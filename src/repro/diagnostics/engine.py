@@ -30,6 +30,7 @@ __all__ = [
     "lint_platform",
     "lint_power_cap",
     "lint_source_paths",
+    "screen_power_cap",
     "lint_trace_subject",
     "max_severity",
     "run_domain",
@@ -212,6 +213,32 @@ def lint_power_cap(
         subject=subject,
     )
     return run_domain("powercap", ctx, config)
+
+
+def screen_power_cap(
+    cap: float,
+    nproc: int,
+    gear_set,
+    power_model=None,
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """The canonical PC001–PC004 screen every cap consumer shares.
+
+    One entry point for ``/v1/balance`` admission, the
+    :class:`~repro.core.powercap.PowerCapAlgorithm` (which raises
+    :class:`~repro.core.powercap.PowerCapError` on ERROR findings) and
+    ``repro lint --power-cap`` — same rules, same canonical subject
+    (``cap=<watts>W@<gear set>``), so a budget rejected at one layer is
+    reported identically at every other.
+    """
+    return lint_power_cap(
+        cap,
+        nproc,
+        gear_set,
+        power_model=power_model,
+        subject=f"cap={float(cap):g}W@{gear_set.name}",
+        config=config,
+    )
 
 
 def lint_source_paths(

@@ -36,6 +36,7 @@ EXPERIMENT_IDS = (
     "gearopt",
     "seeds",
     "oc_sweep",
+    "cap_sweep",
     "summary",
 )
 

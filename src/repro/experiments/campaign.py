@@ -224,6 +224,10 @@ def reproduce_all(
             "cache": payload["cache"],
             "engines": payload["engines"],
         }
+        if "power" in result.series:
+            # budget-sweep aggregate (cap_sweep): the per-app
+            # performance-vs-budget curves ride along in the manifest
+            manifest["experiments"][eid]["power"] = result.series["power"]
         report_md += [
             f"## {eid} — {result.title}",
             "",

@@ -1,0 +1,132 @@
+"""Budget sweep — performance vs. cluster power budget per application.
+
+The paper's experiments minimise energy at (nearly) fixed execution
+time; this extension runs the inverted objective (see
+:mod:`repro.core.powercap`): sweep a cluster power budget from just
+above the all-fmin floor to the all-fmax ceiling and report how much
+performance each budget buys.  Budgets are expressed as a percentage of
+the application's all-compute ceiling ``nproc * P_compute(fmax)``, so
+curves are comparable across world sizes.
+
+Expected shape, asserted as notes:
+
+* execution time is monotone non-increasing in the budget (a looser cap
+  can only re-enable gears the tighter one forbade — the water level
+  only falls);
+* the modeled peak never exceeds the cap (the balancer's contract);
+* at 100% the cap is slack: the assignment degenerates to the uncapped
+  critical-path greedy and ``binding_count`` is 0.
+
+The whole budget grid prices as one batched pass per application via
+``Runner.balance_many`` (one baseline replay + one vectorised sweep),
+and every cell lands in the persistent cache under its cap-aware
+identity.
+"""
+
+from __future__ import annotations
+
+from repro.core.batchbalance import SweepCandidate
+from repro.core.gears import uniform_gear_set
+from repro.core.power import CpuPowerModel, CpuState
+from repro.core.powercap import PowerCapAlgorithm
+from repro.experiments.runner import ExperimentResult, Runner, RunnerConfig
+
+__all__ = ["run", "BUDGET_FRACTIONS"]
+
+#: Budget grid as % of the all-fmax compute ceiling.  The all-fmin
+#: floor sits near 26% on the reference model, so the lowest point is
+#: tight-but-feasible and 100% reproduces the uncapped assignment.
+BUDGET_FRACTIONS = (35.0, 45.0, 55.0, 70.0, 85.0, 100.0)
+
+
+def run(config: RunnerConfig | None = None) -> ExperimentResult:
+    config = config or RunnerConfig()
+    runner = Runner(config)
+    gear_set = uniform_gear_set(6)
+    power_model = CpuPowerModel()
+    ceiling_per_rank = power_model.power(gear_set.top_gear(), CpuState.COMPUTE)
+
+    rows: list[dict[str, object]] = []
+    notes: list[str] = []
+    per_app: dict[str, dict[str, list[float]]] = {}
+    for app in config.app_list():
+        nproc = runner.trace(app).nproc
+        ceiling_w = nproc * ceiling_per_rank
+        caps = [pct / 100.0 * ceiling_w for pct in BUDGET_FRACTIONS]
+        # the whole budget grid prices as one batch (one baseline
+        # replay + one vectorised pricing pass per application)
+        candidates = [
+            SweepCandidate(
+                gear_set,
+                PowerCapAlgorithm(cap, power_model),
+                label=f"cap{pct:g}",
+            )
+            for pct, cap in zip(BUDGET_FRACTIONS, caps)
+        ]
+        reports = runner.balance_many(app, candidates)
+        curve = per_app[app] = {
+            "budget_pct": list(BUDGET_FRACTIONS),
+            "cap_w": [],
+            "time_pct": [],
+            "energy_pct": [],
+            "peak_power_w": [],
+            "binding_count": [],
+        }
+        for pct, cap, report in zip(BUDGET_FRACTIONS, caps, reports):
+            power = report.power
+            assert power is not None  # attached by the capped miss path
+            rows.append(
+                {
+                    "application": app,
+                    "budget_pct": pct,
+                    "cap_w": power["cap_w"],
+                    "time_pct": 100.0 * report.normalized_time,
+                    "energy_pct": 100.0 * report.normalized_energy,
+                    "peak_power_w": power["peak_power_w"],
+                    "headroom_w": power["headroom_w"],
+                    "binding_count": power["binding_count"],
+                }
+            )
+            curve["cap_w"].append(power["cap_w"])
+            curve["time_pct"].append(100.0 * report.normalized_time)
+            curve["energy_pct"].append(100.0 * report.normalized_energy)
+            curve["peak_power_w"].append(power["peak_power_w"])
+            curve["binding_count"].append(power["binding_count"])
+
+        times = curve["time_pct"]
+        monotone = all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+        capped = all(
+            p <= c * (1.0 + 1e-9)
+            for p, c in zip(curve["peak_power_w"], curve["cap_w"])
+        )
+        notes.append(
+            f"{app}: time {times[0]:.1f}% -> {times[-1]:.1f}% across "
+            f"{BUDGET_FRACTIONS[0]:g}-{BUDGET_FRACTIONS[-1]:g}% budget; "
+            f"monotone={'yes' if monotone else 'NO'}, "
+            f"peak<=cap={'yes' if capped else 'NO'}, "
+            f"unconstrained at 100%="
+            f"{'yes' if curve['binding_count'][-1] == 0 else 'NO'}"
+        )
+
+    return ExperimentResult(
+        eid="cap_sweep",
+        title="Performance vs. cluster power budget (power-cap inversion)",
+        columns=[
+            "application",
+            "budget_pct",
+            "cap_w",
+            "time_pct",
+            "energy_pct",
+            "peak_power_w",
+            "headroom_w",
+            "binding_count",
+        ],
+        rows=rows,
+        notes=notes,
+        series={
+            "power": {
+                "budget_pct": list(BUDGET_FRACTIONS),
+                "per_app": per_app,
+            }
+        },
+    )

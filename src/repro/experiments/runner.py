@@ -59,6 +59,11 @@ class RunnerConfig:
     #: Replay engine: "des", "compiled" or "auto" (identical results;
     #: never part of cache identities or report payloads).
     engine: str = "auto"
+    #: Cluster power budget in model watts; ``None`` (the default)
+    #: means uncapped.  A cap routes :meth:`Runner.balance` through the
+    #: power-cap balancer and enters the cache identity *additively*
+    #: (capless cells keep their exact pre-cap keys).
+    power_cap: float | None = None
 
     def app_list(self) -> tuple[str, ...]:
         return self.apps if self.apps is not None else TABLE3_INSTANCES
@@ -177,6 +182,24 @@ class Runner:
             engine=self.config.engine,
         )
 
+    def _cell_key(
+        self,
+        app_name: str,
+        gear_set: GearSet,
+        algorithm: FrequencyAlgorithm,
+        beta: float,
+    ) -> tuple:
+        # the trailing cap term is None for every uncapped algorithm,
+        # so classic cells keep their exact pre-cap in-memory keys
+        return (
+            app_name,
+            self.config.iterations,
+            gear_set.name,
+            algorithm.name,
+            beta,
+            getattr(algorithm, "cap", None),
+        )
+
     def balance(
         self,
         app_name: str,
@@ -184,17 +207,27 @@ class Runner:
         algorithm: FrequencyAlgorithm | None = None,
         beta: float | None = None,
         power_model: CpuPowerModel | None = None,
+        power_cap: float | None = None,
     ) -> BalanceReport:
-        """One cell: balance an app on a gear set (cached on all inputs)."""
-        algorithm = algorithm or MaxAlgorithm()
+        """One cell: balance an app on a gear set (cached on all inputs).
+
+        A ``power_cap`` (argument, or :attr:`RunnerConfig.power_cap`)
+        switches the cell to the power-cap objective: the assignment
+        comes from :class:`~repro.core.powercap.PowerCapAlgorithm`
+        (``algorithm`` is ignored), pricing goes through the batched
+        :class:`~repro.core.powercap.PowerCapBalancer`, and the report
+        carries the power section — all under a cap-aware cache
+        identity that leaves capless keys untouched.
+        """
+        cap = power_cap if power_cap is not None else self.config.power_cap
+        if cap is not None:
+            from repro.core.powercap import PowerCapAlgorithm
+
+            algorithm = PowerCapAlgorithm(cap)
+        else:
+            algorithm = algorithm or MaxAlgorithm()
         eff_beta = self.config.beta if beta is None else beta
-        key = (
-            app_name,
-            self.config.iterations,
-            gear_set.name,
-            algorithm.name,
-            eff_beta,
-        )
+        key = self._cell_key(app_name, gear_set, algorithm, eff_beta)
         cached = self._reports.get(key)
         if cached is None and self.cache is not None:
             payload = self._report_payload(app_name, gear_set, algorithm, eff_beta)
@@ -204,8 +237,20 @@ class Runner:
         if cached is None:
             # cache entries always use the default power model; callers
             # with a custom model get a reaccounted copy below
-            balancer = self._balancer(gear_set, algorithm, eff_beta, None)
-            cached = balancer.balance_trace(self.trace(app_name), algorithm)
+            if cap is not None:
+                from repro.core.powercap import PowerCapBalancer
+
+                balancer = PowerCapBalancer(
+                    gear_set=gear_set,
+                    cap=cap,
+                    time_model=BetaTimeModel(fmax=NOMINAL_FMAX, beta=eff_beta),
+                    platform=self.config.platform,
+                    engine=self.config.engine,
+                )
+                cached = balancer.balance_trace(self.trace(app_name))
+            else:
+                balancer = self._balancer(gear_set, algorithm, eff_beta, None)
+                cached = balancer.balance_trace(self.trace(app_name), algorithm)
             self._reports[key] = cached
             if self.cache is not None:
                 payload = self._report_payload(
@@ -213,8 +258,25 @@ class Runner:
                 )
                 self.cache.put("report", payload, cached)
         if power_model is not None:
-            balancer = self._balancer(gear_set, algorithm, eff_beta, power_model)
-            return balancer.reaccount(cached, power_model)
+            scalar = self._balancer(gear_set, algorithm, eff_beta, power_model)
+            reaccounted = scalar.reaccount(cached, power_model)
+            if cap is not None:
+                # the assignment was chosen under the default model;
+                # re-derive the power section so peak/avg reflect the
+                # caller's model
+                from repro.core.powercap import (
+                    PowerCapAlgorithm,
+                    attach_power_section,
+                )
+
+                attach_power_section(
+                    reaccounted,
+                    PowerCapAlgorithm(cap, power_model),
+                    gear_set,
+                    BetaTimeModel(fmax=NOMINAL_FMAX, beta=eff_beta),
+                    verify=False,
+                )
+            return reaccounted
         return cached
 
     def balance_many(
@@ -247,13 +309,7 @@ class Runner:
         reports: list[BalanceReport | None] = [None] * len(resolved)
         misses: list[int] = []
         for i, (gear_set, algorithm) in enumerate(resolved):
-            key = (
-                app_name,
-                self.config.iterations,
-                gear_set.name,
-                algorithm.name,
-                eff_beta,
-            )
+            key = self._cell_key(app_name, gear_set, algorithm, eff_beta)
             cached = self._reports.get(key)
             if cached is None and self.cache is not None:
                 payload = self._report_payload(
@@ -267,8 +323,14 @@ class Runner:
             else:
                 reports[i] = cached
         if misses:
+            from repro.core.powercap import (
+                PowerCapAlgorithm,
+                attach_power_section,
+            )
+
+            time_model = BetaTimeModel(fmax=NOMINAL_FMAX, beta=eff_beta)
             planner = BatchBalancePlanner(
-                time_model=BetaTimeModel(fmax=NOMINAL_FMAX, beta=eff_beta),
+                time_model=time_model,
                 platform=self.config.platform,
                 engine=self.config.engine,
             )
@@ -278,13 +340,11 @@ class Runner:
             )
             for i, report in zip(misses, fresh):
                 gear_set, algorithm = resolved[i]
-                key = (
-                    app_name,
-                    self.config.iterations,
-                    gear_set.name,
-                    algorithm.name,
-                    eff_beta,
-                )
+                if isinstance(algorithm, PowerCapAlgorithm):
+                    attach_power_section(
+                        report, algorithm, gear_set, time_model
+                    )
+                key = self._cell_key(app_name, gear_set, algorithm, eff_beta)
                 self._reports[key] = report
                 if self.cache is not None:
                     payload = self._report_payload(
@@ -306,7 +366,7 @@ class Runner:
             describe_power_model,
         )
 
-        return {
+        payload = {
             **self._trace_payload(app_name),
             "gear_set": describe_gear_set(gear_set),
             "algorithm": algorithm.name,
@@ -315,6 +375,13 @@ class Runner:
             # custom models are reaccounted on top and never cached
             "power_model": describe_power_model(None),
         }
+        # additive key extension: capped cells carry the exact budget,
+        # capless payloads stay byte-identical to the pre-cap schema
+        # (same canonical JSON, same content digest)
+        cap = getattr(algorithm, "cap", None)
+        if cap is not None:
+            payload["power_cap"] = float(cap)
+        return payload
 
 
 def get_experiment(eid: str) -> Callable[[RunnerConfig | None], ExperimentResult]:

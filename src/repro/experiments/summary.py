@@ -154,6 +154,33 @@ CLAIMS: list[tuple[str, str, str, Callable]] = [
         > 105.0,
     ),
     (
+        "cap-monotone",
+        "cap_sweep",
+        "execution time degrades monotonically as the power budget "
+        "tightens (per app)",
+        lambda res: all(
+            b <= a + 1e-9
+            for app in sorted({r["application"] for r in res.rows})
+            for a, b in (
+                lambda ts: zip(ts, ts[1:])
+            )(
+                [
+                    r["time_pct"]
+                    for r in sorted(
+                        (x for x in res.rows if x["application"] == app),
+                        key=lambda x: x["budget_pct"],
+                    )
+                ]
+            )
+        ),
+    ),
+    (
+        "cap-never-exceeded",
+        "cap_sweep",
+        "no emitted assignment's modeled peak exceeds its cap",
+        lambda res: all(r["headroom_w"] >= -1e-9 for r in res.rows),
+    ),
+    (
         "scaling",
         "scaling",
         "imbalance (and savings) grow with cluster size",

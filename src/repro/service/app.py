@@ -294,6 +294,18 @@ class ServiceApp:
         from repro.service.workers import resolve_algorithm, resolve_gear_set
 
         platform = spec.get("platform") or platform_payload(MYRINET_LIKE)
+        cap = spec.get("power_cap")
+
+        def _algorithm_name(name: str) -> str:
+            # a budget overrides the requested algorithm (the worker
+            # prices through PowerCapAlgorithm), so the identity must
+            # carry the effective name — mirroring Runner._report_payload
+            if cap is not None:
+                from repro.core.powercap import PowerCapAlgorithm
+
+                return PowerCapAlgorithm(cap).name
+            return resolve_algorithm(name).name
+
         if kind == "balance":
             payload = {
                 "app": spec["app"],
@@ -301,10 +313,13 @@ class ServiceApp:
                 "base_compute": spec["base_compute"],
                 "platform": platform,
                 "gear_set": describe_gear_set(resolve_gear_set(spec["gears"])),
-                "algorithm": resolve_algorithm(spec["algorithm"]).name,
+                "algorithm": _algorithm_name(spec["algorithm"]),
                 "beta": spec["beta"],
                 "power_model": describe_power_model(None),
             }
+            if cap is not None:
+                # additive: capless payloads keep their pre-cap digests
+                payload["power_cap"] = float(cap)
             return "report", payload
         if kind == "balance_batch":
             # batch-level fast path: the assembled response, addressed
@@ -323,11 +338,13 @@ class ServiceApp:
                         "gear_set": describe_gear_set(
                             resolve_gear_set(c["gears"])
                         ),
-                        "algorithm": resolve_algorithm(c["algorithm"]).name,
+                        "algorithm": _algorithm_name(c["algorithm"]),
                     }
                     for c in spec["candidates"]
                 ],
             }
+            if cap is not None:
+                payload["power_cap"] = float(cap)
             return "balance-batch", payload
         payload = {
             "eid": spec["eid"],

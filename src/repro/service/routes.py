@@ -207,7 +207,7 @@ def _lint_gate(
         lint_gear_set,
         lint_models,
         lint_platform,
-        lint_power_cap,
+        screen_power_cap,
     )
     from repro.diagnostics.model import Severity
 
@@ -216,7 +216,7 @@ def _lint_gate(
     if platform is not None:
         diagnostics += lint_platform(platform)
     if power_cap is not None and nproc is not None:
-        diagnostics += lint_power_cap(power_cap, nproc, gear_set)
+        diagnostics += screen_power_cap(power_cap, nproc, gear_set)
     threshold = Severity.WARNING if strict else Severity.ERROR
     offending = [d for d in diagnostics if d.severity >= threshold]
     if offending:
@@ -331,10 +331,11 @@ def parse_balance_request(
     platform = _platform_dict(body.get("platform"))
     strict = _flag(body, "strict")
 
-    # "power_cap" is a feasibility *pre-check* (PC rules), not yet a
-    # balancing objective: it gates admission but stays out of the spec
-    # and the cache identity so the PowerCapBalancer can claim the key
-    # later without invalidating existing cached results.
+    # "power_cap" both gates admission (PC rules) and selects the
+    # power-cap balancer in the worker: a capped request prices through
+    # PowerCapAlgorithm and is cached under a cap-aware identity.
+    # Capless requests carry no cap key at all, so their identities are
+    # byte-identical to the pre-cap schema.
     power_cap = None
     if body.get("power_cap") is not None:
         power_cap = _number(body, "power_cap", 0.0)
@@ -360,6 +361,8 @@ def parse_balance_request(
         "base_compute": base_compute,
         "engine": _engine(body),
     }
+    if power_cap is not None:
+        spec["power_cap"] = power_cap
     if platform is not None:
         spec["platform"] = platform_payload(platform)
     if "candidates" in body:

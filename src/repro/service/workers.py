@@ -96,6 +96,7 @@ def _runner_config(spec: dict[str, Any]):
         platform=_resolve_platform(spec.get("platform")),
         cache_dir=spec.get("cache_dir"),
         engine=spec.get("engine", "auto"),
+        power_cap=spec.get("power_cap"),
     )
 
 
@@ -104,7 +105,11 @@ def execute_balance(spec: dict[str, Any]):
 
     ``spec`` keys: ``app``, ``gears``, ``algorithm``, ``beta``,
     ``iterations``, ``base_compute``, and optionally ``platform`` (a
-    platform dict) and ``cache_dir``.
+    platform dict), ``cache_dir`` and ``power_cap`` (model watts).  A
+    ``power_cap`` selects the power-cap balancer: the assignment comes
+    from :class:`~repro.core.powercap.PowerCapAlgorithm` (``algorithm``
+    is ignored for the assignment but still validated) and the report
+    carries the power section under a cap-aware cache identity.
     """
     from repro.experiments.runner import Runner
 
@@ -114,6 +119,7 @@ def execute_balance(spec: dict[str, Any]):
         resolve_gear_set(spec["gears"]),
         resolve_algorithm(spec["algorithm"]),
         beta=spec["beta"],
+        power_cap=spec.get("power_cap"),
     ), runner
 
 
@@ -146,12 +152,21 @@ def execute_balance_many(spec: dict[str, Any]):
     from repro.experiments.runner import Runner
 
     runner = Runner(_runner_config(spec))
-    candidates = [
-        SweepCandidate(
-            resolve_gear_set(c["gears"]), resolve_algorithm(c["algorithm"])
+    cap = spec.get("power_cap")
+    candidates = []
+    for c in spec["candidates"]:
+        if cap is not None:
+            # a capped batch prices every candidate gear set under the
+            # power-cap objective (the candidate's algorithm is display
+            # metadata only once a budget is in force)
+            from repro.core.powercap import PowerCapAlgorithm
+
+            algorithm = PowerCapAlgorithm(cap)
+        else:
+            algorithm = resolve_algorithm(c["algorithm"])
+        candidates.append(
+            SweepCandidate(resolve_gear_set(c["gears"]), algorithm)
         )
-        for c in spec["candidates"]
-    ]
     return runner.balance_many(
         spec["app"], candidates, beta=spec["beta"]
     ), runner

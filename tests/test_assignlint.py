@@ -204,11 +204,17 @@ class TestPowerCapRules:
 
 
 class TestServiceGate:
-    def test_power_cap_accepted_and_not_in_spec(self):
+    def test_power_cap_accepted_and_forwarded(self):
         spec, _ = parse_balance_request(
             {"app": "CG-32", "power_cap": 100.0}, DEFAULTS
         )
-        assert "power_cap" not in spec  # stays out of cache identity
+        # the cap now selects the power-cap balancer in the worker, so
+        # it travels in the spec (and in the cache identity)
+        assert spec["power_cap"] == 100.0
+
+    def test_capless_spec_has_no_cap_key(self):
+        spec, _ = parse_balance_request({"app": "CG-32"}, DEFAULTS)
+        assert "power_cap" not in spec  # capless identity unchanged
 
     def test_infeasible_cap_rejected(self):
         with pytest.raises(LintRejected) as exc:

@@ -213,7 +213,7 @@ class TestNoMaterialization:
             {"app": "CG-32", "power_cap": 100.0}, defaults
         )
         assert spec["app"] == "CG-32"
-        assert "power_cap" not in spec  # pre-check only, not identity
+        assert spec["power_cap"] == 100.0  # gates admission AND selects
         assert not is_async
 
 
