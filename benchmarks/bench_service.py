@@ -22,7 +22,12 @@ import time
 
 import pytest
 
-from repro.service import ServiceConfig, ServiceThread
+from repro.service import (
+    RouterConfig,
+    RouterThread,
+    ServiceConfig,
+    ServiceThread,
+)
 
 SPEC = {
     "app": "BT-MZ-32",
@@ -49,6 +54,31 @@ def service(tmp_path_factory):
     )
     with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
         yield svc
+
+
+@pytest.fixture(scope="module")
+def routed(service):
+    """The same replica reached through the consistent-hash router.
+
+    Prices the extra hop: request re-parse for the ring key, a
+    loopback proxy connection each way.  The replica (and its warm
+    cache) is shared with the direct-path measurements above.
+    """
+    config = RouterConfig(
+        port=0,
+        replicas=(f"127.0.0.1:{service.port}",),
+        health_interval=0.1,
+    )
+    router = RouterThread(config)
+    router.start()
+    deadline = time.monotonic() + 30
+    while not router.router.ring.nodes:
+        assert time.monotonic() < deadline, "replica never joined the ring"
+        time.sleep(0.02)
+    try:
+        yield router
+    finally:
+        router.stop()
 
 
 def _balance(svc, **extra):
@@ -127,3 +157,50 @@ def test_service_coalesced_burst(benchmark, service):
             f"coalesced per-request time ({per_request * 1e3:.2f} ms) "
             f"should amortize below one cold request ({cold * 1e3:.2f} ms)"
         )
+
+
+def test_service_routed_cold(benchmark, service, routed):
+    # a spec nothing else in this module requests: first routed hop
+    # pays the full simulation on the replica
+    response = benchmark.pedantic(
+        lambda: _timed(
+            "routed_cold", lambda: _balance(routed, iterations=2)
+        ),
+        rounds=1, iterations=1,
+    )
+    assert response.headers["X-Cache"] == "miss"
+    assert "X-Repro-Replica" in response.headers
+
+
+def test_service_routed_cache_hit(benchmark, service, routed):
+    _balance(routed, iterations=2)  # primed even when run standalone
+    response = benchmark.pedantic(
+        lambda: _timed(
+            "routed_hit", lambda: _balance(routed, iterations=2)
+        ),
+        rounds=5, iterations=1,
+    )
+    assert response.headers["X-Cache"] == "hit"
+
+    hit = _TIMINGS["routed_hit"]
+    cold = _TIMINGS.get("cold")
+    if cold is not None:  # full-file run: the hop must not eat the win
+        assert hit * 10.0 <= cold, (
+            f"routed cache hit ({hit * 1e3:.2f} ms) is not 10x faster "
+            f"than a direct cold request ({cold * 1e3:.2f} ms)"
+        )
+    direct_hit = _TIMINGS.get("cache_hit")
+    if direct_hit is not None:  # the hop adds a bounded constant, not a tier
+        assert hit <= direct_hit * 10.0, (
+            f"router hop inflates the cache hit from "
+            f"{direct_hit * 1e3:.2f} ms to {hit * 1e3:.2f} ms"
+        )
+
+
+def test_routed_body_is_byte_identical_to_direct(service, routed):
+    _balance(service)  # both paths warm for the module's base spec
+    direct = _balance(service)
+    via_router = _balance(routed)
+    assert via_router.body == direct.body, (
+        "router hop changed response bytes"
+    )

@@ -185,11 +185,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import logging
 
-    from repro.service.app import ServiceApp, ServiceConfig
-
     logging.basicConfig(
         level=logging.INFO,
         format="%(asctime)s %(levelname)s %(name)s %(message)s",
+    )
+    if args.replicas > 0:
+        from repro.service.supervisor import FleetConfig, Supervisor
+
+        fleet = FleetConfig(
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            cache_dir=args.cache_dir,
+            iterations=args.iterations,
+            beta=args.beta,
+            drain_linger=args.drain_linger or 1.0,
+        )
+        return asyncio.run(Supervisor(fleet).run())
+
+    from repro.service.app import ServiceApp, ServiceConfig
+
+    peers = tuple(
+        p.strip() for p in (args.peers or "").split(",") if p.strip()
     )
     config = ServiceConfig(
         host=args.host,
@@ -199,6 +218,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         iterations=args.iterations,
         beta=args.beta,
+        peers=peers,
+        drain_linger=args.drain_linger,
+        replica_name=args.replica_name,
     )
     return asyncio.run(ServiceApp(config).run())
 
@@ -523,6 +545,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_srv.add_argument("--iterations", type=int, default=6)
     p_srv.add_argument("--beta", type=float, default=0.5)
+    p_srv.add_argument(
+        "--replicas", type=int, default=0,
+        help="run a supervised fleet: N replica processes on adjacent "
+        "ports behind a consistent-hash router on --port (default 0 = "
+        "single process, no router)",
+    )
+    p_srv.add_argument(
+        "--peers",
+        help="comma-separated sibling replica addresses (host:port) for "
+        "read-through peer caching (set automatically by --replicas)",
+    )
+    p_srv.add_argument(
+        "--replica-name",
+        help="display name for logs and fleet health (set automatically "
+        "by --replicas)",
+    )
+    p_srv.add_argument(
+        "--drain-linger", type=float, default=0.0,
+        help="seconds a draining replica keeps answering job polls "
+        "after its last job finished (default 0; fleets default to 1)",
+    )
     p_srv.set_defaults(fn=_cmd_serve)
 
     p_cache = sub.add_parser(

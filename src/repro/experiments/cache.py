@@ -46,11 +46,14 @@ from repro.netsim.platform import PlatformConfig
 __all__ = [
     "CACHE_VERSION",
     "ResultCache",
+    "cache_key",
     "default_cache_dir",
     "describe_gear_set",
     "describe_power_model",
+    "frame_blob",
     "process_cache_stats",
     "reset_process_cache_stats",
+    "unframe_blob",
 ]
 
 #: Salted into every key; bump on any change that invalidates old blobs.
@@ -68,7 +71,12 @@ _DIGEST_BYTES = 32
 #: these to report per-experiment stats without threading the handle
 #: through every ``run()`` signature).  ``corrupt`` counts the subset
 #: of ``misses`` caused by blobs that failed digest verification.
-_PROCESS_STATS = {"hits": 0, "misses": 0, "corrupt": 0, "stores": 0}
+#: ``peer_*`` counts read-through traffic against sibling replicas'
+#: caches (:mod:`repro.service.peercache`); zero outside a fleet.
+_PROCESS_STATS = {
+    "hits": 0, "misses": 0, "corrupt": 0, "stores": 0,
+    "peer_hits": 0, "peer_misses": 0, "peer_corrupt": 0,
+}
 
 
 def process_cache_stats() -> dict[str, int]:
@@ -141,6 +149,43 @@ def _canonical(payload: Any) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
 
 
+def cache_key(kind: str, payload: Any) -> str:
+    """The content-addressed key for (kind, payload).
+
+    A module-level function (not a method) because the key is a pure
+    function of the request: the service front-router computes keys
+    for ring placement without owning any cache directory.
+    """
+    material = _canonical(
+        {"v": CACHE_VERSION, "kind": kind, "payload": payload}
+    )
+    return f"{kind}-{hashlib.sha256(material.encode()).hexdigest()}"
+
+
+def frame_blob(body: bytes) -> bytes:
+    """Wrap a pickle body in the RPRC frame (magic + body digest)."""
+    return _BLOB_MAGIC + hashlib.sha256(body).digest() + body
+
+
+def unframe_blob(raw: bytes) -> bytes | None:
+    """The verified pickle body of a framed blob; ``None`` if torn.
+
+    This is the integrity gate of the peer-cache protocol: a blob
+    fetched over HTTP from another replica re-verifies magic and body
+    digest before anything is unpickled or written to local disk, so a
+    truncated transfer (or a torn write on the peer) can never poison
+    a cache directory.
+    """
+    header = len(_BLOB_MAGIC) + _DIGEST_BYTES
+    if len(raw) < header or raw[: len(_BLOB_MAGIC)] != _BLOB_MAGIC:
+        return None
+    digest = raw[len(_BLOB_MAGIC):header]
+    body = raw[header:]
+    if hashlib.sha256(body).digest() != digest:
+        return None
+    return body
+
+
 class ResultCache:
     """Content-addressed pickle store under one directory.
 
@@ -158,20 +203,15 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def key(self, kind: str, payload: Any) -> str:
-        material = _canonical({"v": CACHE_VERSION, "kind": kind, "payload": payload})
-        return f"{kind}-{hashlib.sha256(material.encode()).hexdigest()}"
+        return cache_key(kind, payload)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
     def _decode(self, raw: bytes) -> Any | None:
         """Unframe + digest-check + unpickle; ``None`` means corrupt."""
-        header = len(_BLOB_MAGIC) + _DIGEST_BYTES
-        if len(raw) < header or raw[: len(_BLOB_MAGIC)] != _BLOB_MAGIC:
-            return None
-        digest = raw[len(_BLOB_MAGIC):header]
-        body = raw[header:]
-        if hashlib.sha256(body).digest() != digest:
+        body = unframe_blob(raw)
+        if body is None:
             return None
         try:
             return pickle.loads(body)
@@ -209,10 +249,40 @@ class ResultCache:
 
     def put(self, kind: str, payload: Any, value: Any) -> Path:
         """Atomically persist ``value``; concurrent writers are safe."""
-        path = self._path(self.key(kind, payload))
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = _BLOB_MAGIC + hashlib.sha256(body).digest() + body
+        return self.put_raw(self.key(kind, payload), frame_blob(body))
+
+    # ------------------------------------------------------------------
+    # raw (framed) blob access — the peer-cache wire format
+    def get_raw(self, key: str) -> bytes | None:
+        """The framed blob for ``key`` verbatim, or ``None``.
+
+        Serves ``GET /v1/cache/{key}``: the wire format *is* the disk
+        format (magic + digest + pickle body), so the fetching replica
+        can verify integrity without unpickling.  A blob that fails
+        verification here is treated as absent — never shipped.
+        """
+        try:
+            raw = self._path(key).read_bytes()
+        except OSError:
+            return None
+        if unframe_blob(raw) is None:
+            return None
+        return raw
+
+    def put_raw(self, key: str, blob: bytes) -> Path:
+        """Atomically store an already-framed blob under ``key``.
+
+        Temp-file + ``os.replace`` on the same filesystem: a concurrent
+        reader (or a peer-cache ``GET`` walking in over HTTP) sees
+        either no file or the complete frame, never a torn blob.
+        Raises ``ValueError`` if the frame does not verify — a peer
+        ``PUT`` of a truncated body must not land on disk.
+        """
+        if unframe_blob(blob) is None:
+            raise ValueError(f"blob for {key!r} fails frame verification")
+        path = self._path(key)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -270,39 +340,64 @@ class ResultCache:
 
     def gc(self, max_age_days: float) -> dict[str, int]:
         """Drop blobs not touched for ``max_age_days``; stray temp files
-        always go.  Returns ``{"removed": n, "freed_bytes": n}``."""
+        always go.  Returns ``{"removed": n, "freed_bytes": n}``.
+
+        Safe against concurrent writers — in a replica fleet several
+        processes share (or maintain) a directory, so any file may
+        vanish between the directory walk, the ``stat`` and the
+        ``unlink``.  A blob that disappears mid-walk is simply not
+        counted; it is never an error and never double-counted.
+        """
         cutoff = time.time() - max_age_days * 86400.0
         removed = 0
         freed = 0
         for path in self._blobs():
             try:
                 stat = path.stat()
-                if stat.st_mtime < cutoff:
-                    path.unlink()
-                    removed += 1
-                    freed += stat.st_size
+                if stat.st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except FileNotFoundError:
+                continue  # raced another gc/clear: already gone
             except OSError:
                 continue
-        for tmp in self.cache_dir.glob("*.tmp"):
-            with contextlib.suppress(OSError):
+            removed += 1
+            freed += stat.st_size
+        for tmp in self._tmp_files():
+            try:
                 size = tmp.stat().st_size
                 tmp.unlink()
-                removed += 1
-                freed += size
+            except OSError:
+                continue  # a writer renamed/cleaned it first
+            removed += 1
+            freed += size
         return {"removed": removed, "freed_bytes": freed}
 
     def clear(self) -> int:
-        """Remove every blob (and temp file); returns how many."""
+        """Remove every blob (and temp file); returns how many.
+
+        Like :meth:`gc`, tolerant of files vanishing mid-walk: two
+        replicas clearing the same directory both succeed, and the
+        counts only reflect files this call actually removed.
+        """
         removed = 0
-        for path in list(self._blobs()) + list(self.cache_dir.glob("*.tmp")):
-            with contextlib.suppress(OSError):
+        for path in list(self._blobs()) + list(self._tmp_files()):
+            try:
                 path.unlink()
-                removed += 1
+            except OSError:
+                continue
+            removed += 1
         return removed
 
     def _blobs(self):
         try:
             yield from self.cache_dir.glob("*.pkl")
+        except OSError:
+            return
+
+    def _tmp_files(self):
+        try:
+            yield from self.cache_dir.glob("*.tmp")
         except OSError:
             return
 

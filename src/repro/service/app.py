@@ -30,7 +30,6 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
-import os
 import signal
 import time
 from dataclasses import dataclass
@@ -91,6 +90,15 @@ class ServiceConfig:
     beta: float = 0.5
     #: How long finished async jobs stay pollable.
     job_ttl_seconds: float = 3600.0
+    #: Sibling replicas (``host:port``, ...) probed read-through on a
+    #: local cache miss before any simulation is admitted.
+    peers: tuple[str, ...] = ()
+    #: How long a draining replica keeps answering GETs (job polls,
+    #: health) after its last admitted job finished, so 202-polling
+    #: clients observe terminal states before the process exits.
+    drain_linger: float = 0.0
+    #: Display name in logs and fleet health ("replica-0", ...).
+    replica_name: str | None = None
 
 
 class ServiceApp:
@@ -98,10 +106,16 @@ class ServiceApp:
 
     def __init__(self, config: ServiceConfig | None = None, executor=None):
         from repro.experiments.cache import ResultCache, default_cache_dir
+        from repro.service.peercache import PeerResultCache
 
         self.config = config or ServiceConfig()
         cache_dir = self.config.cache_dir or str(default_cache_dir())
         self.cache = ResultCache(cache_dir)
+        #: Read-through fleet layer over :attr:`cache`; None solo.
+        self.peer_cache: PeerResultCache | None = (
+            PeerResultCache(self.cache, self.config.peers)
+            if self.config.peers else None
+        )
         self.queue = AdmissionController(
             self.config.queue_limit, self.config.workers
         )
@@ -117,9 +131,11 @@ class ServiceApp:
         self._server: asyncio.Server | None = None
         self._started = 0.0
         self._draining = False
+        self._warm = False
         self._active_requests = 0
         self._conn_tasks: set[asyncio.Task] = set()
         self._job_tasks: set[asyncio.Task] = set()
+        self._push_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Metrics
@@ -264,6 +280,29 @@ class ServiceApp:
             "Requests currently being dispatched.",
             fn=lambda: self._active_requests,
         )
+        m.gauge(
+            "repro_service_ready",
+            "1 when this replica should receive traffic (warm, not "
+            "draining).",
+            fn=lambda: 1.0 if self.ready else 0.0,
+        )
+        for key, help_text in (
+            ("hits", "Local misses served by a sibling replica's cache "
+             "(read-through)."),
+            ("misses", "Read-through probes no peer could answer."),
+            ("corrupt", "Peer blobs dropped by frame/digest verification."),
+            ("errors", "Peer-cache transport failures (timeouts, refused "
+             "connections, rejected pushes)."),
+            ("pushes", "Blobs pushed back to their ring owner after a "
+             "forwarded request."),
+        ):
+            m.counter(
+                f"repro_service_peer_cache_{key}_total",
+                help_text,
+                fn=lambda key=key: float(
+                    self.peer_cache.stats()[f"peer_{key}"]
+                ) if self.peer_cache is not None else 0.0,
+            )
 
     def _hit_ratio(self) -> float:
         hits = (
@@ -279,103 +318,53 @@ class ServiceApp:
     # Core pipeline
     # ------------------------------------------------------------------
     def _cache_identity(self, kind: str, spec: dict[str, Any]):
-        """(cache kind, payload) addressing this request's result.
+        from repro.service.identity import cache_identity
 
-        Balance requests reuse the Runner's ``"report"`` keying
-        verbatim, so the service, the CLI and campaign workers all
-        dedupe through the same blobs.
-        """
-        from repro.experiments.cache import (
-            describe_gear_set,
-            describe_power_model,
-            platform_payload,
-        )
-        from repro.netsim.platform import MYRINET_LIKE
-        from repro.service.workers import resolve_algorithm, resolve_gear_set
-
-        platform = spec.get("platform") or platform_payload(MYRINET_LIKE)
-        cap = spec.get("power_cap")
-
-        def _algorithm_name(name: str) -> str:
-            # a budget overrides the requested algorithm (the worker
-            # prices through PowerCapAlgorithm), so the identity must
-            # carry the effective name — mirroring Runner._report_payload
-            if cap is not None:
-                from repro.core.powercap import PowerCapAlgorithm
-
-                return PowerCapAlgorithm(cap).name
-            return resolve_algorithm(name).name
-
-        if kind == "balance":
-            payload = {
-                "app": spec["app"],
-                "iterations": spec["iterations"],
-                "base_compute": spec["base_compute"],
-                "platform": platform,
-                "gear_set": describe_gear_set(resolve_gear_set(spec["gears"])),
-                "algorithm": _algorithm_name(spec["algorithm"]),
-                "beta": spec["beta"],
-                "power_model": describe_power_model(None),
-            }
-            if cap is not None:
-                # additive: capless payloads keep their pre-cap digests
-                payload["power_cap"] = float(cap)
-            return "report", payload
-        if kind == "balance_batch":
-            # batch-level fast path: the assembled response, addressed
-            # by the ordered candidate list (per-candidate reports are
-            # separately stored under the Runner's "report" keying by
-            # the worker, so scalar requests still hit them)
-            payload = {
-                "app": spec["app"],
-                "iterations": spec["iterations"],
-                "base_compute": spec["base_compute"],
-                "platform": platform,
-                "beta": spec["beta"],
-                "power_model": describe_power_model(None),
-                "candidates": [
-                    {
-                        "gear_set": describe_gear_set(
-                            resolve_gear_set(c["gears"])
-                        ),
-                        "algorithm": _algorithm_name(c["algorithm"]),
-                    }
-                    for c in spec["candidates"]
-                ],
-            }
-            if cap is not None:
-                payload["power_cap"] = float(cap)
-            return "balance-batch", payload
-        payload = {
-            "eid": spec["eid"],
-            "iterations": spec["iterations"],
-            "base_compute": spec["base_compute"],
-            "beta": spec["beta"],
-            "apps": list(spec["apps"]) if spec.get("apps") else None,
-            "platform": platform,
-        }
-        return "service-exp", payload
+        return cache_identity(kind, spec)
 
     def _cache_fetch(self, kind: str, cache_kind: str, payload: Any):
-        """Blocking fast-path lookup (runs in a thread)."""
-        value = self.cache.get(cache_kind, payload)
+        """Blocking fast-path lookup (runs in a thread).
+
+        Returns ``(value, source)``: source is ``"hit"`` for the local
+        disk cache, ``"peer"`` for a read-through fill from a sibling
+        replica, and the pair is ``(None, None)`` on a fleet-wide miss.
+        """
+        if self.peer_cache is not None:
+            value, source = self.peer_cache.fetch(cache_kind, payload)
+        else:
+            value = self.cache.get(cache_kind, payload)
+            source = "hit" if value is not None else None
         if value is None:
-            return None
+            return None, None
         if kind == "balance":
-            return value.to_json()
-        return value
+            return value.to_json(), source
+        return value, source
 
     def _cache_store(self, cache_kind: str, payload: Any, value: Any) -> None:
         if cache_kind in ("service-exp", "balance-batch"):
             # scalar balance results are stored by the worker's Runner
             self.cache.put(cache_kind, payload, value)
 
-    async def perform(self, kind: str, spec: dict[str, Any]):
+    def _push_to_owner(self, key: str, owner: str) -> None:
+        """Warm the ring owner after computing a forwarded request."""
+        assert self.peer_cache is not None
+        self.peer_cache.push(key, owner)
+
+    async def perform(
+        self,
+        kind: str,
+        spec: dict[str, Any],
+        forward_origin: str | None = None,
+    ):
         """Serve one compute request; returns ``(result, cache_state)``.
 
-        ``cache_state`` is ``hit`` (served from disk), ``miss`` (a
-        worker simulated it) or ``coalesced`` (piggybacked on an
-        identical in-flight request).
+        ``cache_state`` is ``hit`` (served from local disk), ``peer``
+        (read through a sibling replica's cache), ``miss`` (a worker
+        simulated it) or ``coalesced`` (piggybacked on an identical
+        in-flight request).  ``forward_origin`` is the ring owner's
+        address when the front router served this request off-ring;
+        a computed miss is then pushed back to the owner so the ring
+        converges to all-hits.
         """
         if self._draining:
             raise ShuttingDown()
@@ -383,12 +372,12 @@ class ServiceApp:
         key = self.cache.key(cache_kind, payload)
 
         async def leader():
-            found = await asyncio.to_thread(
+            found, source = await asyncio.to_thread(
                 self._cache_fetch, kind, cache_kind, payload
             )
             if found is not None:
                 self.fast_hits_total.inc(kind=kind)
-                return found, "hit"
+                return found, source
             self.queue.acquire()
             start = time.perf_counter()
             try:
@@ -409,6 +398,15 @@ class ServiceApp:
             await asyncio.to_thread(
                 self._cache_store, cache_kind, payload, result
             )
+            if forward_origin and self.peer_cache is not None:
+                # fire-and-forget: the response must not wait on a peer
+                task = asyncio.get_running_loop().create_task(
+                    asyncio.to_thread(
+                        self._push_to_owner, key, forward_origin
+                    )
+                )
+                self._push_tasks.add(task)
+                task.add_done_callback(self._push_tasks.discard)
             return result, "miss"
 
         (result, state), led = await self.flight.do(key, leader)
@@ -453,58 +451,43 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """Whether this replica should receive traffic."""
+        return self._warm and not self._draining
+
     def health_payload(self) -> dict[str, Any]:
-        return {
-            "status": "draining" if self._draining else "ok",
+        if self._draining:
+            status = "draining"
+        elif not self._warm:
+            status = "warming"
+        else:
+            status = "ok"
+        payload: dict[str, Any] = {
+            "status": status,
             "uptime_seconds": round(time.time() - self._started, 3),
             "queue": self.queue.stats(),
             "workers": {"total": self.pool.workers, "busy": self.pool.busy},
             "jobs_pending": self.jobs.pending(),
             "cache_dir": str(self.cache.cache_dir),
         }
+        if self.config.replica_name:
+            payload["replica"] = self.config.replica_name
+        if self.peer_cache is not None:
+            payload["peers"] = list(self.config.peers)
+            payload["peer_cache"] = self.peer_cache.stats()
+        return payload
 
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one request; None on clean EOF; raises ValidationError."""
-        line = await reader.readline()
-        if not line:
-            return None
-        try:
-            method, target, _version = line.decode("latin-1").split()
-        except ValueError:
-            raise ValidationError("malformed request line") from None
-        headers: dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0") or "0"
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise ValidationError(
-                f"bad Content-Length {length_text!r}"
-            ) from None
-        if length > _routes.MAX_BODY_BYTES:
-            err = ValidationError(
-                f"body of {length} bytes exceeds the "
-                f"{_routes.MAX_BODY_BYTES}-byte limit"
-            )
-            err.status = 413
-            raise err
-        body = await reader.readexactly(length) if length else b""
-        request_id = headers.get("x-request-id") or os.urandom(6).hex()
-        return HttpRequest(
-            method=method.upper(),
-            path=target.split("?", 1)[0],
-            headers=headers,
-            body=body,
-            request_id=request_id,
-        )
+        return await _routes.read_http_request(reader)
 
     async def _dispatch(self, request: HttpRequest) -> tuple[Response, str]:
         start = time.perf_counter()
@@ -605,32 +588,65 @@ class ServiceApp:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> int:
-        """Bind and start serving; returns the bound port."""
+        """Bind and start serving; returns the bound port.
+
+        The socket accepts immediately, but ``/healthz`` answers 503
+        ``warming`` until the worker pool is warm — the router keeps
+        the replica out of the ring until the first simulation would
+        not eat the pool-spawn latency.
+        """
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.time()
         log.info(
-            "serving on http://%s:%d (workers=%d queue=%d cache=%s)",
+            "serving on http://%s:%d (workers=%d queue=%d cache=%s peers=%s)",
             self.config.host, self.port, self.config.workers,
             self.config.queue_limit, self.cache.cache_dir,
+            ",".join(self.config.peers) or "-",
         )
+        asyncio.get_running_loop().create_task(self._warmup())
         return self.port
 
+    async def _warmup(self) -> None:
+        """Spin the worker pool up, then flip readiness."""
+        try:
+            await asyncio.to_thread(self.pool.prewarm)
+        except Exception:
+            log.exception("worker-pool warmup failed; serving anyway")
+        self._warm = True
+
     async def shutdown(self) -> None:
-        """Graceful drain: finish everything admitted, then stop."""
+        """Graceful drain: finish everything admitted, then stop.
+
+        Readiness flips to 503 ``draining`` immediately (the router
+        stops routing here), new compute is rejected with 503 +
+        ``Retry-After``, admitted jobs and in-flight requests run to
+        completion, then the replica *lingers* for
+        ``config.drain_linger`` seconds still answering GETs so
+        202-polling clients observe their jobs' terminal states —
+        only then does the listener close and the pool stop.
+        """
         if self._draining:
             return
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
         if self._job_tasks:
             await asyncio.gather(*self._job_tasks, return_exceptions=True)
         await self.queue.drain()
         while self._active_requests > 0:
             await asyncio.sleep(0.02)
+        if self.config.drain_linger > 0:
+            log.info(
+                "drained; lingering %.1fs for job polls",
+                self.config.drain_linger,
+            )
+            await asyncio.sleep(self.config.drain_linger)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._push_tasks:
+            await asyncio.gather(*self._push_tasks, return_exceptions=True)
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:

@@ -56,9 +56,14 @@ class ServiceClient:
 
     def request(
         self, method: str, path: str, payload: dict[str, Any] | None = None,
-        headers: dict[str, str] | None = None,
+        headers: dict[str, str] | None = None, raw: bytes | None = None,
     ) -> ServiceResponse:
-        body = json.dumps(payload).encode() if payload is not None else None
+        if raw is not None:
+            body: bytes | None = raw
+        else:
+            body = (
+                json.dumps(payload).encode() if payload is not None else None
+            )
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             conn.request(method, path, body=body, headers=headers or {})
@@ -75,8 +80,22 @@ class ServiceClient:
     def healthz(self) -> dict[str, Any]:
         return self.request("GET", "/healthz").json()
 
+    def livez(self) -> dict[str, Any]:
+        return self.request("GET", "/livez").json()
+
     def metrics(self) -> str:
         return self.request("GET", "/metrics").text
+
+    def cache_get(self, key: str) -> ServiceResponse:
+        """Fetch one framed cache blob (peer-cache wire protocol)."""
+        return self.request("GET", f"/v1/cache/{key}")
+
+    def cache_put(self, key: str, blob: bytes) -> ServiceResponse:
+        """Store one framed cache blob (peer-cache wire protocol)."""
+        return self.request(
+            "PUT", f"/v1/cache/{key}", raw=blob,
+            headers={"Content-Type": "application/octet-stream"},
+        )
 
     def balance(self, **fields: Any) -> ServiceResponse:
         return self.request("POST", "/v1/balance", payload=fields)
@@ -145,6 +164,13 @@ class ServiceThread:
         if self._startup_error is not None:
             raise RuntimeError("service failed to start") \
                 from self._startup_error
+        # block until /healthz would answer 200 (worker pool warm), so
+        # callers never observe the transient "warming" readiness gap
+        deadline = time.monotonic() + 120
+        while not self.app.ready and time.monotonic() < deadline:
+            time.sleep(0.005)
+        if not self.app.ready:
+            raise RuntimeError("service never became ready (pool warmup)")
         return self
 
     def _run(self) -> None:

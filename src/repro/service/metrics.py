@@ -17,7 +17,14 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "inject_label",
+    "merge_expositions",
+]
 
 #: Latency buckets (seconds) sized for a cache-hit floor of ~100 µs and
 #: a cold-simulation ceiling of a few seconds.
@@ -194,6 +201,71 @@ class Histogram(_Metric):
             lines.append(f"{self.name}_sum{labels} {_fmt(self._sums[key])}")
             lines.append(f"{self.name}_count{labels} {cumulative}")
         return lines
+
+
+def inject_label(sample_line: str, label: str, value: str) -> str:
+    """Add ``label="value"`` to one exposition *sample* line.
+
+    ``foo 3`` becomes ``foo{label="value"} 3`` and ``foo{a="b"} 3``
+    becomes ``foo{label="value",a="b"} 3``.  Comment lines pass through
+    untouched.  This is how the front router turns N per-replica
+    scrapes into one fleet scrape with a ``replica`` dimension.
+    """
+    if sample_line.startswith("#") or not sample_line.strip():
+        return sample_line
+    brace = sample_line.find("{")
+    space = sample_line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        return (
+            sample_line[: brace + 1]
+            + f'{label}="{value}",'
+            + sample_line[brace + 1:]
+        )
+    if space == -1:
+        return sample_line
+    return (
+        sample_line[:space] + f'{{{label}="{value}"}}' + sample_line[space:]
+    )
+
+
+def merge_expositions(
+    sources: dict[str, str], label: str = "replica"
+) -> str:
+    """Merge per-replica exposition texts into one fleet exposition.
+
+    ``sources`` maps a label value (replica name) to that replica's
+    ``/metrics`` text.  Each metric's ``# HELP``/``# TYPE`` header is
+    emitted exactly once (Prometheus requires unique headers) and every
+    sample line gains a ``{label}="<replica>"`` label, so per-replica
+    series stay distinguishable while the scrape parses as one page.
+    Metric order follows first appearance across the sources.
+    """
+    headers: dict[str, list[str]] = {}
+    samples: dict[str, list[str]] = {}
+    order: list[str] = []
+    for source, text in sources.items():
+        current: str | None = None
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                current = line.split(" ", 3)[2]
+                if current not in headers:
+                    headers[current] = [line]
+                    samples[current] = []
+                    order.append(current)
+            elif line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                if name in headers and len(headers[name]) == 1:
+                    headers[name].append(line)
+            elif line.strip():
+                if current is not None:
+                    samples[current].append(
+                        inject_label(line, label, source)
+                    )
+    lines: list[str] = []
+    for name in order:
+        lines.extend(headers[name])
+        lines.extend(samples[name])
+    return "\n".join(lines) + "\n" if lines else "\n"
 
 
 class MetricsRegistry:

@@ -40,11 +40,18 @@ __all__ = [
     "error_response",
     "json_response",
     "match_route",
+    "read_http_request",
 ]
 
 #: Cap accepted request bodies (a platform dict is < 1 KiB; 1 MiB is
 #: generous and keeps a hostile client from ballooning the heap).
 MAX_BODY_BYTES = 1 << 20
+
+#: Set by the front router when a request is served off-ring (hot-key
+#: or unhealthy-owner fallback).  The value is the ring owner's
+#: ``host:port``; the handling replica pushes the computed blob there
+#: so the ring converges back to all-hits.
+FORWARDED_FROM_HEADER = "x-repro-forwarded-from"
 
 _BALANCE_KEYS = {
     "app", "gears", "algorithm", "beta", "iterations", "base_compute",
@@ -105,6 +112,58 @@ def json_response(
 
 def error_response(err: ServiceError) -> Response:
     return json_response(err.status, err.to_payload(), err.headers())
+
+
+async def read_http_request(reader) -> HttpRequest | None:
+    """Parse one HTTP/1.1 request off an asyncio stream.
+
+    Shared by the replica server (:mod:`repro.service.app`) and the
+    front router (:mod:`repro.service.router`), so both enforce the
+    same body-size cap and produce identical :class:`HttpRequest`
+    objects.  Returns ``None`` on clean EOF; raises
+    :class:`ValidationError` (status 400, or 413 for oversized bodies)
+    on malformed input.  May raise ``asyncio.IncompleteReadError`` /
+    ``ConnectionError`` on a mid-request disconnect.
+    """
+    import os
+
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise ValidationError("malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0") or "0"
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ValidationError(
+            f"bad Content-Length {length_text!r}"
+        ) from None
+    if length > MAX_BODY_BYTES:
+        err = ValidationError(
+            f"body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+        err.status = 413
+        raise err
+    body = await reader.readexactly(length) if length else b""
+    request_id = headers.get("x-request-id") or os.urandom(6).hex()
+    return HttpRequest(
+        method=method.upper(),
+        path=target.split("?", 1)[0],
+        headers=headers,
+        body=body,
+        request_id=request_id,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +291,7 @@ def _parse_candidates(
     strict: bool,
     power_cap: float | None = None,
     nproc: int | None = None,
+    lint: bool = True,
 ) -> list[dict[str, Any]]:
     """Validate the opt-in ``"candidates"`` batch list.
 
@@ -272,27 +332,29 @@ def _parse_candidates(
                 f"candidates[{i}]: 'algorithm' must be 'max' or 'avg', "
                 f"got {algorithm!r}"
             )
-        _lint_gate(
-            gear_set, beta, platform, strict=strict,
-            power_cap=power_cap, nproc=nproc,
-        )
+        if lint:
+            _lint_gate(
+                gear_set, beta, platform, strict=strict,
+                power_cap=power_cap, nproc=nproc,
+            )
         out.append({"gears": gears, "algorithm": algorithm})
 
-    from repro.diagnostics.engine import lint_assignment
-    from repro.diagnostics.model import Severity
+    if lint:
+        from repro.diagnostics.engine import lint_assignment
+        from repro.diagnostics.model import Severity
 
-    grid_diags = lint_assignment(
-        resolve_gear_set(default_gears), grid=out, subject="candidates"
-    )
-    threshold = Severity.WARNING if strict else Severity.ERROR
-    offending = [d for d in grid_diags if d.severity >= threshold]
-    if offending:
-        raise LintRejected(offending)
+        grid_diags = lint_assignment(
+            resolve_gear_set(default_gears), grid=out, subject="candidates"
+        )
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        offending = [d for d in grid_diags if d.severity >= threshold]
+        if offending:
+            raise LintRejected(offending)
     return out
 
 
 def parse_balance_request(
-    body: dict[str, Any], defaults: Any
+    body: dict[str, Any], defaults: Any, lint: bool = True
 ) -> tuple[dict[str, Any], bool]:
     """Validate a balance body into a worker spec; returns (spec, async).
 
@@ -301,6 +363,11 @@ def parse_balance_request(
     worker processes.  A body with a ``"candidates"`` list produces a
     batch spec (the spec carries the validated candidate list) for
     :func:`repro.service.workers.execute_balance_many`.
+
+    ``lint=False`` skips the diagnostics gate (shape validation only):
+    the front router parses every body purely to compute its routing
+    identity and leaves rejection to the owning replica, so the gate
+    runs once per request, not once per hop.
     """
     from repro.experiments.cache import platform_payload
     from repro.service.workers import resolve_gear_set
@@ -347,10 +414,11 @@ def parse_balance_request(
 
     _family, nproc = parse_name(app_name)
 
-    _lint_gate(
-        gear_set, beta, platform, strict=strict,
-        power_cap=power_cap, nproc=nproc,
-    )
+    if lint:
+        _lint_gate(
+            gear_set, beta, platform, strict=strict,
+            power_cap=power_cap, nproc=nproc,
+        )
 
     spec: dict[str, Any] = {
         "app": app_name,
@@ -368,13 +436,13 @@ def parse_balance_request(
     if "candidates" in body:
         spec["candidates"] = _parse_candidates(
             body, gears, algorithm, beta, platform, strict,
-            power_cap=power_cap, nproc=nproc,
+            power_cap=power_cap, nproc=nproc, lint=lint,
         )
     return spec, _flag(body, "async")
 
 
 def parse_experiment_request(
-    eid: str, body: dict[str, Any], defaults: Any
+    eid: str, body: dict[str, Any], defaults: Any, lint: bool = True
 ) -> tuple[dict[str, Any], bool]:
     """Validate an experiment body into a worker spec; (spec, async)."""
     from repro.experiments import EXPERIMENT_IDS
@@ -404,11 +472,12 @@ def parse_experiment_request(
         apps = [_app_name(a) for a in apps]
     platform = _platform_dict(body.get("platform"))
 
-    from repro.core.gears import uniform_gear_set
+    if lint:
+        from repro.core.gears import uniform_gear_set
 
-    _lint_gate(
-        uniform_gear_set(6), beta, platform, strict=_flag(body, "strict")
-    )
+        _lint_gate(
+            uniform_gear_set(6), beta, platform, strict=_flag(body, "strict")
+        )
 
     spec: dict[str, Any] = {
         "eid": eid,
@@ -430,7 +499,31 @@ def parse_experiment_request(
 async def handle_healthz(
     app: "ServiceApp", request: HttpRequest, params: dict[str, str]
 ) -> Response:
-    return json_response(200, app.health_payload())
+    """Readiness: 200 only when the replica should receive traffic.
+
+    503 with ``"status": "warming"`` until the worker pool is warm and
+    ``"status": "draining"`` from the first drain signal on — the
+    router and the supervisor key ring membership off this, so traffic
+    stops *before* a dying replica starts eating connection resets.
+    """
+    payload = app.health_payload()
+    status = 200 if payload["status"] == "ok" else 503
+    headers = {"Retry-After": "1"} if status == 503 else None
+    return json_response(status, payload, headers)
+
+
+async def handle_livez(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    """Liveness: 200 whenever the event loop answers at all.
+
+    Deliberately still 200 while draining — the supervisor uses
+    liveness to decide *restart*, readiness to decide *routing*; a
+    draining replica is alive and must not be killed mid-drain.
+    """
+    return json_response(
+        200, {"status": "alive", "draining": app.draining}
+    )
 
 
 async def handle_metrics(
@@ -463,7 +556,10 @@ async def handle_balance(
             {"job": {"id": job.id, "status": job.status,
                      "poll": f"/v1/jobs/{job.id}"}},
         )
-    result, cache_state = await app.perform(kind, spec)
+    result, cache_state = await app.perform(
+        kind, spec,
+        forward_origin=request.headers.get(FORWARDED_FROM_HEADER),
+    )
     return json_response(200, result, {"X-Cache": cache_state})
 
 
@@ -480,7 +576,10 @@ async def handle_experiment(
             {"job": {"id": job.id, "status": job.status,
                      "poll": f"/v1/jobs/{job.id}"}},
         )
-    result, cache_state = await app.perform("experiment", spec)
+    result, cache_state = await app.perform(
+        "experiment", spec,
+        forward_origin=request.headers.get(FORWARDED_FROM_HEADER),
+    )
     return json_response(200, result, {"X-Cache": cache_state})
 
 
@@ -494,9 +593,50 @@ async def handle_job(
     return json_response(200, {"job": job.to_payload()})
 
 
+# ----------------------------------------------------------------------
+# Peer-cache blob protocol (replica-internal; the router never routes
+# client traffic here)
+# ----------------------------------------------------------------------
+
+async def handle_cache_get(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    import asyncio
+
+    from repro.service.peercache import valid_cache_key
+
+    key = params["key"]
+    if not valid_cache_key(key):
+        raise ValidationError(f"malformed cache key {key!r}")
+    blob = await asyncio.to_thread(app.cache.get_raw, key)
+    if blob is None:
+        raise NotFound(f"no blob {key!r}")
+    return Response(200, blob, "application/octet-stream")
+
+
+async def handle_cache_put(
+    app: "ServiceApp", request: HttpRequest, params: dict[str, str]
+) -> Response:
+    import asyncio
+
+    from repro.service.peercache import valid_cache_key
+
+    key = params["key"]
+    if not valid_cache_key(key):
+        raise ValidationError(f"malformed cache key {key!r}")
+    try:
+        await asyncio.to_thread(app.cache.put_raw, key, request.body)
+    except ValueError as exc:
+        # a torn frame must never land on disk — reject loudly so the
+        # pushing side counts it
+        raise ValidationError(str(exc)) from None
+    return json_response(200, {"stored": key, "bytes": len(request.body)})
+
+
 #: (method, compiled path pattern, route name, handler).
 ROUTES = (
     ("GET", re.compile(r"^/healthz$"), "healthz", handle_healthz),
+    ("GET", re.compile(r"^/livez$"), "livez", handle_livez),
     ("GET", re.compile(r"^/metrics$"), "metrics", handle_metrics),
     ("POST", re.compile(r"^/v1/balance$"), "balance", handle_balance),
     ("GET", re.compile(r"^/v1/experiments$"), "experiments",
@@ -505,6 +645,10 @@ ROUTES = (
      "experiment", handle_experiment),
     ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[A-Za-z0-9_\-]+)$"), "job",
      handle_job),
+    ("GET", re.compile(r"^/v1/cache/(?P<key>[A-Za-z0-9_\-]+)$"), "cache-get",
+     handle_cache_get),
+    ("PUT", re.compile(r"^/v1/cache/(?P<key>[A-Za-z0-9_\-]+)$"), "cache-put",
+     handle_cache_put),
 )
 
 

@@ -34,6 +34,11 @@ __all__ = [
 ]
 
 
+def _warm_noop() -> None:
+    """Top-level no-op shipped through the pool to force worker spawn."""
+    return None
+
+
 def resolve_gear_set(spec: Any):
     """A gear set from a request value: a spec string or [[f, V], ...].
 
@@ -260,8 +265,31 @@ class SimulationPool:
 
     def _ensure(self) -> Executor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            import multiprocessing
+
+            # spawn, not fork: forked workers would inherit the
+            # replica's listening socket, and an orphaned worker left
+            # behind by a SIGKILL'd replica would then hold the port
+            # and block the supervisor's respawn from binding.  Spawn
+            # also never forks the multi-threaded asyncio process.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
         return self._executor
+
+    def prewarm(self) -> None:
+        """Block until the pool can actually run a job (readiness gate).
+
+        For an owned ``ProcessPoolExecutor`` this forks the workers and
+        round-trips one no-op, so the first real request never pays the
+        spawn latency.  Injected executors (tests gate or instrument
+        them) are trusted as-is — submitting through them here would
+        trip deterministic-concurrency harnesses.
+        """
+        if not self._owned:
+            return
+        self._ensure().submit(_warm_noop).result(timeout=120)
 
     async def run(self, fn: Any, *args: Any) -> Any:
         """Run ``fn(*args)`` on the pool; tracks busy-worker count."""

@@ -172,6 +172,128 @@ class TestDiskMaintenance:
         assert cache.disk_stats()["entries"] == 0
 
 
+class TestConcurrentMaintenance:
+    """gc/clear/disk_stats vs files vanishing mid-walk.
+
+    In a replica fleet several processes share (or maintain) a cache
+    directory; any path yielded by the directory walk may be unlinked
+    by a sibling before this process stats or removes it.  The vanish
+    is simulated deterministically by feeding the walk a stale listing.
+    """
+
+    def _stale_walk(self, cache, monkeypatch, delete_index=0):
+        """Freeze the blob listing, then delete one listed file."""
+        paths = list(cache._blobs())
+        paths[delete_index].unlink()
+        monkeypatch.setattr(cache, "_blobs", lambda: iter(paths))
+        return paths[delete_index]
+
+    def test_gc_tolerates_blob_vanishing_mid_walk(self, tmp_path, monkeypatch):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        first = cache.put("report", {"a": 1}, {"x": 1})
+        second = cache.put("report", {"a": 2}, {"x": 2})
+        stale = time.time() - 10 * 86400
+        os.utime(first, (stale, stale))
+        os.utime(second, (stale, stale))
+        gone = self._stale_walk(cache, monkeypatch)
+        out = cache.gc(max_age_days=5)
+        # the raced file is not counted; the surviving one is collected
+        assert out["removed"] == 1
+        assert not gone.exists()
+        assert cache.entry_count() == 0
+
+    def test_clear_tolerates_blob_vanishing_mid_walk(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        cache.put("report", {"a": 1}, {"x": 1})
+        cache.put("report", {"a": 2}, {"x": 2})
+        self._stale_walk(cache, monkeypatch, delete_index=1)
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+    def test_disk_stats_tolerates_blob_vanishing_mid_walk(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        cache.put("report", {"a": 1}, {"x": 1})
+        cache.put("report", {"a": 2}, {"x": 2})
+        self._stale_walk(cache, monkeypatch)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 1
+        assert stats["kinds"] == {"report": 1}
+
+    def test_maintenance_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.gc(max_age_days=0) == {"removed": 0, "freed_bytes": 0}
+        assert cache.clear() == 0
+        assert cache.entry_count() == 0
+
+    def test_concurrent_clears_never_raise(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(tmp_path)
+        for i in range(30):
+            cache.put("report", {"a": i}, {"x": i})
+        siblings = [ResultCache(tmp_path) for _ in range(4)]
+        with ThreadPoolExecutor(4) as pool:
+            counts = list(pool.map(lambda c: c.clear(), siblings))
+        # every file removed exactly once, whoever got there first
+        assert sum(counts) == 30
+        assert cache.entry_count() == 0
+
+
+class TestRawBlobAccess:
+    """The framed-blob API behind the peer-cache wire protocol."""
+
+    def test_put_get_round_trip(self, tmp_path):
+        import pickle
+
+        from repro.experiments.cache import cache_key, frame_blob, unframe_blob
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("report", {"q": 1})
+        blob = frame_blob(pickle.dumps({"answer": 42}))
+        cache.put_raw(key, blob)
+        raw = cache.get_raw(key)
+        assert raw == blob
+        assert pickle.loads(unframe_blob(raw)) == {"answer": 42}
+        # the raw store is the same store the value API reads
+        assert cache.get("report", {"q": 1}) == {"answer": 42}
+
+    def test_put_raw_rejects_torn_blob(self, tmp_path):
+        import pickle
+
+        from repro.experiments.cache import cache_key, frame_blob
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("report", {"q": 2})
+        blob = frame_blob(pickle.dumps({"answer": 42}))
+        with pytest.raises(ValueError, match="frame verification"):
+            cache.put_raw(key, blob[:-3])
+        assert cache.get_raw(key) is None
+        assert cache.entry_count() == 0
+
+    def test_get_raw_refuses_corrupt_disk_blob(self, tmp_path):
+        import pickle
+
+        from repro.experiments.cache import cache_key, frame_blob
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("report", {"q": 3})
+        cache.put_raw(key, frame_blob(pickle.dumps({"answer": 42})))
+        path = next(iter(cache._blobs()))
+        path.write_bytes(path.read_bytes()[:-5])  # bit-rot the body
+        assert cache.get_raw(key) is None
+
+    def test_get_raw_missing_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_raw("report-" + "0" * 64) is None
+
+
 class TestCacheCli:
     def _run(self, *argv):
         from repro.cli import main
