@@ -18,6 +18,7 @@ Also runnable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -202,6 +203,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             beta=args.beta,
             drain_linger=args.drain_linger or 1.0,
+            peer_secret=args.peer_secret,
         )
         return asyncio.run(Supervisor(fleet).run())
 
@@ -219,6 +221,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         beta=args.beta,
         peers=peers,
+        peer_secret=args.peer_secret,
         drain_linger=args.drain_linger,
         replica_name=args.replica_name,
     )
@@ -555,6 +558,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--peers",
         help="comma-separated sibling replica addresses (host:port) for "
         "read-through peer caching (set automatically by --replicas)",
+    )
+    p_srv.add_argument(
+        "--peer-secret",
+        default=os.environ.get("REPRO_PEER_SECRET"),
+        help="fleet-shared secret required on the /v1/cache blob "
+        "endpoints (default: $REPRO_PEER_SECRET; generated "
+        "automatically by --replicas). Without one, the endpoints only "
+        "exist when --peers is set — do not expose replica ports then.",
     )
     p_srv.add_argument(
         "--replica-name",

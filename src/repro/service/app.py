@@ -59,8 +59,8 @@ __all__ = ["ServiceApp", "ServiceConfig"]
 log = logging.getLogger("repro.service")
 
 _REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    200: "OK", 202: "Accepted", 400: "Bad Request", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -93,6 +93,12 @@ class ServiceConfig:
     #: Sibling replicas (``host:port``, ...) probed read-through on a
     #: local cache miss before any simulation is admitted.
     peers: tuple[str, ...] = ()
+    #: Fleet-shared secret gating the ``/v1/cache/{key}`` blob
+    #: endpoints (``x-repro-peer-secret`` header).  The supervisor
+    #: generates one per fleet; without it the endpoints only exist at
+    #: all when ``peers`` is set, and replica ports must then not be
+    #: exposed beyond the fleet host.
+    peer_secret: str | None = None
     #: How long a draining replica keeps answering GETs (job polls,
     #: health) after its last admitted job finished, so 202-polling
     #: clients observe terminal states before the process exits.
@@ -113,7 +119,10 @@ class ServiceApp:
         self.cache = ResultCache(cache_dir)
         #: Read-through fleet layer over :attr:`cache`; None solo.
         self.peer_cache: PeerResultCache | None = (
-            PeerResultCache(self.cache, self.config.peers)
+            PeerResultCache(
+                self.cache, self.config.peers,
+                secret=self.config.peer_secret,
+            )
             if self.config.peers else None
         )
         self.queue = AdmissionController(
@@ -557,6 +566,18 @@ class ServiceApp:
                     )
                     break
                 except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # oversized header line (asyncio's readline limit)
+                    # or similar framing garbage: answer 400, not an
+                    # unhandled-task traceback
+                    await self._write_response(
+                        writer, None,
+                        error_response(
+                            ValidationError("malformed request framing")
+                        ),
+                        False,
+                    )
                     break
                 if request is None:
                     break

@@ -86,15 +86,24 @@ class ServiceClient:
     def metrics(self) -> str:
         return self.request("GET", "/metrics").text
 
-    def cache_get(self, key: str) -> ServiceResponse:
+    def cache_get(
+        self, key: str, secret: str | None = None
+    ) -> ServiceResponse:
         """Fetch one framed cache blob (peer-cache wire protocol)."""
-        return self.request("GET", f"/v1/cache/{key}")
+        headers = {}
+        if secret is not None:
+            headers["X-Repro-Peer-Secret"] = secret
+        return self.request("GET", f"/v1/cache/{key}", headers=headers)
 
-    def cache_put(self, key: str, blob: bytes) -> ServiceResponse:
+    def cache_put(
+        self, key: str, blob: bytes, secret: str | None = None
+    ) -> ServiceResponse:
         """Store one framed cache blob (peer-cache wire protocol)."""
+        headers = {"Content-Type": "application/octet-stream"}
+        if secret is not None:
+            headers["X-Repro-Peer-Secret"] = secret
         return self.request(
-            "PUT", f"/v1/cache/{key}", raw=blob,
-            headers={"Content-Type": "application/octet-stream"},
+            "PUT", f"/v1/cache/{key}", raw=blob, headers=headers,
         )
 
     def balance(self, **fields: Any) -> ServiceResponse:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 __all__ = [
+    "Forbidden",
     "InternalError",
     "LintRejected",
     "NotFound",
@@ -82,6 +83,13 @@ class LintRejected(ServiceError):
             "see detail.diagnostics",
             detail,
         )
+
+
+class Forbidden(ServiceError):
+    """The request lacks the credential an internal endpoint requires."""
+
+    status = 403
+    code = "forbidden"
 
 
 class NotFound(ServiceError):

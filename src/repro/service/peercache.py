@@ -20,6 +20,13 @@ socket error, timeout, non-200 status or verification failure is
 counted (``peer_errors`` / ``peer_corrupt``) and treated as a miss —
 the replica simply recomputes.  Push traffic (warming the ring owner
 after a forwarded request) is likewise fire-and-forget.
+
+Authorization: the blob endpoints are fleet-internal.  The supervisor
+generates a per-fleet secret and every replica requires it as the
+``x-repro-peer-secret`` header (the framing digest alone cannot bind a
+blob to its key, so an open PUT would let anyone poison pickled
+results); :class:`PeerCacheClient` attaches it to every hop.  The
+front router refuses to proxy ``/v1/cache/*`` at all.
 """
 
 from __future__ import annotations
@@ -36,7 +43,12 @@ from repro.experiments.cache import (
     unframe_blob,
 )
 
-__all__ = ["PeerCacheClient", "PeerResultCache", "valid_cache_key"]
+__all__ = [
+    "PEER_SECRET_HEADER",
+    "PeerCacheClient",
+    "PeerResultCache",
+    "valid_cache_key",
+]
 
 #: Cache keys on the wire: ``{kind}-{sha256 hex}`` (kind may itself
 #: contain dashes, e.g. ``balance-batch``).
@@ -48,10 +60,18 @@ def valid_cache_key(key: str) -> bool:
     return bool(_KEY_RE.match(key))
 
 
+#: Header carrying the fleet-shared peer-cache secret (mirrors
+#: :data:`repro.service.routes.PEER_SECRET_HEADER`; redeclared here so
+#: the client stays importable without the routes module).
+PEER_SECRET_HEADER = "x-repro-peer-secret"
+
+
 class PeerCacheClient:
     """Blocking blob GET/PUT against one sibling replica."""
 
-    def __init__(self, addr: str, timeout: float = 2.0):
+    def __init__(
+        self, addr: str, timeout: float = 2.0, secret: str | None = None
+    ):
         host, _, port = addr.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(f"peer address must be host:port, got {addr!r}")
@@ -59,12 +79,18 @@ class PeerCacheClient:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.secret = secret
+
+    def _headers(self, **extra: str) -> dict[str, str]:
+        if self.secret:
+            extra[PEER_SECRET_HEADER] = self.secret
+        return extra
 
     def get_blob(self, key: str) -> bytes | None:
         """Fetch one framed blob; ``None`` on miss *or* any failure."""
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            conn.request("GET", f"/v1/cache/{key}")
+            conn.request("GET", f"/v1/cache/{key}", headers=self._headers())
             response = conn.getresponse()
             body = response.read()
             return body if response.status == 200 else None
@@ -81,7 +107,9 @@ class PeerCacheClient:
                 "PUT",
                 f"/v1/cache/{key}",
                 body=blob,
-                headers={"Content-Type": "application/octet-stream"},
+                headers=self._headers(
+                    **{"Content-Type": "application/octet-stream"}
+                ),
             )
             response = conn.getresponse()
             response.read()
@@ -106,9 +134,14 @@ class PeerResultCache:
         local: ResultCache,
         peers: tuple[str, ...] | list[str],
         timeout: float = 2.0,
+        secret: str | None = None,
     ):
         self.local = local
-        self.clients = [PeerCacheClient(p, timeout=timeout) for p in peers]
+        self.secret = secret
+        self.clients = [
+            PeerCacheClient(p, timeout=timeout, secret=secret)
+            for p in peers
+        ]
         self.peer_hits = 0
         self.peer_misses = 0
         self.peer_corrupt = 0
@@ -170,7 +203,7 @@ class PeerResultCache:
         if blob is None:
             return False
         try:
-            client = PeerCacheClient(addr, timeout=2.0)
+            client = PeerCacheClient(addr, timeout=2.0, secret=self.secret)
         except ValueError:
             self.peer_errors += 1
             return False

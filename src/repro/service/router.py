@@ -49,7 +49,7 @@ from typing import Any, Callable
 
 from repro.service import routes as _routes
 from repro.service.app import _REASONS, ServiceConfig
-from repro.service.errors import ServiceError, ValidationError
+from repro.service.errors import NotFound, ServiceError, ValidationError
 from repro.service.metrics import MetricsRegistry, merge_expositions
 from repro.service.routes import (
     FORWARDED_FROM_HEADER,
@@ -596,6 +596,16 @@ class FrontRouter:
             return await self._fleet_metrics(), "metrics"
         if request.method == "GET" and request.path.startswith("/v1/jobs/"):
             return await self._fanout_job(request), "job"
+        if (
+            request.path == "/v1/cache"
+            or request.path.startswith("/v1/cache/")
+        ):
+            # the peer-cache blob protocol is fleet-internal: never
+            # proxy it for clients, who could otherwise read or poison
+            # replica caches (pickled blobs) through the public port
+            return error_response(
+                NotFound(f"no route for {request.method} {request.path}")
+            ), "cache"
 
         target, owner_addr = self._place(request)
         if target is None:
@@ -628,6 +638,18 @@ class FrontRouter:
                     )
                     break
                 except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # oversized header line or similar framing garbage:
+                    # answer 400 instead of dropping the connection
+                    # with an unhandled-task traceback
+                    await self._write_response(
+                        writer, None,
+                        error_response(
+                            ValidationError("malformed request framing")
+                        ),
+                        False,
+                    )
                     break
                 if request is None:
                     break

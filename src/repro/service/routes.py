@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.service.errors import (
+    Forbidden,
     LintRejected,
     NotFound,
     ServiceError,
@@ -52,6 +53,13 @@ MAX_BODY_BYTES = 1 << 20
 #: ``host:port``; the handling replica pushes the computed blob there
 #: so the ring converges back to all-hits.
 FORWARDED_FROM_HEADER = "x-repro-forwarded-from"
+
+#: Fleet-shared credential for the peer-cache blob endpoints.  The
+#: supervisor generates one per fleet and hands it to every replica
+#: (via ``REPRO_PEER_SECRET`` in the environment, never argv); cache
+#: GET/PUT without a matching header is refused, so a client that can
+#: reach a replica port still cannot read or poison cached blobs.
+PEER_SECRET_HEADER = "x-repro-peer-secret"
 
 _BALANCE_KEYS = {
     "app", "gears", "algorithm", "beta", "iterations", "base_compute",
@@ -148,6 +156,8 @@ async def read_http_request(reader) -> HttpRequest | None:
         raise ValidationError(
             f"bad Content-Length {length_text!r}"
         ) from None
+    if length < 0:
+        raise ValidationError(f"bad Content-Length {length_text!r}")
     if length > MAX_BODY_BYTES:
         err = ValidationError(
             f"body of {length} bytes exceeds the "
@@ -594,9 +604,28 @@ async def handle_job(
 
 
 # ----------------------------------------------------------------------
-# Peer-cache blob protocol (replica-internal; the router never routes
-# client traffic here)
+# Peer-cache blob protocol (fleet-internal).  Defence in depth: the
+# front router refuses to route /v1/cache/* at all, a solo replica
+# answers 404 as if the routes did not exist, and a fleet replica
+# demands the shared secret — a reachable replica port alone is never
+# enough to read or poison cached blobs (which are pickled on disk).
 # ----------------------------------------------------------------------
+
+def _peer_cache_gate(app: "ServiceApp", request: HttpRequest) -> None:
+    """Authorize one peer-cache request, or raise 404/403."""
+    import hmac
+
+    secret = app.config.peer_secret
+    if not secret and not app.config.peers:
+        raise NotFound(f"no route for {request.method} {request.path}")
+    if secret:
+        given = request.headers.get(PEER_SECRET_HEADER, "")
+        if not hmac.compare_digest(given.encode(), secret.encode()):
+            raise Forbidden(
+                "peer-cache endpoints require the fleet secret "
+                f"({PEER_SECRET_HEADER} header)"
+            )
+
 
 async def handle_cache_get(
     app: "ServiceApp", request: HttpRequest, params: dict[str, str]
@@ -605,6 +634,7 @@ async def handle_cache_get(
 
     from repro.service.peercache import valid_cache_key
 
+    _peer_cache_gate(app, request)
     key = params["key"]
     if not valid_cache_key(key):
         raise ValidationError(f"malformed cache key {key!r}")
@@ -621,6 +651,7 @@ async def handle_cache_put(
 
     from repro.service.peercache import valid_cache_key
 
+    _peer_cache_gate(app, request)
     key = params["key"]
     if not valid_cache_key(key):
         raise ValidationError(f"malformed cache key {key!r}")

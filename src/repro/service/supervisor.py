@@ -11,9 +11,12 @@ One supervisor process owns the whole fleet shape::
 Replicas are real ``repro serve`` subprocesses on adjacent ports —
 separate interpreters, so N replicas are N event loops *and* N GILs,
 which is where fleet throughput on the warm path comes from.  Each
-replica gets a private cache partition (``<cache>/replica-i``) and the
-sibling list as ``--peers``, so the partitions behave as one fleet
-cache through the read-through peer protocol.
+replica gets a private cache partition (``<cache>/replica-i``), the
+sibling list as ``--peers``, and a fleet-generated peer-cache secret
+(via ``REPRO_PEER_SECRET`` in the environment, never argv), so the
+partitions behave as one fleet cache through the read-through peer
+protocol while the blob endpoints stay closed to anything that is not
+a fleet member.
 
 Supervision policy:
 
@@ -37,6 +40,7 @@ import asyncio
 import contextlib
 import logging
 import os
+import secrets
 import signal
 import socket
 import subprocess
@@ -81,6 +85,9 @@ class FleetConfig:
     #: Seconds a replica gets to drain on SIGTERM before SIGKILL.
     drain_timeout: float = 60.0
     hot_threshold: int = 32
+    #: Fleet-shared secret gating the replica ``/v1/cache`` blob
+    #: endpoints; ``None`` generates a fresh one per fleet.
+    peer_secret: str | None = None
 
 
 def _free_adjacent_ports(host: str, base: int, count: int) -> list[int]:
@@ -114,11 +121,17 @@ def _free_adjacent_ports(host: str, base: int, count: int) -> list[int]:
 class ReplicaProcess:
     """One supervised ``repro serve`` subprocess."""
 
-    def __init__(self, name: str, host: str, port: int, argv: list[str]):
+    def __init__(
+        self, name: str, host: str, port: int, argv: list[str],
+        env_extra: dict[str, str] | None = None,
+    ):
         self.name = name
         self.host = host
         self.port = port
         self.argv = argv
+        #: Extra environment for the subprocess — the peer-cache secret
+        #: travels here, not in argv, so it never shows up in ``ps``.
+        self.env_extra = env_extra or {}
         self.proc: subprocess.Popen | None = None
         self.restarts = 0
         self._backoff_idx = 0
@@ -143,6 +156,7 @@ class ReplicaProcess:
             env["PYTHONPATH"] = (
                 src_dir + (os.pathsep + existing if existing else "")
             )
+        env.update(self.env_extra)
         # own session: the replica and its worker pool form a process
         # group the supervisor can nuke wholesale if a drain stalls
         self.proc = subprocess.Popen(
@@ -195,6 +209,7 @@ class Supervisor:
 
         self.config = config
         self.cache_root = Path(config.cache_dir or default_cache_dir())
+        self.peer_secret = config.peer_secret or secrets.token_hex(16)
         ports = _free_adjacent_ports(
             config.host, config.port, config.replicas
         )
@@ -218,7 +233,10 @@ class Supervisor:
             if peers:
                 argv += ["--peers", ",".join(peers)]
             self.replicas.append(
-                ReplicaProcess(name, config.host, port, argv)
+                ReplicaProcess(
+                    name, config.host, port, argv,
+                    env_extra={"REPRO_PEER_SECRET": self.peer_secret},
+                )
             )
         self.router = FrontRouter(
             RouterConfig(

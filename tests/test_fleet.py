@@ -27,6 +27,10 @@ from repro.service.workers import execute_balance
 from tests.test_service import SPEC, GatedExecutor, wait_for
 
 
+#: Fleet-shared peer-cache secret used by every in-process harness.
+SECRET = "fleet-test-secret"
+
+
 def _free_ports(n: int) -> list[int]:
     """Distinct bindable ports, reserved by a momentary bind."""
     ports = []
@@ -61,6 +65,7 @@ class Fleet:
                 cache_dir=str(tmp_path / f"replica-{i}"),
                 replica_name=f"replica-{i}",
                 peers=tuple(a for a in addrs if a != addrs[i]),
+                peer_secret=SECRET,
                 **overrides,
             )
             self.replicas.append(ServiceThread(config, executor=executor))
@@ -245,32 +250,152 @@ class TestPeerResultCache:
 
 class TestCacheEndpoints:
     def test_put_get_roundtrip(self, tmp_path):
-        config = ServiceConfig(port=0, cache_dir=str(tmp_path / "c"))
+        config = ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "c"), peer_secret=SECRET
+        )
         with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
             key = cache_key("report", {"payload": 1})
             blob = frame_blob(pickle.dumps({"v": 1}))
-            put = svc.client.cache_put(key, blob)
+            put = svc.client.cache_put(key, blob, secret=SECRET)
             assert put.status == 200
             assert put.json()["stored"] == key
-            got = svc.client.cache_get(key)
+            got = svc.client.cache_get(key, secret=SECRET)
             assert got.status == 200
             assert got.body == blob
 
     def test_torn_put_rejected_and_nothing_stored(self, tmp_path):
-        config = ServiceConfig(port=0, cache_dir=str(tmp_path / "c"))
+        config = ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "c"), peer_secret=SECRET
+        )
         with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
             key = cache_key("report", {"payload": 2})
             blob = frame_blob(pickle.dumps({"v": 2}))
-            assert svc.client.cache_put(key, blob[:-1]).status == 400
-            assert svc.client.cache_get(key).status == 404
+            assert svc.client.cache_put(
+                key, blob[:-1], secret=SECRET
+            ).status == 400
+            assert svc.client.cache_get(key, secret=SECRET).status == 404
 
     def test_malformed_key_rejected(self, tmp_path):
+        config = ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "c"), peer_secret=SECRET
+        )
+        with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+            assert svc.client.cache_get(
+                "report-zz", secret=SECRET
+            ).status == 400
+            assert svc.client.cache_put(
+                "report-zz", b"RPRC", secret=SECRET
+            ).status == 400
+
+
+class TestCacheEndpointGating:
+    """The blob endpoints are fleet-internal; see REVIEW hardening."""
+
+    def test_solo_replica_has_no_cache_routes(self, tmp_path):
+        # no peers, no secret: the endpoints do not exist at all
         config = ServiceConfig(port=0, cache_dir=str(tmp_path / "c"))
         with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
-            assert svc.client.cache_get("report-zz").status == 400
+            key = cache_key("report", {"payload": 1})
+            blob = frame_blob(pickle.dumps({"v": 1}))
+            assert svc.client.cache_put(key, blob).status == 404
+            assert svc.client.cache_get(key).status == 404
+
+    def test_secret_required_when_configured(self, tmp_path):
+        config = ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "c"), peer_secret=SECRET
+        )
+        with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+            key = cache_key("report", {"payload": 1})
+            blob = frame_blob(pickle.dumps({"v": 1}))
+            # missing and wrong secrets are refused before any
+            # key/frame validation could leak information
+            assert svc.client.cache_put(key, blob).status == 403
+            assert svc.client.cache_get(key).status == 403
             assert svc.client.cache_put(
-                "report-zz", b"RPRC"
-            ).status == 400
+                key, blob, secret="wrong"
+            ).status == 403
+            assert svc.client.cache_get(key, secret="wrong").status == 403
+            # nothing was stored by the refused PUTs
+            assert svc.client.cache_get(key, secret=SECRET).status == 404
+
+    def test_secret_gates_even_with_peers_configured(self, tmp_path):
+        config = ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "c"),
+            peers=("127.0.0.1:1",), peer_secret=SECRET,
+        )
+        with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+            key = cache_key("report", {"payload": 1})
+            assert svc.client.cache_get(key).status == 403
+
+    def test_router_never_routes_cache_traffic(self, tmp_path):
+        with Fleet(tmp_path, 2) as fleet:
+            key = cache_key("report", {"payload": 1})
+            blob = frame_blob(pickle.dumps({"v": 1}))
+            # even with the fleet secret, the router's client port
+            # refuses the path outright
+            assert fleet.client.cache_get(key, secret=SECRET).status == 404
+            assert fleet.client.cache_put(
+                key, blob, secret=SECRET
+            ).status == 404
+            assert fleet.client.cache_get(key).status == 404
+
+
+# ----------------------------------------------------------------------
+# Malformed HTTP framing (raw sockets; http.client refuses to send it)
+# ----------------------------------------------------------------------
+
+def _raw_http(port: int, data: bytes, timeout: float = 15.0) -> bytes:
+    """One raw request/response exchange against 127.0.0.1:port."""
+    with socket.create_connection(("127.0.0.1", port), timeout) as sock:
+        sock.sendall(data)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except (ConnectionResetError, socket.timeout):
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+_NEGATIVE_LENGTH = (
+    b"POST /v1/balance HTTP/1.1\r\n"
+    b"Host: t\r\n"
+    b"Content-Length: -5\r\n\r\n"
+)
+#: One header line past asyncio's 64 KiB readline limit, which used to
+#: surface as an unhandled ValueError instead of a 400.
+_OVERSIZED_HEADER = (
+    b"GET /healthz HTTP/1.1\r\n"
+    b"Host: t\r\n"
+    b"X-Big: " + b"a" * 70_000 + b"\r\n\r\n"
+)
+
+
+class TestRequestFraming:
+    def test_replica_answers_negative_content_length_with_400(
+        self, tmp_path
+    ):
+        config = ServiceConfig(port=0, cache_dir=str(tmp_path / "c"))
+        with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+            raw = _raw_http(svc.port, _NEGATIVE_LENGTH)
+            assert raw.startswith(b"HTTP/1.1 400 ")
+            assert b"invalid-request" in raw
+
+    def test_replica_answers_oversized_header_with_400(self, tmp_path):
+        config = ServiceConfig(port=0, cache_dir=str(tmp_path / "c"))
+        with ServiceThread(config, executor=ThreadPoolExecutor(2)) as svc:
+            raw = _raw_http(svc.port, _OVERSIZED_HEADER)
+            assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_router_answers_bad_framing_with_400(self, tmp_path):
+        with Fleet(tmp_path, 1) as fleet:
+            raw = _raw_http(fleet.router.port, _NEGATIVE_LENGTH)
+            assert raw.startswith(b"HTTP/1.1 400 ")
+            raw = _raw_http(fleet.router.port, _OVERSIZED_HEADER)
+            assert raw.startswith(b"HTTP/1.1 400 ")
 
 
 # ----------------------------------------------------------------------
@@ -362,11 +487,11 @@ class TestRoutedFleet:
         addrs = [f"127.0.0.1:{p}" for p in ports]
         owner = ServiceThread(ServiceConfig(
             port=ports[0], cache_dir=str(tmp_path / "owner"),
-            replica_name="owner", peers=(addrs[1],),
+            replica_name="owner", peers=(addrs[1],), peer_secret=SECRET,
         ), executor=ThreadPoolExecutor(2))
         handler = ServiceThread(ServiceConfig(
             port=ports[1], cache_dir=str(tmp_path / "handler"),
-            replica_name="handler", peers=(addrs[0],),
+            replica_name="handler", peers=(addrs[0],), peer_secret=SECRET,
         ), executor=ThreadPoolExecutor(2))
         with owner, handler:
             r = handler.client.request(
@@ -393,11 +518,11 @@ class TestRoutedFleet:
         addrs = [f"127.0.0.1:{p}" for p in ports]
         a = ServiceThread(ServiceConfig(
             port=ports[0], cache_dir=str(tmp_path / "a"),
-            replica_name="a", peers=(addrs[1],),
+            replica_name="a", peers=(addrs[1],), peer_secret=SECRET,
         ), executor=ThreadPoolExecutor(2))
         b = ServiceThread(ServiceConfig(
             port=ports[1], cache_dir=str(tmp_path / "b"),
-            replica_name="b", peers=(addrs[0],),
+            replica_name="b", peers=(addrs[0],), peer_secret=SECRET,
         ), executor=ThreadPoolExecutor(2))
         with a, b:
             first = a.client.balance(app="CG-16", iterations=2)
@@ -544,6 +669,23 @@ class TestSupervisor:
             metrics = fleet.client.metrics()
             assert "repro_fleet_replica_restarts_total" in metrics
             assert "repro_fleet_replicas_alive 2" in metrics
+            # the generated fleet secret reached the replica (via env):
+            # unauthenticated blob access is refused on the replica
+            # port, the fleet secret gets through, and the router's
+            # client port never routes the path at all
+            from repro.service.client import ServiceClient
+
+            replica = ServiceClient(
+                "127.0.0.1", fleet.supervisor.replicas[0].port
+            )
+            key = cache_key("report", {"x": 1})
+            assert replica.cache_get(key).status == 403
+            assert replica.cache_get(
+                key, secret=fleet.supervisor.peer_secret
+            ).status == 404
+            assert fleet.client.cache_get(
+                key, secret=fleet.supervisor.peer_secret
+            ).status == 404
         # context exit drains: replica processes must be gone
         assert all(not r.alive for r in fleet.supervisor.replicas)
 
