@@ -154,23 +154,51 @@ class AppSkeleton(ABC):
         """One program per rank, ready for :meth:`MpiSimulator.run`."""
         return [self.rank_program(rank) for rank in range(self.nproc)]
 
-    def columnar_trace(self, meta: dict[str, Any] | None = None) -> "ColumnarTrace":
+    def columnar_trace(
+        self,
+        meta: dict[str, Any] | None = None,
+        *,
+        jobs: int = 1,
+        out: "str | None" = None,
+    ) -> "ColumnarTrace":
         """Generate the whole world straight into columnar storage.
 
         Equivalent to recording :meth:`programs` through the DES at
         nominal speed (the DES appends each record to the trace in
         program order before executing it), but without materialising a
         single record object — the route to 32k+-rank worlds.
-        """
-        from repro.traces.columnar import ColumnarTraceBuilder
 
-        builder = ColumnarTraceBuilder(self.nproc)
-        for rank in range(self.nproc):
-            self.emit_rank(rank, ColumnEmitter(rank, builder))
+        ``jobs > 1`` or ``out`` routes through shard-parallel
+        generation: rank chunks fan out over a spawn-context process
+        pool (the :class:`~repro.service.workers.SimulationPool`
+        discipline), each worker emits its chunk through the usual
+        :class:`ColumnEmitter` into a shard store file, and the parent
+        stitches the shards (rewriting the CSR offsets, re-interning
+        the string pool, rebasing waitall request-pool pointers).
+        The stitched store is *byte-identical* to a sequential
+        ``columnar_trace().save()`` whatever ``jobs`` is, so worker
+        count can never change results.
+
+        ``out`` names the stitched store file; the returned trace is
+        then opened from it with ``mmap=True`` (out-of-core columns) —
+        generation of a 100k-rank world never holds the full world in
+        any single process.  Without ``out`` the shards are stitched in
+        a temporary directory and loaded back in-memory.
+        """
         full_meta: dict[str, Any] = {"name": self.name}
         if meta:
             full_meta.update(meta)
-        return builder.build(meta=full_meta)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        jobs = min(jobs, self.nproc)
+        if jobs == 1 and out is None:
+            from repro.traces.columnar import ColumnarTraceBuilder
+
+            builder = ColumnarTraceBuilder(self.nproc)
+            for rank in range(self.nproc):
+                self.emit_rank(rank, ColumnEmitter(rank, builder))
+            return builder.build(meta=full_meta)
+        return _sharded_columnar_trace(self, full_meta, jobs, out)
 
     def weight_at(self, rank: int, iteration: int,
                   weights: np.ndarray | None = None) -> float:
@@ -217,3 +245,84 @@ class AppSkeleton(ABC):
             f"<{type(self).__name__} {self.name} LB={self.target_lb:.2%} "
             f"PE={self.target_pe:.2%} iters={self.iterations}>"
         )
+
+
+# ----------------------------------------------------------------------
+# shard-parallel generation
+
+
+def _emit_shard(app: AppSkeleton, lo: int, hi: int, path: str) -> str:
+    """Worker: emit ranks ``[lo, hi)`` into a shard store at ``path``.
+
+    Module top-level so the spawn context can pickle it; the app object
+    itself travels to the worker (numpy weights + platform config, all
+    picklable).  The shard keeps the full world's ``nproc`` — its CSR
+    offsets are full-length with zero counts outside the chunk — which
+    is what lets :func:`repro.traces.colstore.stitch_stores` sum the
+    per-rank counts without remapping ranks.
+    """
+    from repro.traces.columnar import ColumnarTraceBuilder
+
+    builder = ColumnarTraceBuilder(app.nproc)
+    for rank in range(lo, hi):
+        app.emit_rank(rank, ColumnEmitter(rank, builder))
+    builder.build(meta={"name": app.name}).save(path)
+    return path
+
+
+def _chunk_bounds(nproc: int, jobs: int) -> list[int]:
+    """Split ranks into ``jobs`` contiguous chunks, sizes within ±1."""
+    base, rem = divmod(nproc, jobs)
+    bounds = [0]
+    for i in range(jobs):
+        bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+    return bounds
+
+
+def _sharded_columnar_trace(
+    app: AppSkeleton,
+    meta: dict[str, Any],
+    jobs: int,
+    out: "str | None",
+) -> "ColumnarTrace":
+    """Fan rank chunks over a spawn pool and stitch the shard stores."""
+    import multiprocessing
+    import os
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.traces import colstore
+    from repro.traces.columnar import ColumnarTrace
+
+    if jobs == 1:
+        # single worker: sequential build, saved straight to the store
+        # (byte-identical to a 1-shard stitch, minus the copy)
+        assert out is not None
+        trace = app.columnar_trace(meta=meta)
+        trace.save(out)
+        return ColumnarTrace.open(out, mmap=True)
+
+    parent_dir = os.path.dirname(os.path.abspath(out)) if out else None
+    with tempfile.TemporaryDirectory(
+        prefix="repro-shards-", dir=parent_dir
+    ) as tmp:
+        bounds = _chunk_bounds(app.nproc, jobs)
+        paths = [
+            os.path.join(tmp, f"shard-{i:04d}{colstore.STORE_EXTENSION}")
+            for i in range(jobs)
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+            futures = [
+                pool.submit(_emit_shard, app, bounds[i], bounds[i + 1], p)
+                for i, p in enumerate(paths)
+            ]
+            for future in futures:
+                future.result()
+        target = out or os.path.join(
+            tmp, f"world{colstore.STORE_EXTENSION}"
+        )
+        colstore.stitch_stores(paths, target, meta=meta)
+        if out is not None:
+            return ColumnarTrace.open(out, mmap=True)
+        return ColumnarTrace.open(target)

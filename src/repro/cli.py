@@ -73,6 +73,8 @@ def _config_from(args: argparse.Namespace):
         kwargs["platform"] = load_platform(args.platform)
     if getattr(args, "engine", None):
         kwargs["engine"] = args.engine
+    if getattr(args, "mmap", False):
+        kwargs["storage"] = "mmap"
     return RunnerConfig(**kwargs)
 
 
@@ -155,6 +157,8 @@ def _cmd_balance(args: argparse.Namespace) -> int:
         # additive: capless specs stay byte-identical to the pre-cap
         # wire format (and keep their cache identities)
         spec["power_cap"] = args.power_cap
+    if getattr(args, "mmap", False):
+        spec["storage"] = "mmap"
     try:
         report, _runner = execute_balance(spec)
     except ValueError as exc:
@@ -324,10 +328,76 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     app = build_app(args.app, iterations=args.iterations)
     balancer = PowerAwareLoadBalancer(gear_set=uniform_gear_set(6))
-    trace = balancer.trace_app(app, columnar=args.columnar)
+    if args.jobs > 1:
+        # shard-parallel generation goes straight to columnar storage
+        # (byte-identical output whatever the worker count)
+        trace = app.columnar_trace(jobs=args.jobs)
+        trace.meta.setdefault("nproc", trace.nproc)
+    else:
+        trace = balancer.trace_app(app, columnar=args.columnar)
     write_trace(trace, args.output)
     print(f"wrote {args.output} ({trace.total_records()} records, "
           f"{trace.nproc} ranks)")
+    return 0
+
+
+def _cmd_trace_pack(args: argparse.Namespace) -> int:
+    from repro.traces import colstore
+    from repro.traces.columnar import ColumnarTrace
+    from repro.traces.jsonio import read_trace, write_trace
+
+    try:
+        if colstore.is_store_file(args.input):
+            # binary -> JSON-lines: stream rows straight off the mapped
+            # columns, never materialising record objects
+            trace = ColumnarTrace.open(args.input, mmap=True)
+            try:
+                write_trace(trace, args.output)
+            finally:
+                trace.detach_mapping()
+            direction = "store -> jsonl"
+        else:
+            # JSON-lines -> binary: the columnar reader parses line by
+            # line, so both representations never coexist in full
+            trace = read_trace(args.input, columnar=True)
+            trace.save(args.output)
+            direction = "jsonl -> store"
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"packed {args.input} -> {args.output} ({direction})")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.traces.colstore import describe_store
+
+    try:
+        info = describe_store(args.store)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{info['path']}: {info['format']} v{info['version']}")
+    print(f"  ranks:           {info['nproc']}")
+    print(f"  events:          {info['n_events']}")
+    print(f"  file bytes:      {info['file_nbytes']}")
+    print(f"  payload bytes:   {info['payload_nbytes']} "
+          f"(offset {info['payload_offset']})")
+    print(f"  bytes/event:     {info['bytes_per_event']:.1f}")
+    print(f"  payload sha256:  {info['payload_sha256']}")
+    if info["meta"]:
+        print(f"  meta:            {json.dumps(info['meta'], sort_keys=True)}")
+    print(f"  strings:         {info['strings']['count']} "
+          f"({info['strings']['nbytes']} bytes)")
+    print("  columns:")
+    for col in info["columns"]:
+        print(f"    {col['name']:<10s} {col['dtype']:<5s} "
+              f"count={col['count']:<12d} nbytes={col['nbytes']}")
     return 0
 
 
@@ -422,7 +492,21 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro trace`` subcommands; a first token outside this set keeps
+#: the historical ``repro trace APP`` spelling working (it becomes
+#: ``repro trace record APP``).
+_TRACE_SUBCOMMANDS = frozenset({"record", "pack", "info"})
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if (
+        len(argv) >= 2
+        and argv[0] == "trace"
+        and argv[1] not in _TRACE_SUBCOMMANDS
+        and argv[1] not in ("-h", "--help")
+    ):
+        argv.insert(1, "record")
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Power-aware DVFS load balancing of MPI applications "
@@ -446,6 +530,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--engine", choices=("auto", "des", "compiled"), default=None,
         help="replay engine (default auto: compiled kernel with DES "
              "fallback; results are identical)",
+    )
+    p_run.add_argument(
+        "--mmap", action="store_true",
+        help="record traces through the memory-mapped columnar store "
+             "(identical results; out-of-core columns for huge worlds)",
     )
     p_run.set_defaults(fn=_cmd_run)
 
@@ -525,6 +614,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="cluster power budget in model watts; selects the power-cap "
         "balancer (critical-path-first greedy with water-filling "
         "fallback) instead of --algorithm",
+    )
+    p_bal.add_argument(
+        "--mmap", action="store_true",
+        help="trace through the memory-mapped columnar store "
+             "(byte-identical --json output; out-of-core columns)",
     )
     p_bal.set_defaults(fn=_cmd_balance)
 
@@ -607,17 +701,40 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_cmp.add_argument("--iterations", type=int, default=6)
     p_cmp.set_defaults(fn=_cmd_compare)
 
-    p_tr = sub.add_parser("trace", help="record a skeleton trace to JSON-lines")
-    p_tr.add_argument("app")
-    p_tr.add_argument("-o", "--output", default="trace.jsonl")
-    p_tr.add_argument("--iterations", type=int, default=6)
-    p_tr.add_argument(
+    p_tr = sub.add_parser(
+        "trace", help="record / convert / inspect trace files"
+    )
+    trace_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    p_trr = trace_sub.add_parser(
+        "record", help="record a skeleton trace (JSON-lines or .rpcs)"
+    )
+    p_trr.add_argument("app")
+    p_trr.add_argument("-o", "--output", default="trace.jsonl")
+    p_trr.add_argument("--iterations", type=int, default=6)
+    p_trr.add_argument(
         "--columnar",
         action="store_true",
         help="record into columnar storage (no per-event record objects; "
         "same file bytes, scales to very large worlds)",
     )
-    p_tr.set_defaults(fn=_cmd_trace)
+    p_trr.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard-parallel generation workers (implies columnar; "
+        "output bytes are identical whatever the worker count)",
+    )
+    p_trr.set_defaults(fn=_cmd_trace)
+    p_trp = trace_sub.add_parser(
+        "pack", help="convert JSON-lines <-> binary columnar store"
+    )
+    p_trp.add_argument("input", help="trace file (direction is sniffed)")
+    p_trp.add_argument("output")
+    p_trp.set_defaults(fn=_cmd_trace_pack)
+    p_tri = trace_sub.add_parser(
+        "info", help="layout/size report of a binary trace store"
+    )
+    p_tri.add_argument("store", help=".rpcs store file")
+    p_tri.add_argument("--json", action="store_true")
+    p_tri.set_defaults(fn=_cmd_trace_info)
 
     p_lint = sub.add_parser(
         "lint",

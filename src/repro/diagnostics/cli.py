@@ -5,9 +5,10 @@ application trace (generated straight into columnar storage — no record
 objects), the default gear sets, the platform, the model invariants,
 and the determinism (DT) rules over repro's own installed source.  With
 targets, audits exactly the given artifacts — trace files (``.jsonl`` /
-``.jsonl.gz``, loaded columnar), frequency-assignment ``.json`` files
-(the ``--save-assignment`` artifact), campaign manifests, and ``.py``
-files or source directories::
+``.jsonl.gz``, loaded columnar, or binary ``.rpcs`` stores recognised
+by magic bytes and opened memory-mapped), frequency-assignment
+``.json`` files (the ``--save-assignment`` artifact), campaign
+manifests, and ``.py`` files or source directories::
 
     repro lint                                   # whole-project audit
     repro lint cg32.jsonl results/manifest.json  # specific artifacts
@@ -77,10 +78,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "targets",
         nargs="*",
-        help="trace files (.jsonl/.jsonl.gz), assignment/manifest .json "
-        "files, and/or .py files or source directories; default: audit "
-        "every built-in app + gear sets + platform + models + repro's "
-        "own source",
+        help="trace files (.jsonl/.jsonl.gz or binary .rpcs stores), "
+        "assignment/manifest .json files, and/or .py files or source "
+        "directories; default: audit every built-in app + gear sets + "
+        "platform + models + repro's own source",
     )
     parser.add_argument(
         "--target",
@@ -189,7 +190,13 @@ def _load_target(path: str):
     anything else as a campaign manifest."""
     import pathlib
 
+    from repro.traces.colstore import STORE_EXTENSION, is_store_file
+
     if path.endswith((".jsonl", ".jsonl.gz")):
+        return "trace", path
+    # binary columnar stores are recognised by magic bytes, not just
+    # extension, so renamed artifacts still route to the trace rules
+    if path.endswith(STORE_EXTENSION) or is_store_file(path):
         return "trace", path
     if path.endswith(".py") or pathlib.Path(path).is_dir():
         return "source", path
@@ -207,8 +214,9 @@ def _load_target(path: str):
             return "assignment", path
         return "manifest", path
     raise ValueError(
-        f"cannot lint {path!r}: expected a .jsonl/.jsonl.gz trace, an "
-        "assignment or manifest .json, or a .py file / source directory"
+        f"cannot lint {path!r}: expected a .jsonl/.jsonl.gz trace, a "
+        "binary trace store, an assignment or manifest .json, or a .py "
+        "file / source directory"
     )
 
 
@@ -338,8 +346,10 @@ def run_lint(args: argparse.Namespace) -> int:
                     from repro.traces.jsonio import read_trace
 
                     # columnar load: lints at any rank count without
-                    # materialising record objects
-                    trace = read_trace(path, columnar=True)
+                    # materialising record objects; binary stores are
+                    # opened memory-mapped so even the columns stay
+                    # out of core
+                    trace = read_trace(path, columnar=True, mmap=True)
                     trace.validate()
                     diagnostics += lint_trace_subject(
                         trace, platform, path, config

@@ -18,6 +18,9 @@ DT002  WARNING   iteration over an unordered ``set`` construct feeding
                  an accumulator (order is hash-dependent)
 DT003  ERROR     wall-clock or unseeded randomness in kernel code
                  (``repro.core`` / ``repro.netsim`` / ``repro.traces``)
+DT004  ERROR     writable memory-mapped buffer in kernel code — mapped
+                 trace columns are shared, on-disk state; the
+                 compile/replay path must map them read-only
 =====  ========  ========================================================
 
 Conventions the rules encode (mirrored in ``docs/diagnostics.md``):
@@ -259,6 +262,56 @@ def _dt003(ctx: SourceContext, make: Maker) -> Iterator[Diagnostic]:
                 subject=ctx.subject,
                 index=node.lineno,
             )
+
+
+def _call_keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+@rule(
+    "DT004",
+    severity=Severity.ERROR,
+    domain="source",
+    summary="writable memory-mapped buffer in kernel code",
+    fix="map read-only: numpy.memmap(..., mode='r') / "
+        "mmap.mmap(..., access=mmap.ACCESS_READ); a write through a "
+        "mapped column would silently rewrite the trace on disk",
+)
+def _dt004(ctx: SourceContext, make: Maker) -> Iterator[Diagnostic]:
+    if not ctx.is_kernel:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        if resolved == "numpy.memmap":
+            # mode is the third positional parameter
+            mode = _call_keyword(node, "mode")
+            if mode is None and len(node.args) >= 3:
+                mode = node.args[2]
+            if not (
+                isinstance(mode, ast.Constant) and mode.value == "r"
+            ):
+                yield make(
+                    "numpy.memmap without an explicit mode='r' maps the "
+                    "file writable (the default is 'r+'); kernel code "
+                    "must never write through mapped trace columns",
+                    subject=ctx.subject,
+                    index=node.lineno,
+                )
+        elif resolved == "mmap.mmap":
+            access = _call_keyword(node, "access")
+            if access is None or ctx.resolve(access) != "mmap.ACCESS_READ":
+                yield make(
+                    "mmap.mmap without access=mmap.ACCESS_READ maps the "
+                    "file writable by default; kernel code must map "
+                    "trace bytes read-only",
+                    subject=ctx.subject,
+                    index=node.lineno,
+                )
 
 
 def lint_source_text(

@@ -20,6 +20,7 @@ input — see :mod:`repro.experiments.cache` for the invalidation rules.
 from __future__ import annotations
 
 import importlib
+import os
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 from typing import Any
@@ -59,6 +60,13 @@ class RunnerConfig:
     #: Replay engine: "des", "compiled" or "auto" (identical results;
     #: never part of cache identities or report payloads).
     engine: str = "auto"
+    #: Trace storage backend: "memory" keeps recorded traces in
+    #: process memory; "mmap" saves each trace to the binary columnar
+    #: store and reopens it memory-mapped, so pricing a huge world
+    #: costs pages rather than RSS.  Like ``engine`` it changes *how*
+    #: results are computed, never *what* — identical reports, and it
+    #: is excluded from cache identities and report payloads.
+    storage: str = "memory"
     #: Cluster power budget in model watts; ``None`` (the default)
     #: means uncapped.  A cap routes :meth:`Runner.balance` through the
     #: power-cap balancer and enters the cache identity *additively*
@@ -116,8 +124,14 @@ class Runner:
         from repro.experiments.cache import ResultCache
 
         self.config = config or RunnerConfig()
+        if self.config.storage not in ("memory", "mmap"):
+            raise ValueError(
+                f"unknown storage backend {self.config.storage!r} "
+                "(expected 'memory' or 'mmap')"
+            )
         self._traces: dict[tuple[str, float], Any] = {}
         self._reports: dict[tuple, BalanceReport] = {}
+        self._store_dir: Any = None  # lazily created tempdir for mmap stores
         self.cache: ResultCache | None = (
             ResultCache(self.config.cache_dir)
             if self.config.cache_dir
@@ -136,11 +150,57 @@ class Runner:
             "platform": platform_payload(cfg.platform),
         }
 
+    def _mmap_trace(self, app: Any):
+        """Record ``app`` into a store file and reopen it memory-mapped.
+
+        The store lives under ``<cache_dir>/traces/<digest>.rpcs`` (the
+        digest is over :meth:`_trace_payload`, the same identity the
+        result cache uses, so a pre-existing file is simply reused) or
+        in a per-runner temporary directory when caching is off.
+        """
+        import hashlib
+        import json
+        import tempfile
+
+        from repro.traces import colstore
+        from repro.traces.columnar import ColumnarTrace
+
+        if self.config.cache_dir:
+            root = os.path.join(self.config.cache_dir, "traces")
+            os.makedirs(root, exist_ok=True)
+        else:
+            if self._store_dir is None:
+                self._store_dir = tempfile.TemporaryDirectory(
+                    prefix="repro-traces-"
+                )
+            root = self._store_dir.name
+        digest = hashlib.sha256(
+            json.dumps(self._trace_payload(app.name), sort_keys=True).encode()
+        ).hexdigest()[:32]
+        path = os.path.join(root, digest + colstore.STORE_EXTENSION)
+        if not colstore.is_store_file(path):
+            app.columnar_trace().save(path)
+        trace = ColumnarTrace.open(path, mmap=True)
+        trace.meta.setdefault("nproc", trace.nproc)
+        return trace
+
     def trace(self, app_name: str, beta: float | None = None):
         """The app's recorded trace (cached; β only matters for replays)."""
         cfg = self.config
         key = (app_name, cfg.iterations)
         trace = self._traces.get(key)
+        if trace is None and cfg.storage == "mmap":
+            # the store file on disk *is* the persistent artifact —
+            # the pickling result cache is bypassed entirely
+            app = build_app(
+                app_name,
+                iterations=cfg.iterations,
+                base_compute=cfg.base_compute,
+                platform=cfg.platform,
+            )
+            trace = self._mmap_trace(app)
+            self._traces[key] = trace
+            return trace
         if trace is None and self.cache is not None:
             trace = self.cache.get("trace", self._trace_payload(app_name))
             if trace is not None:

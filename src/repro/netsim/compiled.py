@@ -52,6 +52,7 @@ agreement of makespan and per-rank compute/comm/end times.
 
 from __future__ import annotations
 
+from array import array
 from time import perf_counter
 from typing import Any
 from collections.abc import Iterable, Sequence
@@ -114,20 +115,78 @@ _MARKER = 11        # (op, rank, label, iteration)
 _VAL_ARR = 0
 _VAL_RDV = 1
 
+#: Origin of an outstanding nonblocking request, packed into the low
+#: two bits of the requests-dict value (``mid << 2 | origin``).
+_REQ_ISE = 0   # eager isend: complete on post
+_REQ_ISR = 1   # rendezvous isend
+_REQ_IRE = 2   # eager irecv
+_REQ_IRR = 3   # rendezvous irecv
 
-class _Msg:
-    """One pre-paired point-to-point message (k-th send ↔ k-th recv)."""
+#: Instructions between release_pages() hints while compiling a
+#: memory-mapped world.  The advance worklist touches every rank's
+#: column pages once per pass, so the resident window grows at the
+#: emit rate between hints — a short stride is what actually caps the
+#: compiler's RSS, and madvise() is cheap at this cadence (~125 calls
+#: per million instructions).
+_RELEASE_INTERVAL = 1 << 16
 
-    __slots__ = ("eager", "slot", "wire", "sender_done", "sender_posted",
+#: Burst-axis block for chunked frequency sweeps (see
+#: ``CompiledProgram.evaluate_many``).  Deliberately much larger than
+#: the release stride: it bounds vectorised temporaries, not pages.
+_BURST_BLOCK = 1 << 20
+
+
+class _MsgArena:
+    """All pre-paired point-to-point messages, struct-of-arrays.
+
+    One logical message used to be a ``_Msg`` object (~100 B with its
+    GC header); at 100k-rank scale the million-plus messages of a
+    single world made the *compiler's* working set rival the columns
+    it was trying not to copy.  The arena stores the same five fields
+    as parallel flat arrays (~9 B per message) and a message is just an
+    index.  Messages of one channel are contiguous: channel ``cid``
+    owns indices ``[base[cid], base[cid] + count[cid])`` and the k-th
+    send on the channel pairs with the k-th recv, exactly as before.
+    """
+
+    __slots__ = ("eager", "slot", "sender_done", "sender_posted",
                  "recv_posted")
 
-    def __init__(self, eager: bool, slot: int, wire: float):
-        self.eager = eager
-        self.slot = slot
-        self.wire = wire
-        self.sender_done = False    # eager: wire arrival is on the tape
-        self.sender_posted = False  # rendezvous: sp slot is written
-        self.recv_posted = False    # rendezvous: rp slot is written
+    def __init__(self) -> None:
+        self.eager = bytearray()          # 1 = eager, 0 = rendezvous
+        self.slot = array("i")            # index into wire_eager / wire_rdv
+        self.sender_done = bytearray()    # eager: wire arrival on the tape
+        self.sender_posted = bytearray()  # rendezvous: sp slot written
+        self.recv_posted = bytearray()    # rendezvous: rp slot written
+
+    def add(self, eager: bool, slot: int) -> None:
+        self.eager.append(1 if eager else 0)
+        self.slot.append(slot)
+        self.sender_done.append(0)
+        self.sender_posted.append(0)
+        self.recv_posted.append(0)
+
+
+class _Channels:
+    """Channel table from :func:`_scan_channels` (indices, not objects)."""
+
+    __slots__ = ("ids", "base", "count", "arena", "wire_eager", "wire_rdv")
+
+    def __init__(
+        self,
+        ids: dict[int, int],
+        base: array,
+        count: array,
+        arena: _MsgArena,
+        wire_eager: array,
+        wire_rdv: array,
+    ):
+        self.ids = ids            # encoded (src, dst, tag) -> cid
+        self.base = base          # cid -> first message index
+        self.count = count        # cid -> message count
+        self.arena = arena
+        self.wire_eager = wire_eager
+        self.wire_rdv = wire_rdv
 
 
 class _Coll:
@@ -157,9 +216,20 @@ def _check_platform(platform: PlatformConfig) -> None:
         )
 
 
+#: Encoded channel keys: ``(src*nproc + dst) * 2**32 + (tag + 2**31)``.
+#: One small-int key per channel instead of a 3-tuple — the channel
+#: dict is the only per-channel Python structure the compiler keeps.
+_TAG_BIAS = 1 << 31
+_TAG_SPAN = 1 << 32
+
+
+def _enc_key(src: int, dst: int, tag: int, nproc: int) -> int:
+    return (src * nproc + dst) * _TAG_SPAN + (tag + _TAG_BIAS)
+
+
 def _scan_channels(
     world: ColumnarTrace, platform: PlatformConfig
-) -> tuple[dict[tuple[int, int, int], list[_Msg]], list[float], list[float]]:
+) -> _Channels:
     """Pair every p2p message and fix its protocol + wire cost.
 
     With wildcards rejected, the DES matcher pairs the k-th send on a
@@ -167,75 +237,163 @@ def _scan_channels(
     both sides — *provided* pairing cannot depend on timing.  That
     holds when a channel speaks one protocol and eager arrivals cannot
     overtake (non-decreasing sizes ⇒ non-decreasing wire times).
+
+    Zero-copy: reads the (possibly memory-mapped) columns through
+    per-rank views; the only per-event state kept is one flat
+    (channel-id, size) pair per send, later regrouped by a stable sort
+    — channel ids are assigned in first-send order, so grouped order
+    is exactly the old ``sends.items()`` insertion order and wire-slot
+    numbering is unchanged bit for bit.
     """
-    offsets = world.offsets.tolist()
-    kinds = world.kind.tolist()
-    peers = world.peer.tolist()
-    tags = world.tag.tolist()
-    sizes_col = world.size.tolist()
-    sends: dict[tuple[int, int, int], list[int]] = {}
-    recvs: dict[tuple[int, int, int], int] = {}
-    for rank in range(world.nproc):
-        for g in range(offsets[rank], offsets[rank + 1]):
-            k = kinds[g]
+    nproc = world.nproc
+    offsets = world.offsets
+    kind_col = world.kind
+    peer_col = world.peer
+    tag_col = world.tag
+    size_col = world.size
+
+    chan_ids: dict[int, int] = {}
+    chan_src = array("i")
+    chan_dst = array("i")
+    chan_tag = array("i")
+    send_cid = array("q")   # per send, in global scan order
+    send_size = array("q")
+    recv_counts: dict[int, int] = {}
+
+    next_release = _RELEASE_INTERVAL
+    for rank in range(nproc):
+        lo, hi = int(offsets[rank]), int(offsets[rank + 1])
+        if hi >= next_release:
+            # keep the resident window of mapped column pages bounded
+            # even though the scan walks every rank front to back
+            world.release_pages()
+            next_release = hi + _RELEASE_INTERVAL
+        if lo == hi:
+            continue
+        kinds = kind_col[lo:hi]
+        p2p = np.flatnonzero((kinds >= K_SEND) & (kinds <= K_IRECV))
+        if p2p.size == 0:
+            continue
+        kk = kinds[p2p].tolist()
+        pp = peer_col[lo:hi][p2p].tolist()
+        tt = tag_col[lo:hi][p2p].tolist()
+        ss = size_col[lo:hi][p2p].tolist()
+        for k, peer, tag, nb in zip(kk, pp, tt, ss):
             if k == K_SEND or k == K_ISEND:
-                dst = peers[g]
-                if dst == rank:
+                if peer == rank:
                     raise CompileError(f"rank {rank}: self-send")
-                sends.setdefault((rank, dst, tags[g]), []).append(sizes_col[g])
-            elif k == K_RECV or k == K_IRECV:
-                src = peers[g]
-                tag = tags[g]
-                if src < 0 or tag < 0:
+                enc = _enc_key(rank, peer, tag, nproc)
+                cid = chan_ids.get(enc)
+                if cid is None:
+                    cid = len(chan_ids)
+                    chan_ids[enc] = cid
+                    chan_src.append(rank)
+                    chan_dst.append(peer)
+                    chan_tag.append(tag)
+                send_cid.append(cid)
+                send_size.append(nb)
+            else:
+                if peer < 0 or tag < 0:
                     raise UnsupportedWorldError(
                         f"rank {rank}: ANY_SOURCE/ANY_TAG receive — matching "
                         "depends on arrival order; DES required"
                     )
-                if src == rank:
+                if peer == rank:
                     raise CompileError(f"rank {rank}: self-recv")
-                key = (src, rank, tag)
-                recvs[key] = recvs.get(key, 0) + 1
+                enc = _enc_key(peer, rank, tag, nproc)
+                recv_counts[enc] = recv_counts.get(enc, 0) + 1
 
-    for key in recvs:
-        if key not in sends:
+    nchan = len(chan_ids)
+    chan_nrecv = np.zeros(nchan, dtype=np.int64)
+    for enc, cnt in recv_counts.items():
+        cid = chan_ids.get(enc)
+        if cid is None:
+            src, rest = divmod(enc, _TAG_SPAN)
+            key = (src // nproc, src % nproc, rest - _TAG_BIAS)
             raise CompileError(
-                f"channel {key}: {recvs[key]} recv(s) but no sends"
+                f"channel {key}: {cnt} recv(s) but no sends"
             )
-    channels: dict[tuple[int, int, int], list[_Msg]] = {}
-    wire_eager: list[float] = []
-    wire_rdv: list[float] = []
+        chan_nrecv[cid] = cnt
+    del recv_counts
+
+    arena = _MsgArena()
+    wire_eager = array("d")
+    wire_rdv = array("d")
+    chan_base = array("q", bytes(8 * (nchan or 1)))[:nchan]
+    chan_count = array("i", bytes(4 * (nchan or 1)))[:nchan]
+    if nchan == 0:
+        return _Channels(chan_ids, chan_base, chan_count, arena,
+                         wire_eager, wire_rdv)
+
+    cids = np.frombuffer(send_cid, dtype=np.int64)
+    sizes_all = np.frombuffer(send_size, dtype=np.int64)
+    order = np.argsort(cids, kind="stable")
+    sorted_sizes = sizes_all[order]
+    counts = np.bincount(cids, minlength=nchan)
+    bases = np.zeros(nchan, dtype=np.int64)
+    np.cumsum(counts[:-1], out=bases[1:])
+    del cids, sizes_all, order, send_cid, send_size
+
+    def _key(cid: int) -> tuple[int, int, int]:
+        return (chan_src[cid], chan_dst[cid], chan_tag[cid])
+
     threshold = platform.eager_threshold
-    for key, sizes in sends.items():
-        nrecv = recvs.get(key, 0)
-        if len(sizes) != nrecv:
+    eager_all = sorted_sizes <= threshold
+    n_eager = np.add.reduceat(eager_all, bases)
+    mixed = (n_eager > 0) & (n_eager < counts)
+    decreasing = np.zeros(nchan, dtype=bool)
+    if sorted_sizes.shape[0] > 1:
+        rep = np.repeat(np.arange(nchan, dtype=np.int64), counts)
+        pair_bad = (
+            (sorted_sizes[1:] < sorted_sizes[:-1]) & (rep[1:] == rep[:-1])
+        )
+        decreasing[rep[1:][pair_bad]] = True
+        decreasing &= n_eager == counts
+        del rep
+    mismatch = counts != chan_nrecv
+    bad = mismatch | mixed | decreasing
+    if bad.any():
+        cid = int(np.argmax(bad))
+        key = _key(cid)
+        if mismatch[cid]:
             raise CompileError(
-                f"channel {key}: {len(sizes)} send(s) vs {nrecv} recv(s)"
+                f"channel {key}: {int(counts[cid])} send(s) vs "
+                f"{int(chan_nrecv[cid])} recv(s)"
             )
-        eager_flags = [nb <= threshold for nb in sizes]
-        if any(eager_flags) and not all(eager_flags):
+        if mixed[cid]:
             raise UnsupportedWorldError(
                 f"channel {key}: mixes eager and rendezvous messages — "
                 "matcher interleaving is timing-dependent; DES required"
             )
-        if all(eager_flags) and any(
-            a > b for a, b in zip(sizes, sizes[1:])
-        ):
-            raise UnsupportedWorldError(
-                f"channel {key}: eager sizes decrease in program order — "
-                "later messages could overtake; DES required"
-            )
-        src, dst, _tag = key
-        msgs = []
-        for nb, eager in zip(sizes, eager_flags):
-            wire = platform.transfer_time(nb, src, dst)
-            if eager:
-                msgs.append(_Msg(True, len(wire_eager), wire))
+        raise UnsupportedWorldError(
+            f"channel {key}: eager sizes decrease in program order — "
+            "later messages could overtake; DES required"
+        )
+
+    transfer_time = platform.transfer_time
+    pos = 0
+    for cid in range(nchan):
+        chan_base[cid] = pos
+        cnt = int(counts[cid])
+        chan_count[cid] = cnt
+        src = chan_src[cid]
+        dst = chan_dst[cid]
+        # unbox per channel, not per world: a single world-sized
+        # tolist() boxes millions of ints whose allocator arenas stay
+        # resident long after the list dies
+        sizes_list = sorted_sizes[pos : pos + cnt].tolist()
+        eager_list = eager_all[pos : pos + cnt].tolist()
+        for nb, is_eager in zip(sizes_list, eager_list):
+            wire = transfer_time(nb, src, dst)
+            if is_eager:
+                arena.add(True, len(wire_eager))
                 wire_eager.append(wire)
             else:
-                msgs.append(_Msg(False, len(wire_rdv), wire))
+                arena.add(False, len(wire_rdv))
                 wire_rdv.append(wire)
-        channels[key] = msgs
-    return channels, wire_eager, wire_rdv
+        pos += cnt
+    return _Channels(chan_ids, chan_base, chan_count, arena,
+                     wire_eager, wire_rdv)
 
 
 def compile_world(
@@ -297,159 +455,219 @@ def _compile_columns(
     DES cross-validation (:meth:`CompiledProgram.assert_equivalent`).
     """
     nproc = world.nproc
-    offsets = world.offsets.tolist()
-    kinds = world.kind.tolist()
-    durations = world.duration.tolist()
-    betas = world.beta.tolist()
-    peers = world.peer.tolist()
-    tags = world.tag.tolist()
-    sizes_col = world.size.tolist()
-    reqs = world.req.tolist()
-    auxs = world.aux.tolist()
-    labels = world.label.tolist()
-    collops = world.collop.tolist()
-    reqpool = world.reqpool.tolist()
+    offsets = world.offsets.tolist()   # nproc+1 entries; never event-sized
+    kinds = world.kind
+    durations = world.duration
+    betas = world.beta
+    peers = world.peer
+    tags = world.tag
+    sizes_col = world.size
+    reqs = world.req
+    auxs = world.aux
+    labels = world.label
+    collops = world.collop
+    reqpool = world.reqpool
     strings = world.strings
 
-    channels, wire_eager, wire_rdv = _scan_channels(world, platform)
-    send_k: dict[tuple[int, int, int], int] = {}
-    recv_k: dict[tuple[int, int, int], int] = {}
+    ch = _scan_channels(world, platform)
+    world.release_pages()  # scan touched every p2p column; drop the pages
+    chan_ids = ch.ids
+    chan_base = ch.base
+    chan_count = ch.count
+    msg_eager = ch.arena.eager
+    msg_slot = ch.arena.slot
+    sender_done = ch.arena.sender_done
+    sender_posted = ch.arena.sender_posted
+    recv_posted = ch.arena.recv_posted
+    nchan = len(chan_ids)
+    send_k = array("i", bytes(4 * nchan)) if nchan else array("i")
+    recv_k = array("i", bytes(4 * nchan)) if nchan else array("i")
 
-    instrs: list[tuple[Any, ...]] = []
-    dur: list[float] = []
-    beta: list[float] = []
-    brank: list[int] = []
-    coll_costs: list[float] = []
+    # struct-of-arrays instruction tape (see CompiledProgram)
+    codes = bytearray()
+    arg1 = array("i")
+    arg2 = array("i")
+    wait_off = array("q", [0])
+    wait_kind = bytearray()
+    wait_slot = array("i")
+    marker_label: list[str] = []
+    marker_iter = array("i")
+    dur = array("d")
+    beta = array("d")
+    brank = array("i")
+    coll_costs = array("d")
     colls: list[_Coll] = []
 
     pos = offsets[:nproc]          # per-rank cursor (global event index)
     ends = offsets[1:]
-    pending_rdv: list[_Msg | None] = [None] * nproc
+    pending_rdv: list[int | None] = [None] * nproc   # message index
     coll_idx = [0] * nproc
     coll_counted = [False] * nproc
-    requests: list[dict[int, tuple[str, _Msg]]] = [{} for _ in range(nproc)]
+    # Outstanding nonblocking requests in one flat dict for the whole
+    # world: key = req * nproc + rank (bijective over (req, rank)),
+    # value = mid << 2 | origin.  A dict per rank plus a tuple per
+    # entry keeps tens of MB of tiny objects live at 100k-rank scale.
+    requests: dict[int, int] = {}
+    outstanding = [0] * nproc
     default_beta = time_model.beta
 
-    def _next_msg(key: tuple[int, int, int], counters: dict) -> _Msg:
-        k = counters.get(key, 0)
-        counters[key] = k + 1
-        return channels[key][k]
+    def _next_msg(cid: int, counters: array) -> int:
+        k = counters[cid]
+        counters[cid] = k + 1
+        return chan_base[cid] + k
 
-    def _register(rank: int, req: int, entry: tuple[str, _Msg]) -> None:
-        if req in requests[rank]:
+    def _register(rank: int, req: int, entry: int) -> None:
+        key = req * nproc + rank
+        if key in requests:
             raise CompileError(f"rank {rank}: request id {req} reused")
-        requests[rank][req] = entry
+        requests[key] = entry
+        outstanding[rank] += 1
 
-    def _req_ready(entry: tuple[str, _Msg]) -> bool:
-        origin, msg = entry
-        if origin == "ise":
+    def _req_ready(entry: int) -> bool:
+        origin = entry & 3
+        if origin == _REQ_ISE:
             return True
-        if origin == "isr":
-            return msg.recv_posted
-        if origin == "ire":
-            return msg.sender_done
-        return msg.sender_posted  # "irr"
+        mid = entry >> 2
+        if origin == _REQ_ISR:
+            return recv_posted[mid] != 0
+        if origin == _REQ_IRE:
+            return sender_done[mid] != 0
+        return sender_posted[mid] != 0  # _REQ_IRR
 
-    def _req_val(entry: tuple[str, _Msg]) -> tuple[int, int] | None:
-        origin, msg = entry
-        if origin == "ise":  # eager isend buffers: completes on post
+    def _req_val(entry: int) -> tuple[int, int] | None:
+        origin = entry & 3
+        if origin == _REQ_ISE:  # eager isend buffers: completes on post
             return None
-        if origin == "ire":
-            return (_VAL_ARR, msg.slot)
-        return (_VAL_RDV, msg.slot)
+        if origin == _REQ_IRE:
+            return (_VAL_ARR, msg_slot[entry >> 2])
+        return (_VAL_RDV, msg_slot[entry >> 2])
 
     def _advance(rank: int) -> bool:
         """Emit as many of this rank's instructions as dependencies allow."""
         emitted = False
         end = ends[rank]
         while True:
-            blocked_send = pending_rdv[rank]
-            if blocked_send is not None:
-                if not blocked_send.recv_posted:
+            blocked_mid = pending_rdv[rank]
+            if blocked_mid is not None:
+                if not recv_posted[blocked_mid]:
                     return emitted
-                instrs.append((_SEND_RDV_DONE, rank, blocked_send.slot))
+                codes.append(_SEND_RDV_DONE)
+                arg1.append(rank)
+                arg2.append(msg_slot[blocked_mid])
                 pending_rdv[rank] = None
                 emitted = True
             g = pos[rank]
             if g >= end:
-                if requests[rank]:
+                if outstanding[rank]:
+                    leftover = sorted(
+                        key // nproc for key in requests
+                        if key % nproc == rank
+                    )
                     raise CompileError(
                         f"rank {rank} finished with outstanding requests "
-                        f"{sorted(requests[rank])}"
+                        f"{leftover}"
                     )
                 return emitted
             kind = kinds[g]
 
             if kind == K_COMPUTE:
-                instrs.append((_COMPUTE, rank, len(dur)))
+                codes.append(_COMPUTE)
+                arg1.append(rank)
+                arg2.append(len(dur))
                 dur.append(durations[g])
                 b = betas[g]
                 beta.append(default_beta if b != b else b)  # NaN ⇒ default
                 brank.append(rank)
 
             elif kind == K_MARKER:
-                instrs.append((_MARKER, rank, strings[labels[g]], auxs[g]))
+                codes.append(_MARKER)
+                arg1.append(rank)
+                arg2.append(len(marker_iter))
+                marker_label.append(strings[labels[g]])
+                marker_iter.append(int(auxs[g]))
 
             elif kind == K_SEND:
-                msg = _next_msg((rank, peers[g], tags[g]), send_k)
-                if msg.eager:
-                    instrs.append((_SEND_EAGER, rank, msg.slot))
-                    msg.sender_done = True
+                enc = _enc_key(rank, int(peers[g]), int(tags[g]), nproc)
+                mid = _next_msg(chan_ids[enc], send_k)
+                if msg_eager[mid]:
+                    codes.append(_SEND_EAGER)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    sender_done[mid] = 1
                 else:
-                    instrs.append((_SEND_RDV_POST, rank, msg.slot))
-                    msg.sender_posted = True
-                    pending_rdv[rank] = msg
+                    codes.append(_SEND_RDV_POST)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    sender_posted[mid] = 1
+                    pending_rdv[rank] = mid
                     pos[rank] = g + 1
                     emitted = True
                     continue  # completion handled at the top of the loop
 
             elif kind == K_ISEND:
-                msg = _next_msg((rank, peers[g], tags[g]), send_k)
-                if msg.eager:
-                    _register(rank, reqs[g], ("ise", msg))
-                    instrs.append((_SEND_EAGER, rank, msg.slot))
-                    msg.sender_done = True
+                enc = _enc_key(rank, int(peers[g]), int(tags[g]), nproc)
+                mid = _next_msg(chan_ids[enc], send_k)
+                if msg_eager[mid]:
+                    _register(rank, int(reqs[g]), mid << 2 | _REQ_ISE)
+                    codes.append(_SEND_EAGER)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    sender_done[mid] = 1
                 else:
-                    _register(rank, reqs[g], ("isr", msg))
-                    instrs.append((_ISEND_RDV, rank, msg.slot))
-                    msg.sender_posted = True
+                    _register(rank, int(reqs[g]), mid << 2 | _REQ_ISR)
+                    codes.append(_ISEND_RDV)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    sender_posted[mid] = 1
 
             elif kind == K_RECV:
-                key = (peers[g], rank, tags[g])
-                k = recv_k.get(key, 0)
-                if k >= len(channels.get(key, ())):
+                src, tag = int(peers[g]), int(tags[g])
+                enc = _enc_key(src, rank, tag, nproc)
+                cid = chan_ids.get(enc)
+                if cid is None or recv_k[cid] >= chan_count[cid]:
+                    key = (src, rank, tag)
                     raise CompileError(f"channel {key}: recv without a send")
-                msg = channels[key][k]
-                if msg.eager:
-                    if not msg.sender_done:
+                mid = _next_msg(cid, recv_k)
+                if msg_eager[mid]:
+                    if not sender_done[mid]:
+                        recv_k[cid] -= 1
                         return emitted
-                    instrs.append((_RECV_EAGER, rank, msg.slot))
+                    codes.append(_RECV_EAGER)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
                 else:
-                    if not msg.sender_posted:
+                    if not sender_posted[mid]:
+                        recv_k[cid] -= 1
                         return emitted
-                    instrs.append((_RECV_RDV, rank, msg.slot))
-                    msg.recv_posted = True
-                recv_k[key] = k + 1
+                    codes.append(_RECV_RDV)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    recv_posted[mid] = 1
 
             elif kind == K_IRECV:
-                msg = _next_msg((peers[g], rank, tags[g]), recv_k)
-                if msg.eager:
-                    _register(rank, reqs[g], ("ire", msg))
-                    instrs.append((_IRECV_EAGER, rank))
+                enc = _enc_key(int(peers[g]), rank, int(tags[g]), nproc)
+                mid = _next_msg(chan_ids[enc], recv_k)
+                if msg_eager[mid]:
+                    _register(rank, int(reqs[g]), mid << 2 | _REQ_IRE)
+                    codes.append(_IRECV_EAGER)
+                    arg1.append(rank)
+                    arg2.append(0)
                 else:
-                    _register(rank, reqs[g], ("irr", msg))
-                    instrs.append((_IRECV_RDV, rank, msg.slot))
-                    msg.recv_posted = True
+                    _register(rank, int(reqs[g]), mid << 2 | _REQ_IRR)
+                    codes.append(_IRECV_RDV)
+                    arg1.append(rank)
+                    arg2.append(msg_slot[mid])
+                    recv_posted[mid] = 1
 
             elif kind == K_WAIT or kind == K_WAITALL:
                 if kind == K_WAIT:
-                    ids: tuple[int, ...] = (reqs[g],)
+                    ids: tuple[int, ...] = (int(reqs[g]),)
                 else:
-                    lo = auxs[g]
-                    ids = tuple(reqpool[lo : lo + reqs[g]])
+                    lo = int(auxs[g])
+                    ids = tuple(reqpool[lo : lo + int(reqs[g])].tolist())
                 entries = []
                 for req in ids:
-                    entry = requests[rank].get(req)
+                    entry = requests.get(req * nproc + rank)
                     if entry is None:
                         raise CompileError(
                             f"rank {rank}: wait on unknown request {req}"
@@ -457,16 +675,22 @@ def _compile_columns(
                     entries.append(entry)
                 if not all(_req_ready(e) for e in entries):
                     return emitted
-                vals = tuple(
-                    v for v in (_req_val(e) for e in entries) if v is not None
-                )
-                instrs.append((_WAIT, rank, vals))
+                codes.append(_WAIT)
+                arg1.append(rank)
+                arg2.append(len(wait_off) - 1)
+                for e in entries:
+                    v = _req_val(e)
+                    if v is not None:
+                        wait_kind.append(v[0])
+                        wait_slot.append(v[1])
+                wait_off.append(len(wait_slot))
                 for req in ids:
-                    del requests[rank][req]
+                    del requests[req * nproc + rank]
+                outstanding[rank] -= len(ids)
 
             elif kind == K_COLLECTIVE:
                 op_name = COLLECTIVE_OPS[collops[g]]
-                root = peers[g]
+                root = int(peers[g])
                 index = coll_idx[rank]
                 while index >= len(colls):
                     colls.append(_Coll(op_name, root))
@@ -478,8 +702,9 @@ def _compile_columns(
                         f"ranks called {inst.op}(root={inst.root})"
                     )
                 if not coll_counted[rank]:
-                    if sizes_col[g] > inst.nbytes:
-                        inst.nbytes = sizes_col[g]
+                    nb = int(sizes_col[g])
+                    if nb > inst.nbytes:
+                        inst.nbytes = nb
                     inst.arrived += 1
                     coll_counted[rank] = True
                     if inst.arrived == nproc:
@@ -491,7 +716,9 @@ def _compile_columns(
                             raise CompileError(
                                 f"collective {inst.op}: {exc}"
                             ) from None
-                        instrs.append((_COLL, len(coll_costs)))
+                        codes.append(_COLL)
+                        arg1.append(len(coll_costs))
+                        arg2.append(0)
                         coll_costs.append(cost)
                         inst.emitted = True
                         emitted = True
@@ -510,6 +737,7 @@ def _compile_columns(
             pos[rank] = g + 1
             emitted = True
 
+    next_release = _RELEASE_INTERVAL
     remaining = True
     while remaining:
         progress = False
@@ -519,6 +747,12 @@ def _compile_columns(
                 progress = True
             if pos[rank] < ends[rank] or pending_rdv[rank] is not None:
                 remaining = True
+            if len(codes) >= next_release:
+                # release inside the pass: a single worklist sweep can
+                # emit most of the world, so waiting for the pass
+                # boundary would let every column page go resident
+                world.release_pages()
+                next_release = len(codes) + _RELEASE_INTERVAL
         if remaining and not progress:
             stuck = [
                 r for r in range(nproc)
@@ -528,20 +762,35 @@ def _compile_columns(
                 f"compile-time deadlock: ranks {stuck} cannot progress"
             )
 
+    world.release_pages()
     add_engine_stats(compiled_compiles=1)
     return CompiledProgram(
         nproc=nproc,
         platform=platform,
         time_model=time_model,
-        instrs=tuple(instrs),
+        codes=codes,
+        arg1=arg1,
+        arg2=arg2,
+        wait_off=wait_off,
+        wait_kind=wait_kind,
+        wait_slot=wait_slot,
+        marker_label=marker_label,
+        marker_iter=marker_iter,
         dur=dur,
         beta=beta,
         brank=brank,
-        wire_eager=wire_eager,
-        wire_rdv=wire_rdv,
+        wire_eager=ch.wire_eager,
+        wire_rdv=ch.wire_rdv,
         coll_costs=coll_costs,
         programs=programs,
     )
+
+
+def _pool_view(arr: array, dtype: Any) -> np.ndarray:
+    """Zero-copy numpy view over an ``array.array`` constant pool."""
+    if len(arr) == 0:
+        return np.empty(0, dtype=dtype)
+    return np.frombuffer(arr, dtype=dtype)
 
 
 class CompiledProgram:
@@ -551,6 +800,14 @@ class CompiledProgram:
     DES; ``evaluate_many`` prices a ``(K, nproc)`` batch in one tape
     pass.  Programs are immutable and reusable across any number of
     evaluations (the whole point).
+
+    The tape is struct-of-arrays: one opcode byte plus two int32
+    arguments per instruction (~9 B), with wait join lists, marker
+    payloads and burst constants in flat side pools — the tuple tape it
+    replaced cost ~20× that in boxed objects, which mattered once
+    100k-rank worlds stopped paying for column copies.  The legacy
+    tuple view is still available as :attr:`instrs` (materialised
+    lazily; tests and debuggers read it, the evaluators never do).
     """
 
     def __init__(
@@ -558,19 +815,33 @@ class CompiledProgram:
         nproc: int,
         platform: PlatformConfig,
         time_model: BetaTimeModel,
-        instrs: tuple[tuple[Any, ...], ...],
-        dur: list[float],
-        beta: list[float],
-        brank: list[int],
-        wire_eager: list[float],
-        wire_rdv: list[float],
-        coll_costs: list[float],
+        codes: bytearray,
+        arg1: array,
+        arg2: array,
+        wait_off: array,
+        wait_kind: bytearray,
+        wait_slot: array,
+        marker_label: list[str],
+        marker_iter: array,
+        dur: array,
+        beta: array,
+        brank: array,
+        wire_eager: array,
+        wire_rdv: array,
+        coll_costs: array,
         programs: "list[list[Record]] | ColumnarTrace",
     ):
         self.nproc = nproc
         self.platform = platform
         self.time_model = time_model
-        self.instrs = instrs
+        self._codes = codes
+        self._arg1 = arg1
+        self._arg2 = arg2
+        self._wait_off = wait_off
+        self._wait_kind = wait_kind
+        self._wait_slot = wait_slot
+        self._marker_label = marker_label
+        self._marker_iter = marker_iter
         self._dur = dur
         self._beta = beta
         self._brank = brank
@@ -578,14 +849,49 @@ class CompiledProgram:
         self._wire_rdv = wire_rdv
         self._coll_costs = coll_costs
         self._programs = programs
-        # numpy constant pools for the batch VM
-        self._np_dur = np.asarray(dur, dtype=float)
-        self._np_beta = np.asarray(beta, dtype=float)
-        self._np_brank = np.asarray(brank, dtype=np.intp)
+        self._instrs_cache: tuple[tuple[Any, ...], ...] | None = None
+        # numpy constant pools for the batch VM (views, not copies)
+        self._np_dur = _pool_view(dur, float)
+        self._np_beta = _pool_view(beta, float)
+        self._np_brank = _pool_view(brank, np.int32)
 
     @property
     def n_instructions(self) -> int:
-        return len(self.instrs)
+        return len(self._codes)
+
+    @property
+    def instrs(self) -> tuple[tuple[Any, ...], ...]:
+        """The tape as legacy instruction tuples (lazy; debug/tests)."""
+        cached = self._instrs_cache
+        if cached is None:
+            cached = self._materialise_instrs()
+            self._instrs_cache = cached
+        return cached
+
+    def _materialise_instrs(self) -> tuple[tuple[Any, ...], ...]:
+        codes, a1, a2 = self._codes, self._arg1, self._arg2
+        woff, wkind, wslot = self._wait_off, self._wait_kind, self._wait_slot
+        mlabel, miter = self._marker_label, self._marker_iter
+        out: list[tuple[Any, ...]] = []
+        for i in range(len(codes)):
+            code = codes[i]
+            if code == _WAIT:
+                wid = a2[i]
+                vals = tuple(
+                    (wkind[j], wslot[j])
+                    for j in range(woff[wid], woff[wid + 1])
+                )
+                out.append((code, a1[i], vals))
+            elif code == _MARKER:
+                mid = a2[i]
+                out.append((code, a1[i], mlabel[mid], miter[mid]))
+            elif code == _COLL:
+                out.append((code, a1[i]))
+            elif code == _IRECV_EAGER:
+                out.append((code, a1[i]))
+            else:
+                out.append((code, a1[i], a2[i]))
+        return tuple(out)
 
     # ------------------------------------------------------------------
     def _normalize(self, frequencies: Any) -> np.ndarray | None:
@@ -603,7 +909,7 @@ class CompiledProgram:
         start = perf_counter()
         nproc = self.nproc
         if freqs is None:
-            sdur = self._dur
+            sdur: Sequence[float] = self._dur
         else:
             fmax = self.time_model.fmax
             # same operand order as timemodel.time_ratio, per burst
@@ -624,24 +930,27 @@ class CompiledProgram:
         send_ov = self.platform.send_overhead
         recv_ov = self.platform.recv_overhead
         ranks = range(nproc)
+        codes, a1, a2 = self._codes, self._arg1, self._arg2
+        woff, wkind, wslot = self._wait_off, self._wait_kind, self._wait_slot
+        mlabel, miter = self._marker_label, self._marker_iter
 
-        for ins in self.instrs:
-            code = ins[0]
+        for i in range(len(codes)):
+            code = codes[i]
             if code == _COMPUTE:
-                r = ins[1]
+                r = a1[i]
                 t0 = t[r]
-                nt = t0 + sdur[ins[2]]
+                nt = t0 + sdur[a2[i]]
                 comp[r] += nt - t0
                 t[r] = nt
             elif code == _SEND_EAGER:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 arr[m] = t0 + wire_e[m]
                 nt = t0 + send_ov
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _RECV_EAGER:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 tr = t0 + recv_ov
                 a = arr[m]
@@ -649,11 +958,13 @@ class CompiledProgram:
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _WAIT:
-                r = ins[1]
+                r = a1[i]
                 t0 = t[r]
                 cur = t0
-                for vk, m in ins[2]:
-                    if vk == _VAL_ARR:
+                wid = a2[i]
+                for j in range(woff[wid], woff[wid + 1]):
+                    m = wslot[j]
+                    if wkind[j] == _VAL_ARR:
                         val = arr[m]
                     else:
                         s, p = sp[m], rp[m]
@@ -663,28 +974,28 @@ class CompiledProgram:
                 comm[r] += cur - t0
                 t[r] = cur
             elif code == _COLL:
-                lv = max(t) + costs[ins[1]]
+                lv = max(t) + costs[a1[i]]
                 for r in ranks:
                     comm[r] += lv - t[r]
                     t[r] = lv
             elif code == _SEND_RDV_POST:
-                sp[ins[2]] = t[ins[1]]
+                sp[a2[i]] = t[a1[i]]
             elif code == _SEND_RDV_DONE:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 s, p = sp[m], rp[m]
                 nt = (s if s >= p else p) + wire_r[m]
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _ISEND_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 sp[m] = t0
                 nt = t0 + send_ov
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _RECV_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 tr = t0 + recv_ov
                 rp[m] = tr
@@ -693,28 +1004,29 @@ class CompiledProgram:
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _IRECV_EAGER:
-                r = ins[1]
+                r = a1[i]
                 t0 = t[r]
                 nt = t0 + recv_ov
                 comm[r] += nt - t0
                 t[r] = nt
             elif code == _IRECV_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 t0 = t[r]
                 rp[m] = t0
                 nt = t0 + recv_ov
                 comm[r] += nt - t0
                 t[r] = nt
             else:  # _MARKER
-                r = ins[1]
-                markers[r].append(Marker(t[r], ins[2], ins[3]))
+                r = a1[i]
+                mid = a2[i]
+                markers[r].append(Marker(t[r], mlabel[mid], miter[mid]))
 
         end_times = np.array(t)
         elapsed = perf_counter() - start
         add_engine_stats(
             compiled_runs=1,
             compiled_evaluations=1,
-            compiled_instructions=len(self.instrs),
+            compiled_instructions=len(codes),
             compiled_seconds=elapsed,
         )
         return RunResult(
@@ -722,7 +1034,7 @@ class CompiledProgram:
             compute_times=np.array(comp),
             comm_times=np.array(comm),
             end_times=end_times,
-            events=len(self.instrs),
+            events=len(codes),
             intervals=None,
             markers=markers,
             trace=None,
@@ -731,7 +1043,9 @@ class CompiledProgram:
         )
 
     # ------------------------------------------------------------------
-    def evaluate_many(self, frequencies: Any) -> dict[str, np.ndarray]:
+    def evaluate_many(
+        self, frequencies: Any, *, burst_block: int | None = None
+    ) -> dict[str, np.ndarray]:
         """Price K assignments in one vectorised tape pass.
 
         ``frequencies`` is a ``(K, nproc)`` array-like of per-rank GHz.
@@ -739,6 +1053,14 @@ class CompiledProgram:
         ``compute_times`` / ``comm_times`` / ``end_times`` ``(K,
         nproc)`` — each row bit-identical to :meth:`evaluate` (markers
         are not materialised in batch mode).
+
+        ``burst_block`` bounds the duration-scaling *temporaries* to
+        ``O(K × burst_block)`` by filling the scaled-duration pool in
+        fixed-size slices along the burst axis.  Blocking cannot change
+        results — the scaling is elementwise, so every slice computes
+        the same operations on the same operands — it only matters for
+        out-of-core worlds where three full ``(K, nbursts)`` gather
+        temporaries would rival the mapped columns they avoid.
         """
         fmat = np.asarray(frequencies, dtype=float)
         if fmat.ndim != 2 or fmat.shape[1] != self.nproc:
@@ -752,8 +1074,19 @@ class CompiledProgram:
         K = fmat.shape[0]
         nproc = self.nproc
         r1 = self.time_model.fmax / fmat - 1.0            # (K, nproc)
-        ratio = self._np_beta * r1[:, self._np_brank] + 1.0
-        sdur = self._np_dur * ratio                        # (K, nbursts)
+        nbursts = self._np_dur.shape[0]
+        if burst_block is None or burst_block >= nbursts:
+            ratio = self._np_beta * r1[:, self._np_brank] + 1.0
+            sdur = self._np_dur * ratio                    # (K, nbursts)
+            del ratio
+        else:
+            sdur = np.empty((K, nbursts))
+            for lo in range(0, nbursts, burst_block):
+                hi = lo + burst_block
+                sdur[:, lo:hi] = self._np_dur[lo:hi] * (
+                    self._np_beta[lo:hi] * r1[:, self._np_brank[lo:hi]]
+                    + 1.0
+                )
         t = np.zeros((K, nproc))
         comp = np.zeros((K, nproc))
         comm = np.zeros((K, nproc))
@@ -765,34 +1098,38 @@ class CompiledProgram:
         send_ov = self.platform.send_overhead
         recv_ov = self.platform.recv_overhead
         maximum = np.maximum
+        codes, a1, a2 = self._codes, self._arg1, self._arg2
+        woff, wkind, wslot = self._wait_off, self._wait_kind, self._wait_slot
 
-        for ins in self.instrs:
-            code = ins[0]
+        for i in range(len(codes)):
+            code = codes[i]
             if code == _COMPUTE:
-                r = ins[1]
+                r = a1[i]
                 col = t[:, r]
-                nt = col + sdur[:, ins[2]]
+                nt = col + sdur[:, a2[i]]
                 comp[:, r] += nt - col
                 t[:, r] = nt
             elif code == _SEND_EAGER:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 arr[:, m] = col + wire_e[m]
                 nt = col + send_ov
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _RECV_EAGER:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 nt = maximum(col + recv_ov, arr[:, m])
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _WAIT:
-                r = ins[1]
+                r = a1[i]
                 col = t[:, r]
                 cur = col
-                for vk, m in ins[2]:
-                    if vk == _VAL_ARR:
+                wid = a2[i]
+                for j in range(woff[wid], woff[wid + 1]):
+                    m = wslot[j]
+                    if wkind[j] == _VAL_ARR:
                         val = arr[:, m]
                     else:
                         val = maximum(sp[:, m], rp[:, m]) + wire_r[m]
@@ -801,26 +1138,26 @@ class CompiledProgram:
                     comm[:, r] += cur - col
                     t[:, r] = cur
             elif code == _COLL:
-                lv = t.max(axis=1) + costs[ins[1]]
+                lv = t.max(axis=1) + costs[a1[i]]
                 comm += lv[:, None] - t
                 t[:] = lv[:, None]
             elif code == _SEND_RDV_POST:
-                sp[:, ins[2]] = t[:, ins[1]]
+                sp[:, a2[i]] = t[:, a1[i]]
             elif code == _SEND_RDV_DONE:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 nt = maximum(sp[:, m], rp[:, m]) + wire_r[m]
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _ISEND_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 sp[:, m] = col
                 nt = col + send_ov
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _RECV_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 tr = col + recv_ov
                 rp[:, m] = tr
@@ -828,13 +1165,13 @@ class CompiledProgram:
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _IRECV_EAGER:
-                r = ins[1]
+                r = a1[i]
                 col = t[:, r]
                 nt = col + recv_ov
                 comm[:, r] += nt - col
                 t[:, r] = nt
             elif code == _IRECV_RDV:
-                r, m = ins[1], ins[2]
+                r, m = a1[i], a2[i]
                 col = t[:, r]
                 rp[:, m] = col
                 nt = col + recv_ov
@@ -846,7 +1183,7 @@ class CompiledProgram:
         add_engine_stats(
             compiled_runs=1,
             compiled_evaluations=K,
-            compiled_instructions=len(self.instrs) * K,
+            compiled_instructions=len(codes) * K,
             compiled_seconds=elapsed,
         )
         return {
@@ -1017,10 +1354,13 @@ class CompiledReplayEngine:
 
         ``chunk_size`` bounds the candidate count per vectorised tape
         pass, which bounds peak working-set memory (each pass allocates
-        ``O(chunk × (nproc + messages))`` floats).  Chunking cannot
-        change results: :meth:`CompiledProgram.evaluate_many` computes
-        every row independently, so the concatenation of chunked passes
-        is bit-identical to one full pass.
+        ``O(chunk × (nproc + messages))`` floats; the burst-scaling
+        temporaries are additionally blocked along the burst axis).
+        Chunking cannot change results:
+        :meth:`CompiledProgram.evaluate_many` computes every row
+        independently and the burst blocking is elementwise, so the
+        concatenation of chunked passes is bit-identical to one full
+        pass.
         """
         program = self.compile_trace(trace)
         fmat = np.asarray(frequencies, dtype=float)
@@ -1033,7 +1373,10 @@ class CompiledReplayEngine:
             parts = [program.evaluate_many(fmat)]
         else:
             parts = [
-                program.evaluate_many(fmat[lo : lo + chunk_size])
+                program.evaluate_many(
+                    fmat[lo : lo + chunk_size],
+                    burst_block=_BURST_BLOCK,
+                )
                 for lo in range(0, K, chunk_size)
             ]
         add_engine_stats(

@@ -101,6 +101,7 @@ def _runner_config(spec: dict[str, Any]):
         platform=_resolve_platform(spec.get("platform")),
         cache_dir=spec.get("cache_dir"),
         engine=spec.get("engine", "auto"),
+        storage=spec.get("storage", "memory"),
         power_cap=spec.get("power_cap"),
     )
 

@@ -1,0 +1,663 @@
+"""Binary on-disk columnar trace store (out-of-core worlds).
+
+The JSON-lines codec (:mod:`repro.traces.jsonio`) is the archival
+format; this module is the *operational* one: a
+:class:`~repro.traces.columnar.ColumnarTrace` saved here can be
+reopened with ``mmap=True`` so every pooled column is backed by a
+read-only memory mapping — a 100k-rank world then costs pages, not
+RSS, and the zero-copy compile core reads events straight off the map.
+
+File layout (all integers little-endian)::
+
+    [0:8)    magic  b"RPCS\\x01\\x00\\x00\\x00"
+    [8:12)   header length (uint32)
+    [12:+L)  header JSON (utf-8)
+    [..:+32) SHA-256 of the header JSON bytes
+    ...      zero padding to the next 64-byte boundary
+    payload  sections, each 64-byte aligned:
+             offsets, kind, duration, beta, peer, tag, size, req,
+             aux, label, collop, reqpool, strings (utf-8 JSON array)
+
+The header records ``nproc``/``n_events``/``meta``, a per-column
+``{name, dtype, offset, count}`` table (offsets relative to the
+payload start) and the SHA-256 of the whole payload — the same
+digest-framing discipline as :class:`~repro.experiments.cache
+.ResultCache` blobs, written atomically (temp file + rename).  A
+non-mmap :func:`open_trace` verifies the payload digest before
+trusting a byte; an mmap open verifies the header frame eagerly and
+leaves payload verification opt-in (``verify=True`` streams the file
+through the hash *without* touching the mapping, so verification never
+inflates resident set).
+
+Shard stitching (:func:`stitch_stores`) is how parallel generation
+scales: each worker saves a disjoint rank-range shard (full-length CSR
+offsets, zero outside its range) and the parent concatenates columns
+shard-by-shard while rewriting the global offsets, re-interning the
+string pool and rebasing waitall ``aux`` pointers into the merged
+request pool.  The parent never holds more than one shard's columns.
+
+Everything here opens maps strictly read-only (``mmap.ACCESS_READ``);
+the DT004 determinism rule lints exactly that invariant over the
+kernel packages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap as _mmap
+import os
+import tempfile
+from typing import IO, Any, BinaryIO
+
+import numpy as np
+
+from repro.traces.columnar import K_WAITALL, ColumnarTrace
+
+__all__ = [
+    "STORE_EXTENSION",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "describe_store",
+    "is_store_file",
+    "open_trace",
+    "save_trace",
+    "stitch_stores",
+]
+
+#: Leading bytes of every store file (the sniffable prefix).
+STORE_MAGIC = b"RPCS\x01\x00\x00\x00"
+STORE_VERSION = 1
+#: Conventional extension ("repro columnar store"); sniffing works
+#: regardless, but the codecs dispatch on it.
+STORE_EXTENSION = ".rpcs"
+
+_FORMAT_NAME = "repro-colstore"
+_ALIGN = 64
+_DIGEST_BYTES = 32
+_CHUNK = 4 << 20  # streaming read/write/hash granularity
+_SHA_PLACEHOLDER = "0" * 64
+
+#: Column name -> required on-disk dtype (strict: open rejects drift).
+_COLUMN_DTYPES: tuple[tuple[str, str], ...] = (
+    ("offsets", "<i8"),
+    ("kind", "|i1"),
+    ("duration", "<f8"),
+    ("beta", "<f8"),
+    ("peer", "<i4"),
+    ("tag", "<i4"),
+    ("size", "<i8"),
+    ("req", "<i4"),
+    ("aux", "<i4"),
+    ("label", "<i4"),
+    ("collop", "|i1"),
+    ("reqpool", "<i4"),
+)
+
+
+class StoreError(ValueError):
+    """The file is not a (valid) columnar trace store."""
+
+
+def is_store_file(path: str | os.PathLike) -> bool:
+    """Sniff the magic bytes (False on unreadable/short files)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(STORE_MAGIC)) == STORE_MAGIC
+    except OSError:
+        return False
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _header_bytes(header: dict[str, Any]) -> bytes:
+    return json.dumps(header, ensure_ascii=False).encode("utf-8")
+
+
+def _layout(
+    counts: dict[str, int], strings_nbytes: int
+) -> tuple[dict[str, dict[str, Any]], int, int]:
+    """Section table (payload-relative offsets) + strings offset + size."""
+    sections: dict[str, dict[str, Any]] = {}
+    cursor = 0
+    for name, dtype in _COLUMN_DTYPES:
+        nbytes = counts[name] * np.dtype(dtype).itemsize
+        sections[name] = {
+            "dtype": dtype,
+            "offset": cursor,
+            "count": counts[name],
+        }
+        cursor = _align(cursor + nbytes)
+    strings_offset = cursor
+    payload_nbytes = cursor + strings_nbytes
+    return sections, strings_offset, payload_nbytes
+
+
+def _write_frame(
+    fh: BinaryIO, header: dict[str, Any]
+) -> tuple[int, int]:
+    """Write magic + header + digest + padding; returns
+    (header_rewrite_offset, payload_offset)."""
+    blob = _header_bytes(header)
+    fh.write(STORE_MAGIC)
+    fh.write(len(blob).to_bytes(4, "little"))
+    fh.write(blob)
+    fh.write(hashlib.sha256(blob).digest())
+    end = len(STORE_MAGIC) + 4 + len(blob) + _DIGEST_BYTES
+    payload_offset = _align(end)
+    fh.write(b"\x00" * (payload_offset - end))
+    return len(STORE_MAGIC), payload_offset
+
+
+def _write_section(
+    fh: BinaryIO, hasher: Any, data: memoryview | bytes, pad: bool = True
+) -> None:
+    """Write one section (chunked) followed by its alignment padding.
+
+    The final (strings) section is written with ``pad=False``: the
+    payload digest covers exactly ``payload_nbytes`` bytes, which ends
+    where the strings end.
+    """
+    view = memoryview(data).cast("B") if not isinstance(data, bytes) else data
+    total = len(view)
+    for lo in range(0, total, _CHUNK):
+        chunk = view[lo : lo + _CHUNK]
+        fh.write(chunk)
+        hasher.update(chunk)
+    if pad:
+        n = _align(total) - total
+        if n:
+            zeros = b"\x00" * n
+            fh.write(zeros)
+            hasher.update(zeros)
+
+
+def _column_view(col: np.ndarray, dtype: str) -> memoryview:
+    arr = np.ascontiguousarray(col, dtype=np.dtype(dtype))
+    return memoryview(arr).cast("B")
+
+
+def _meta_jsonable(meta: dict[str, Any]) -> dict[str, Any]:
+    try:
+        json.dumps(meta)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(
+            f"trace meta is not JSON-serialisable: {exc}"
+        ) from None
+    return meta
+
+
+def _base_header(
+    nproc: int, n_events: int, meta: dict[str, Any],
+    sections: dict[str, dict[str, Any]],
+    strings_offset: int, strings_nbytes: int, strings_count: int,
+    payload_nbytes: int,
+) -> dict[str, Any]:
+    return {
+        "format": _FORMAT_NAME,
+        "version": STORE_VERSION,
+        "nproc": nproc,
+        "n_events": n_events,
+        "meta": _meta_jsonable(meta),
+        "columns": sections,
+        "strings": {
+            "offset": strings_offset,
+            "nbytes": strings_nbytes,
+            "count": strings_count,
+        },
+        "payload_nbytes": payload_nbytes,
+        "payload_sha256": _SHA_PLACEHOLDER,
+    }
+
+
+def _finalise_header(
+    fh: BinaryIO, rewrite_at: int, header: dict[str, Any], digest: str
+) -> None:
+    """Seek back and patch the payload digest into the header frame.
+
+    The placeholder and the real digest are both 64 hex chars, so the
+    header length — and with it every payload offset — is unchanged.
+    """
+    header["payload_sha256"] = digest
+    blob = _header_bytes(header)
+    fh.seek(rewrite_at)
+    fh.write(len(blob).to_bytes(4, "little"))
+    fh.write(blob)
+    fh.write(hashlib.sha256(blob).digest())
+
+
+def save_trace(trace: ColumnarTrace, path: str | os.PathLike) -> None:
+    """Serialise ``trace`` to a store file (atomic temp + rename)."""
+    path = os.fspath(path)
+    strings_blob = json.dumps(
+        list(trace.strings), ensure_ascii=False
+    ).encode("utf-8")
+    counts = {name: 0 for name, _ in _COLUMN_DTYPES}
+    counts["offsets"] = trace.nproc + 1
+    counts["reqpool"] = int(trace.reqpool.shape[0])
+    for name in counts:
+        if name not in ("offsets", "reqpool"):
+            counts[name] = trace.n_events
+    sections, strings_offset, payload_nbytes = _layout(
+        counts, len(strings_blob)
+    )
+    header = _base_header(
+        trace.nproc, trace.n_events, trace.meta, sections,
+        strings_offset, len(strings_blob), len(trace.strings),
+        payload_nbytes,
+    )
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=".colstore-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            rewrite_at, _ = _write_frame(fh, header)
+            hasher = hashlib.sha256()
+            for name, dtype in _COLUMN_DTYPES:
+                _write_section(
+                    fh, hasher, _column_view(getattr(trace, name), dtype)
+                )
+            _write_section(fh, hasher, strings_blob, pad=False)
+            _finalise_header(fh, rewrite_at, header, hasher.hexdigest())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        _unlink_quietly(tmp)
+        raise
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _read_exact(fh: IO[bytes], n: int, what: str) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise StoreError(f"truncated store file: short read in {what}")
+    return data
+
+
+def _read_header(fh: BinaryIO, path: str) -> tuple[dict[str, Any], int]:
+    """Verify the header frame; returns (header, payload_offset)."""
+    magic = fh.read(len(STORE_MAGIC))
+    if magic != STORE_MAGIC:
+        raise StoreError(f"{path!r} is not a columnar trace store")
+    length = int.from_bytes(_read_exact(fh, 4, "header length"), "little")
+    blob = _read_exact(fh, length, "header")
+    digest = _read_exact(fh, _DIGEST_BYTES, "header digest")
+    if hashlib.sha256(blob).digest() != digest:
+        raise StoreError(f"{path!r}: header digest mismatch")
+    try:
+        header = json.loads(blob)
+    except ValueError as exc:
+        raise StoreError(f"{path!r}: corrupt header JSON: {exc}") from None
+    if header.get("format") != _FORMAT_NAME:
+        raise StoreError(
+            f"{path!r}: unknown store format {header.get('format')!r}"
+        )
+    if header.get("version") != STORE_VERSION:
+        raise StoreError(
+            f"{path!r}: unsupported store version "
+            f"{header.get('version')!r} (expected {STORE_VERSION})"
+        )
+    payload_offset = _align(
+        len(STORE_MAGIC) + 4 + length + _DIGEST_BYTES
+    )
+    return header, payload_offset
+
+
+def _check_columns(header: dict[str, Any], path: str) -> None:
+    columns = header.get("columns")
+    if not isinstance(columns, dict):
+        raise StoreError(f"{path!r}: header has no column table")
+    for name, dtype in _COLUMN_DTYPES:
+        spec = columns.get(name)
+        if spec is None:
+            raise StoreError(f"{path!r}: column {name!r} missing")
+        if spec.get("dtype") != dtype:
+            raise StoreError(
+                f"{path!r}: column {name!r} has dtype "
+                f"{spec.get('dtype')!r}, expected {dtype!r}"
+            )
+
+
+def _verify_payload(
+    fh: IO[bytes], payload_offset: int, header: dict[str, Any], path: str
+) -> None:
+    """Stream the payload through SHA-256 via plain reads (no mapping)."""
+    fh.seek(payload_offset)
+    hasher = hashlib.sha256()
+    remaining = int(header["payload_nbytes"])
+    while remaining > 0:
+        chunk = fh.read(min(_CHUNK, remaining))
+        if not chunk:
+            raise StoreError(f"{path!r}: truncated payload")
+        hasher.update(chunk)
+        remaining -= len(chunk)
+    if hasher.hexdigest() != header["payload_sha256"]:
+        raise StoreError(f"{path!r}: payload digest mismatch")
+
+
+def _load_strings(buf: Any, header: dict[str, Any], base: int,
+                  path: str) -> tuple[str, ...]:
+    spec = header["strings"]
+    lo = base + int(spec["offset"])
+    raw = bytes(buf[lo : lo + int(spec["nbytes"])])
+    try:
+        strings = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise StoreError(f"{path!r}: corrupt string pool: {exc}") from None
+    if not isinstance(strings, list) or len(strings) != int(spec["count"]):
+        raise StoreError(f"{path!r}: string pool shape mismatch")
+    return tuple(strings)
+
+
+def _columns_from_buffer(
+    buf: Any, header: dict[str, Any], base: int
+) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for name, dtype in _COLUMN_DTYPES:
+        spec = header["columns"][name]
+        out[name] = np.frombuffer(
+            buf,
+            dtype=np.dtype(dtype),
+            count=int(spec["count"]),
+            offset=base + int(spec["offset"]),
+        )
+    return out
+
+
+def open_trace(
+    path: str | os.PathLike,
+    mmap: bool = False,
+    verify: bool | None = None,
+) -> ColumnarTrace:
+    """Open a store file as a :class:`ColumnarTrace`.
+
+    ``mmap=True`` backs every column with a single shared read-only
+    memory mapping: opening costs pages, not RSS, and the returned
+    trace exposes :meth:`ColumnarTrace.release_pages` so long scans can
+    drop clean pages mid-flight.  ``mmap=False`` reads the payload into
+    process memory (columns are then writable).
+
+    ``verify`` controls payload digest verification and defaults to
+    the safe choice per mode: ``True`` for in-memory opens (the bytes
+    are all read anyway) and ``False`` for mmap opens (verification
+    would stream the whole file; opt in when provenance is doubtful —
+    it hashes via plain reads and never touches the mapping).  The
+    header frame is always verified.
+    """
+    path = os.fspath(path)
+    if verify is None:
+        verify = not mmap
+    fh = open(path, "rb")
+    try:
+        header, payload_offset = _read_header(fh, path)
+        _check_columns(header, path)
+        nproc = int(header["nproc"])
+        meta = header.get("meta") or {}
+        if mmap:
+            if verify:
+                _verify_payload(fh, payload_offset, header, path)
+            mapping = _mmap.mmap(
+                fh.fileno(), 0, access=_mmap.ACCESS_READ
+            )
+            columns = _columns_from_buffer(mapping, header, payload_offset)
+            strings = _load_strings(mapping, header, payload_offset, path)
+        else:
+            fh.seek(payload_offset)
+            payload = bytearray(
+                _read_exact(fh, int(header["payload_nbytes"]), "payload")
+            )
+            if verify:
+                hasher = hashlib.sha256()
+                view = memoryview(payload)
+                for lo in range(0, len(view), _CHUNK):
+                    hasher.update(view[lo : lo + _CHUNK])
+                if hasher.hexdigest() != header["payload_sha256"]:
+                    raise StoreError(f"{path!r}: payload digest mismatch")
+            mapping = None
+            columns = _columns_from_buffer(payload, header, 0)
+            strings = _load_strings(payload, header, 0, path)
+    finally:
+        fh.close()
+
+    offsets = columns.pop("offsets")
+    reqpool = columns.pop("reqpool")
+    try:
+        trace = ColumnarTrace(
+            nproc=nproc,
+            meta=meta,
+            offsets=offsets,
+            reqpool=reqpool,
+            strings=strings,
+            **columns,
+        )
+    except ValueError as exc:
+        raise StoreError(f"{path!r}: inconsistent store: {exc}") from None
+    if int(header["n_events"]) != trace.n_events:
+        raise StoreError(
+            f"{path!r}: header claims {header['n_events']} events, "
+            f"offsets say {trace.n_events}"
+        )
+    if mapping is not None:
+        trace.attach_mapping(mapping, source=path)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# shard stitching
+
+
+def _string_merge(
+    shards: list[ColumnarTrace],
+) -> tuple[list[str], list[np.ndarray]]:
+    """Merged pool (first occurrence in shard order) + per-shard remaps.
+
+    Shards cover increasing rank ranges, so first-occurrence-in-shard-
+    order is exactly the order sequential generation would intern —
+    stitched stores are column-identical to single-process ones.
+    """
+    merged: list[str] = []
+    ids: dict[str, int] = {}
+    remaps: list[np.ndarray] = []
+    for shard in shards:
+        remap = np.empty(len(shard.strings), dtype=np.int32)
+        for i, text in enumerate(shard.strings):
+            idx = ids.get(text)
+            if idx is None:
+                idx = len(merged)
+                merged.append(text)
+                ids[text] = idx
+            remap[i] = idx
+        remaps.append(remap)
+    return merged, remaps
+
+
+def stitch_stores(
+    shard_paths: list[str],
+    out_path: str | os.PathLike,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Concatenate disjoint rank-range shard stores into one store.
+
+    Every shard must carry the full world's ``nproc`` (its CSR offsets
+    are full-length, zero-count outside the shard's rank range) and the
+    shards must cover *disjoint, increasing* rank ranges — which is how
+    :meth:`AppSkeleton.columnar_trace` emits them.  Columns stream
+    shard-by-shard: the parent's working set stays one shard, whatever
+    the world size.
+    """
+    if not shard_paths:
+        raise StoreError("need at least one shard")
+    shards = [open_trace(p, mmap=True) for p in shard_paths]
+    try:
+        nproc = shards[0].nproc
+        for p, s in zip(shard_paths[1:], shards[1:]):
+            if s.nproc != nproc:
+                raise StoreError(
+                    f"shard {p!r} has nproc={s.nproc}, expected {nproc}"
+                )
+        counts = np.zeros(nproc, dtype=np.int64)
+        prev_hi = 0
+        for p, s in zip(shard_paths, shards):
+            shard_counts = np.diff(s.offsets)
+            nz = np.flatnonzero(shard_counts)
+            if nz.size:
+                lo, hi = int(nz[0]), int(nz[-1]) + 1
+                if lo < prev_hi:
+                    raise StoreError(
+                        f"shard {p!r} overlaps an earlier shard "
+                        f"(rank {lo} < {prev_hi})"
+                    )
+                prev_hi = hi
+            counts += shard_counts
+        offsets = np.zeros(nproc + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        n_events = int(offsets[-1])
+
+        merged_strings, remaps = _string_merge(shards)
+        strings_blob = json.dumps(
+            merged_strings, ensure_ascii=False
+        ).encode("utf-8")
+        reqpool_total = int(sum(s.reqpool.shape[0] for s in shards))
+        layout_counts = {name: n_events for name, _ in _COLUMN_DTYPES}
+        layout_counts["offsets"] = nproc + 1
+        layout_counts["reqpool"] = reqpool_total
+        sections, strings_offset, payload_nbytes = _layout(
+            layout_counts, len(strings_blob)
+        )
+        header = _base_header(
+            nproc, n_events, dict(meta or {}), sections,
+            strings_offset, len(strings_blob), len(merged_strings),
+            payload_nbytes,
+        )
+
+        reqpool_bases = []
+        base = 0
+        for s in shards:
+            reqpool_bases.append(base)
+            base += int(s.reqpool.shape[0])
+
+        out_path = os.fspath(out_path)
+        directory = os.path.dirname(out_path) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=".colstore-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                rewrite_at, _ = _write_frame(fh, header)
+                hasher = hashlib.sha256()
+                for name, dtype in _COLUMN_DTYPES:
+                    _write_stitched_section(
+                        fh, hasher, name, dtype, shards,
+                        offsets, remaps, reqpool_bases,
+                    )
+                _write_section(fh, hasher, strings_blob, pad=False)
+                _finalise_header(
+                    fh, rewrite_at, header, hasher.hexdigest()
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, out_path)
+        except BaseException:
+            _unlink_quietly(tmp)
+            raise
+    finally:
+        for s in shards:
+            s.detach_mapping()
+
+
+def _write_stitched_section(
+    fh: BinaryIO,
+    hasher: Any,
+    name: str,
+    dtype: str,
+    shards: list[ColumnarTrace],
+    offsets: np.ndarray,
+    remaps: list[np.ndarray],
+    reqpool_bases: list[int],
+) -> None:
+    """One output section streamed from the shard columns."""
+    if name == "offsets":
+        _write_section(fh, hasher, _column_view(offsets, dtype))
+        return
+    total = 0
+    parts: list[memoryview] = []
+    for i, shard in enumerate(shards):
+        if name == "label":
+            col = np.asarray(shard.label).copy()
+            mask = col >= 0
+            col[mask] = remaps[i][col[mask]]
+        elif name == "aux" and reqpool_bases[i]:
+            col = np.asarray(shard.aux).copy()
+            col[np.asarray(shard.kind) == K_WAITALL] += np.int32(
+                reqpool_bases[i]
+            )
+        else:
+            col = np.asarray(getattr(shard, name))
+        view = _column_view(col, dtype)
+        parts.append(view)
+        total += len(view)
+    # sections are padded once, at the end — stream parts unpadded
+    for i, (view, shard) in enumerate(zip(parts, shards)):
+        for lo in range(0, len(view), _CHUNK):
+            chunk = view[lo : lo + _CHUNK]
+            fh.write(chunk)
+            hasher.update(chunk)
+        shard.release_pages()
+    pad = _align(total) - total
+    if pad:
+        zeros = b"\x00" * pad
+        fh.write(zeros)
+        hasher.update(zeros)
+
+
+# ----------------------------------------------------------------------
+# layout / size report
+
+
+def describe_store(path: str | os.PathLike) -> dict[str, Any]:
+    """Layout and size report for ``repro trace info`` (header only)."""
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        header, payload_offset = _read_header(fh, path)
+    _check_columns(header, path)
+    file_size = os.path.getsize(path)
+    n_events = int(header["n_events"])
+    columns = []
+    for name, dtype in _COLUMN_DTYPES:
+        spec = header["columns"][name]
+        columns.append(
+            {
+                "name": name,
+                "dtype": dtype,
+                "count": int(spec["count"]),
+                "nbytes": int(spec["count"]) * np.dtype(dtype).itemsize,
+                "offset": int(spec["offset"]),
+            }
+        )
+    return {
+        "path": path,
+        "format": header["format"],
+        "version": header["version"],
+        "nproc": int(header["nproc"]),
+        "n_events": n_events,
+        "meta": header.get("meta") or {},
+        "payload_offset": payload_offset,
+        "payload_nbytes": int(header["payload_nbytes"]),
+        "payload_sha256": header["payload_sha256"],
+        "file_nbytes": file_size,
+        "bytes_per_event": (
+            file_size / n_events if n_events else float(file_size)
+        ),
+        "columns": columns,
+        "strings": dict(header["strings"]),
+    }

@@ -38,6 +38,8 @@ agree byte for byte (pinned by ``tests/test_columnar.py``).
 from __future__ import annotations
 
 import math
+import mmap
+import os
 from collections.abc import Iterable, Iterator, Sequence
 from array import array
 from typing import Any
@@ -476,6 +478,75 @@ class ColumnarTrace:
         self.collop = collop
         self.reqpool = reqpool
         self.strings = strings
+        # Set by colstore when the columns are backed by a read-only
+        # memory mapping; lets long scans drop clean pages mid-flight.
+        self._mapping: Any = None
+        self._mapping_source: str | None = None
+
+    # -- out-of-core backing --------------------------------------------
+    @property
+    def is_mapped(self) -> bool:
+        """True when the columns are views over a file mapping."""
+        return self._mapping is not None
+
+    def attach_mapping(self, mapping: Any, source: str | None = None) -> None:
+        """Record the mmap object backing the columns (colstore only)."""
+        self._mapping = mapping
+        self._mapping_source = source
+
+    def detach_mapping(self) -> None:
+        """Close the backing mapping.  The trace must not be used after.
+
+        Our own column views are dropped first (an mmap cannot close
+        while buffers are exported over it); if outside references to
+        the columns are still alive the close is left to their GC.
+        """
+        mapping, self._mapping = self._mapping, None
+        self._mapping_source = None
+        if mapping is None:
+            return
+        for attr in (
+            "offsets", "kind", "duration", "beta", "peer", "tag",
+            "size", "req", "aux", "label", "collop", "reqpool",
+        ):
+            setattr(self, attr, np.empty(0, dtype=getattr(self, attr).dtype))
+        try:
+            mapping.close()
+        except BufferError:  # pragma: no cover - external views alive
+            pass
+
+    def release_pages(self) -> None:
+        """Advise the kernel to drop resident pages of the backing map.
+
+        No-op for in-memory traces.  For mapped traces this caps the
+        resident-set contribution of a full-column scan: pages re-fault
+        from the store file on the next touch (clean, read-only — never
+        any data loss).  The zero-copy compile calls this periodically.
+        """
+        mapping = self._mapping
+        if mapping is not None:
+            try:
+                mapping.madvise(mmap.MADV_DONTNEED)
+            except (AttributeError, OSError):  # pragma: no cover
+                pass  # platform without madvise: purely an RSS hint
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialise to the binary columnar store (see colstore)."""
+        from repro.traces import colstore
+
+        colstore.save_trace(self, path)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        mmap: bool = False,
+        verify: bool | None = None,
+    ) -> "ColumnarTrace":
+        """Open a store file; ``mmap=True`` for out-of-core columns."""
+        from repro.traces import colstore
+
+        return colstore.open_trace(path, mmap=mmap, verify=verify)
 
     # -- Trace API ------------------------------------------------------
     @property

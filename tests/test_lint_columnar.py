@@ -201,6 +201,34 @@ class TestNoMaterialization:
         assert not [d for d in diags if d.code == "DX000"]
         assert [d for d in diags if d.code == "TR008"]
 
+    def test_mmap_store_lints_without_records(self, poisoned, tmp_path):
+        """TR001–TR010 over an mmap-opened binary store: the columns
+        stay out of core and no record ever materialises."""
+        ct = _ring_deadlock(64)
+        path = tmp_path / "ring.rpcs"
+        # save through a fresh (unpoisoned-irrelevant) trace, reopen mapped
+        ct.save(path)
+        mapped = ColumnarTrace.open(path, mmap=True)
+        assert mapped.is_mapped
+        diags = lint_trace_subject(mapped, MYRINET_LIKE, "ring", CONFIG)
+        assert not [d for d in diags if d.code == "DX000"]
+        assert [d for d in diags if d.code == "TR008"]
+        mapped.detach_mapping()
+
+    def test_load_target_routes_store_by_magic(self, tmp_path):
+        """`repro lint` classifies a store by magic bytes even when the
+        extension lies."""
+        from repro.diagnostics.cli import _load_target
+
+        from repro.apps import build_app
+
+        path = tmp_path / "innocent.bin"
+        build_app("CG-32", iterations=2).columnar_trace().save(path)
+        assert _load_target(str(path)) == ("trace", str(path))
+        rpcs = tmp_path / "t.rpcs"
+        rpcs.write_bytes(path.read_bytes())
+        assert _load_target(str(rpcs)) == ("trace", str(rpcs))
+
     def test_service_lint_gate_is_record_free(self, poisoned):
         """The /v1/balance admission path must stay columnar-safe: the
         gate lints gear sets/models/caps, never a materialised trace."""

@@ -168,6 +168,81 @@ class TestDT003KernelPurity:
         assert diags == []
 
 
+class TestDT004MappedWrites:
+    def test_memmap_default_mode_flagged(self):
+        diags = lint(
+            """
+            import numpy as np
+            cols = np.memmap("trace.bin", dtype="f8")
+            """,
+            subject="repro/netsim/loader.py",
+        )
+        assert codes(diags) == ["DT004"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_memmap_writable_mode_flagged(self):
+        diags = lint(
+            """
+            import numpy as np
+            cols = np.memmap("trace.bin", "f8", "r+")
+            """,
+            subject="repro/traces/loader.py",
+        )
+        assert codes(diags) == ["DT004"]
+
+    def test_memmap_readonly_allowed(self):
+        diags = lint(
+            """
+            import numpy as np
+            a = np.memmap("trace.bin", dtype="f8", mode="r")
+            b = np.memmap("trace.bin", "f8", "r")
+            """,
+            subject="repro/traces/loader.py",
+        )
+        assert diags == []
+
+    def test_mmap_default_access_flagged(self):
+        diags = lint(
+            """
+            import mmap
+            m = mmap.mmap(fd, 0)
+            """,
+            subject="repro/core/maps.py",
+        )
+        assert codes(diags) == ["DT004"]
+
+    def test_mmap_write_access_flagged(self):
+        diags = lint(
+            """
+            import mmap
+            m = mmap.mmap(fd, 0, access=mmap.ACCESS_WRITE)
+            """,
+            subject="repro/core/maps.py",
+        )
+        assert codes(diags) == ["DT004"]
+
+    def test_mmap_read_access_allowed_through_alias(self):
+        # the store's own idiom: `import mmap as _mmap`
+        diags = lint(
+            """
+            import mmap as _mmap
+            m = _mmap.mmap(fd, 0, access=_mmap.ACCESS_READ)
+            """,
+            subject="repro/traces/colstore.py",
+        )
+        assert diags == []
+
+    def test_non_kernel_files_exempt(self):
+        diags = lint(
+            """
+            import mmap
+            m = mmap.mmap(fd, 0)
+            """,
+            subject="repro/service/cachefile.py",
+        )
+        assert diags == []
+
+
 class TestEngineAndFormats:
     def test_syntax_error_becomes_finding(self):
         diags = lint_source_text(
